@@ -1,0 +1,75 @@
+//! Fig. 5: the 1000-point random validation spread over the input space
+//! `ξ = (Sin, Cload, Vdd)` used to score every characterization method.
+//!
+//! The regenerated scatter is summarized (per-axis coverage and uniformity); Criterion
+//! times the sampling itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slic::prelude::*;
+use slic_bench::banner;
+use slic_stats::moments;
+
+fn regenerate() -> (InputSpace, Vec<InputPoint>) {
+    banner(
+        "Fig. 5",
+        "1000 random validation points over the (Sin, Cload, Vdd) input space of the 14-nm node",
+    );
+    let tech = TechnologyNode::target_14nm();
+    let space = InputSpace::paper_space(tech.vdd_range());
+    let mut rng = StdRng::seed_from_u64(20150313);
+    let points = space.sample_uniform(&mut rng, 1000);
+
+    let axis = |label: &str, values: Vec<f64>, lo: f64, hi: f64, unit: &str, scale: f64| {
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = moments::mean(&values);
+        println!(
+            "  {label:<6} range [{:.2}, {:.2}] {unit}, sampled [{:.2}, {:.2}], mean {:.2}, expected mean {:.2}",
+            lo * scale,
+            hi * scale,
+            min * scale,
+            max * scale,
+            mean * scale,
+            0.5 * (lo + hi) * scale
+        );
+    };
+    println!("{} points:", points.len());
+    let (slo, shi) = space.sin_range();
+    axis("Sin", points.iter().map(|p| p.sin.value()).collect(), slo.value(), shi.value(), "ps", 1e12);
+    let (clo, chi) = space.cload_range();
+    axis("Cload", points.iter().map(|p| p.cload.value()).collect(), clo.value(), chi.value(), "fF", 1e15);
+    let (vlo, vhi) = space.vdd_range();
+    axis("Vdd", points.iter().map(|p| p.vdd.value()).collect(), vlo.value(), vhi.value(), "V", 1.0);
+
+    // Uniformity check: each octant of the box holds roughly 1/8 of the points.
+    let center = space.center();
+    let mut octants = [0usize; 8];
+    for p in &points {
+        let idx = (usize::from(p.sin > center.sin) << 2)
+            | (usize::from(p.cload > center.cload) << 1)
+            | usize::from(p.vdd > center.vdd);
+        octants[idx] += 1;
+    }
+    println!("  octant occupancy (expected ~125 each): {octants:?}");
+    println!("(paper: Fig. 5 shows the same uniformly scattered 1000-point cloud)");
+    (space, points)
+}
+
+fn bench(c: &mut Criterion) {
+    let (space, _) = regenerate();
+    c.bench_function("fig5_sample_1000_validation_points", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            space.sample_uniform(&mut rng, 1000)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = slic_bench::criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Timing arcs: which input switches and which way the output moves.
+
+use crate::cell::Cell;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of a signal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transition {
+    /// Low-to-high transition.
+    Rise,
+    /// High-to-low transition.
+    Fall,
+}
+
+impl Transition {
+    /// Both transition directions.
+    pub const BOTH: [Transition; 2] = [Transition::Rise, Transition::Fall];
+
+    /// The opposite transition.
+    pub fn complement(self) -> Self {
+        match self {
+            Transition::Rise => Transition::Fall,
+            Transition::Fall => Transition::Rise,
+        }
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transition::Rise => f.write_str("RISE"),
+            Transition::Fall => f.write_str("FALL"),
+        }
+    }
+}
+
+/// One timing arc of a cell: a switching input pin and the resulting output transition.
+///
+/// Following the paper, only one timing arc is modelled at a time (no simultaneous input
+/// switching); the other inputs are held at their non-controlling values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimingArc {
+    cell: Cell,
+    input_pin: usize,
+    output_transition: Transition,
+}
+
+impl TimingArc {
+    /// Creates a timing arc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_pin` is out of range for the cell.
+    pub fn new(cell: Cell, input_pin: usize, output_transition: Transition) -> Self {
+        assert!(
+            input_pin < cell.input_count(),
+            "input pin {input_pin} out of range for {} ({} inputs)",
+            cell.name(),
+            cell.input_count()
+        );
+        Self {
+            cell,
+            input_pin,
+            output_transition,
+        }
+    }
+
+    /// The cell this arc belongs to.
+    pub fn cell(&self) -> Cell {
+        self.cell
+    }
+
+    /// Index of the switching input pin.
+    pub fn input_pin(&self) -> usize {
+        self.input_pin
+    }
+
+    /// Direction of the output transition.
+    pub fn output_transition(&self) -> Transition {
+        self.output_transition
+    }
+
+    /// Direction of the *input* transition that causes this output transition.
+    ///
+    /// For an inverting cell a rising output is caused by a falling input and vice versa;
+    /// for the (non-inverting) buffer they coincide.
+    pub fn input_transition(&self) -> Transition {
+        if self.cell.kind().is_inverting() {
+            self.output_transition.complement()
+        } else {
+            self.output_transition
+        }
+    }
+
+    /// Enumerates the characterized arcs of a cell: input pin 0 (the worst-case pin for the
+    /// supported topologies), both output transitions.
+    pub fn primary_arcs(cell: Cell) -> Vec<TimingArc> {
+        Transition::BOTH
+            .iter()
+            .map(|&t| TimingArc::new(cell, 0, t))
+            .collect()
+    }
+
+    /// Enumerates every (pin, transition) arc of a cell.
+    pub fn all_arcs(cell: Cell) -> Vec<TimingArc> {
+        (0..cell.input_count())
+            .flat_map(|pin| {
+                Transition::BOTH
+                    .iter()
+                    .map(move |&t| TimingArc::new(cell, pin, t))
+            })
+            .collect()
+    }
+
+    /// Short identifier such as `"NAND2_X1/A0/FALL"`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/A{}/{}",
+            self.cell.name(),
+            self.input_pin,
+            self.output_transition
+        )
+    }
+}
+
+impl fmt::Display for TimingArc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellKind, DriveStrength};
+
+    fn nand2() -> Cell {
+        Cell::new(CellKind::Nand2, DriveStrength::X1)
+    }
+
+    #[test]
+    fn transition_complement_and_display() {
+        assert_eq!(Transition::Rise.complement(), Transition::Fall);
+        assert_eq!(Transition::Fall.complement(), Transition::Rise);
+        assert_eq!(format!("{}", Transition::Rise), "RISE");
+    }
+
+    #[test]
+    fn arc_construction_and_accessors() {
+        let arc = TimingArc::new(nand2(), 1, Transition::Fall);
+        assert_eq!(arc.cell(), nand2());
+        assert_eq!(arc.input_pin(), 1);
+        assert_eq!(arc.output_transition(), Transition::Fall);
+        assert_eq!(arc.id(), "NAND2_X1/A1/FALL");
+        assert_eq!(format!("{arc}"), "NAND2_X1/A1/FALL");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pin_rejected() {
+        let _ = TimingArc::new(nand2(), 5, Transition::Rise);
+    }
+
+    #[test]
+    fn inverting_cells_flip_input_direction() {
+        let arc = TimingArc::new(nand2(), 0, Transition::Rise);
+        assert_eq!(arc.input_transition(), Transition::Fall);
+        let buf = Cell::new(CellKind::Buf, DriveStrength::X1);
+        let arc = TimingArc::new(buf, 0, Transition::Rise);
+        assert_eq!(arc.input_transition(), Transition::Rise);
+    }
+
+    #[test]
+    fn arc_enumeration_counts() {
+        assert_eq!(TimingArc::primary_arcs(nand2()).len(), 2);
+        assert_eq!(TimingArc::all_arcs(nand2()).len(), 4);
+        let nor3 = Cell::new(CellKind::Nor3, DriveStrength::X1);
+        assert_eq!(TimingArc::all_arcs(nor3).len(), 6);
+    }
+
+    #[test]
+    fn arcs_are_hashable_and_unique() {
+        use std::collections::HashSet;
+        let arcs: HashSet<TimingArc> = TimingArc::all_arcs(nand2()).into_iter().collect();
+        assert_eq!(arcs.len(), 4);
+    }
+}

@@ -1,0 +1,225 @@
+//! Equivalent-inverter reduction (Fig. 1(b) of the paper).
+//!
+//! To characterize an arbitrary combinational cell the paper maps it onto an "equivalent
+//! inverter": the pull-up network is replaced by a single equivalent PMOS and the pull-down
+//! network by a single equivalent NMOS.  The reduction used here follows the classical
+//! logical-effort rules:
+//!
+//! * a series stack of `k` conducting devices behaves like one device of `1/k` the width;
+//! * parallel devices that are off for the analysed arc do not conduct but still load the
+//!   output with their junction capacitance;
+//! * design-time stack compensation (the cell's internal up-sizing) and drive strength
+//!   multiply the unit device width.
+
+use crate::arc::{TimingArc, Transition};
+use crate::cell::Cell;
+use serde::{Deserialize, Serialize};
+use slic_device::{Mosfet, Polarity, ProcessSample, TechnologyNode};
+use slic_units::{Amperes, Farads, Volts};
+
+/// The two-transistor equivalent of a cell for one timing arc under one process seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquivalentInverter {
+    cell: Cell,
+    pmos: Mosfet,
+    nmos: Mosfet,
+    output_parasitic_cap: Farads,
+    input_cap: Farads,
+}
+
+impl EquivalentInverter {
+    /// Builds the equivalent inverter of `cell` in `tech` for the given process seed.
+    ///
+    /// The reduction is arc-independent for the supported topologies (the worst-case series
+    /// path is used), so the same equivalent inverter serves both the rise and fall arcs;
+    /// the arc only selects which device does the switching.
+    pub fn build(tech: &TechnologyNode, cell: Cell, seed: &ProcessSample) -> Self {
+        let kind = cell.kind();
+        let (series_up, parallel_up) = kind.pull_up_topology();
+        let (series_down, parallel_down) = kind.pull_down_topology();
+
+        let pmos_nominal = seed.apply(tech.pmos(), Polarity::Pmos);
+        let nmos_nominal = seed.apply(tech.nmos(), Polarity::Nmos);
+
+        // Conducting-path equivalent widths: design sizing and drive strength divided by the
+        // series stack depth.
+        let pmos_eq_width = cell.pmos_width_factor() / series_up as f64;
+        let nmos_eq_width = cell.nmos_width_factor() / series_down as f64;
+
+        let pmos = Mosfet::pmos(pmos_nominal.clone()).scaled_width(pmos_eq_width);
+        let nmos = Mosfet::nmos(nmos_nominal.clone()).scaled_width(nmos_eq_width);
+
+        // Every device whose drain touches the output node contributes junction capacitance,
+        // whether or not it conducts for this arc.
+        let pmos_total_width = cell.pmos_width_factor();
+        let nmos_total_width = cell.nmos_width_factor();
+        let drain_cap = pmos_nominal.drain_cap * pmos_total_width * parallel_up.max(1) as f64
+            + nmos_nominal.drain_cap * nmos_total_width * parallel_down.max(1) as f64;
+        let output_parasitic_cap = Farads(
+            tech.cell_parasitic_cap().value() * cell.drive().multiplier() + drain_cap,
+        );
+
+        // The switching input drives the gates of one PMOS and one NMOS of the conducting
+        // paths (scaled by the cell sizing).
+        let input_cap = Farads(
+            pmos_nominal.gate_cap * cell.pmos_width_factor() / series_up as f64
+                + nmos_nominal.gate_cap * cell.nmos_width_factor() / series_down as f64,
+        );
+
+        Self {
+            cell,
+            pmos,
+            nmos,
+            output_parasitic_cap,
+            input_cap,
+        }
+    }
+
+    /// Builds the nominal (no process variation) equivalent inverter.
+    pub fn nominal(tech: &TechnologyNode, cell: Cell) -> Self {
+        Self::build(tech, cell, &ProcessSample::nominal())
+    }
+
+    /// The reduced cell.
+    pub fn cell(&self) -> Cell {
+        self.cell
+    }
+
+    /// The equivalent pull-up device.
+    pub fn pmos(&self) -> &Mosfet {
+        &self.pmos
+    }
+
+    /// The equivalent pull-down device.
+    pub fn nmos(&self) -> &Mosfet {
+        &self.nmos
+    }
+
+    /// Parasitic capacitance lumped at the output node (junctions plus local wiring).
+    ///
+    /// This is the physical origin of the `Cpar` fitting parameter of the compact timing
+    /// model.
+    pub fn output_parasitic_cap(&self) -> Farads {
+        self.output_parasitic_cap
+    }
+
+    /// Capacitance presented to the driving stage by the switching input pin.
+    pub fn input_cap(&self) -> Farads {
+        self.input_cap
+    }
+
+    /// The device that drives the output for the given output transition: the PMOS for a
+    /// rising output, the NMOS for a falling output.
+    pub fn driving_device(&self, output_transition: Transition) -> &Mosfet {
+        match output_transition {
+            Transition::Rise => &self.pmos,
+            Transition::Fall => &self.nmos,
+        }
+    }
+
+    /// Effective switching current (Eq. 4 of the paper) of the device that drives the given
+    /// arc at supply `vdd`.
+    pub fn ieff(&self, arc: &TimingArc, vdd: Volts) -> Amperes {
+        self.driving_device(arc.output_transition()).ieff(vdd)
+    }
+
+    /// Saturation current of the driving device at supply `vdd`.
+    pub fn idsat(&self, arc: &TimingArc, vdd: Volts) -> Amperes {
+        self.driving_device(arc.output_transition()).idsat(vdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellKind, DriveStrength};
+
+    fn tech() -> TechnologyNode {
+        TechnologyNode::n14_finfet()
+    }
+
+    fn cell(kind: CellKind) -> Cell {
+        Cell::new(kind, DriveStrength::X1)
+    }
+
+    #[test]
+    fn inverter_reduction_is_identity_like() {
+        let t = tech();
+        let inv = EquivalentInverter::nominal(&t, cell(CellKind::Inv));
+        // The equivalent devices of an inverter are just the cell's own devices.
+        assert!((inv.nmos().params().width / t.nmos().width - 1.0).abs() < 1e-12);
+        assert!((inv.pmos().params().width / t.pmos().width - 1.0).abs() < 1e-12);
+        assert!(inv.output_parasitic_cap().value() > 0.0);
+        assert!(inv.input_cap().value() > 0.0);
+    }
+
+    #[test]
+    fn nand2_pull_down_is_weakened_by_stacking() {
+        let t = tech();
+        let inv = EquivalentInverter::nominal(&t, cell(CellKind::Inv));
+        let nand = EquivalentInverter::nominal(&t, cell(CellKind::Nand2));
+        // Stack of two compensated by 1.35 sizing: equivalent width < inverter width.
+        assert!(nand.nmos().params().width < inv.nmos().params().width);
+        // Pull-up is a parallel pair: single conducting PMOS at full width.
+        assert!((nand.pmos().params().width - inv.pmos().params().width).abs() / inv.pmos().params().width < 1e-9);
+    }
+
+    #[test]
+    fn nor2_pull_up_is_weakened_by_stacking() {
+        let t = tech();
+        let inv = EquivalentInverter::nominal(&t, cell(CellKind::Inv));
+        let nor = EquivalentInverter::nominal(&t, cell(CellKind::Nor2));
+        assert!(nor.pmos().params().width < inv.pmos().params().width);
+        assert!((nor.nmos().params().width - inv.nmos().params().width).abs() / inv.nmos().params().width < 1e-9);
+    }
+
+    #[test]
+    fn multi_input_cells_have_more_output_parasitics() {
+        let t = tech();
+        let inv = EquivalentInverter::nominal(&t, cell(CellKind::Inv));
+        let nand3 = EquivalentInverter::nominal(&t, cell(CellKind::Nand3));
+        assert!(nand3.output_parasitic_cap().value() > inv.output_parasitic_cap().value());
+    }
+
+    #[test]
+    fn drive_strength_scales_currents_and_parasitics() {
+        let t = tech();
+        let x1 = EquivalentInverter::nominal(&t, Cell::new(CellKind::Inv, DriveStrength::X1));
+        let x4 = EquivalentInverter::nominal(&t, Cell::new(CellKind::Inv, DriveStrength::X4));
+        let arc = TimingArc::new(Cell::new(CellKind::Inv, DriveStrength::X1), 0, Transition::Fall);
+        let vdd = t.vdd_nominal();
+        let ratio = x4.ieff(&arc, vdd).value() / x1.ieff(&arc, vdd).value();
+        assert!((ratio - 4.0).abs() < 1e-9);
+        assert!(x4.output_parasitic_cap().value() > x1.output_parasitic_cap().value());
+        assert!(x4.input_cap().value() > x1.input_cap().value());
+    }
+
+    #[test]
+    fn rise_arc_is_driven_by_pmos_and_fall_by_nmos() {
+        let t = tech();
+        let c = cell(CellKind::Inv);
+        let eq = EquivalentInverter::nominal(&t, c);
+        assert_eq!(eq.driving_device(Transition::Rise).polarity(), Polarity::Pmos);
+        assert_eq!(eq.driving_device(Transition::Fall).polarity(), Polarity::Nmos);
+        let rise = TimingArc::new(c, 0, Transition::Rise);
+        let fall = TimingArc::new(c, 0, Transition::Fall);
+        let vdd = t.vdd_nominal();
+        assert!(eq.ieff(&rise, vdd).value() > 0.0);
+        assert!(eq.ieff(&fall, vdd).value() > 0.0);
+        assert!(eq.idsat(&fall, vdd).value() > eq.ieff(&fall, vdd).value());
+    }
+
+    #[test]
+    fn process_seed_changes_the_currents() {
+        let t = tech();
+        let c = cell(CellKind::Nor2);
+        let arc = TimingArc::new(c, 0, Transition::Fall);
+        let nominal = EquivalentInverter::nominal(&t, c);
+        let mut seed = ProcessSample::nominal();
+        seed.delta_vth_n = 0.06;
+        let slow = EquivalentInverter::build(&t, c, &seed);
+        let vdd = t.vdd_nominal();
+        assert!(slow.ieff(&arc, vdd).value() < nominal.ieff(&arc, vdd).value());
+        assert_eq!(slow.cell(), c);
+    }
+}

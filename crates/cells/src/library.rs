@@ -1,0 +1,161 @@
+//! Cell-library containers.
+
+use crate::arc::TimingArc;
+use crate::cell::{Cell, CellKind, DriveStrength};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named collection of standard cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Library {
+    name: String,
+    cells: Vec<Cell>,
+}
+
+impl Library {
+    /// Creates a library from an explicit cell list.  Duplicate cells are removed while
+    /// preserving first-occurrence order.
+    pub fn new(name: impl Into<String>, cells: impl IntoIterator<Item = Cell>) -> Self {
+        let mut seen = Vec::new();
+        for cell in cells {
+            if !seen.contains(&cell) {
+                seen.push(cell);
+            }
+        }
+        Self {
+            name: name.into(),
+            cells: seen,
+        }
+    }
+
+    /// The default experiment library: every supported kind at X1 plus the paper's
+    /// INV/NAND2/NOR2 trio at X2.
+    pub fn standard() -> Self {
+        let mut cells: Vec<Cell> = CellKind::ALL
+            .iter()
+            .map(|&k| Cell::new(k, DriveStrength::X1))
+            .collect();
+        cells.extend(
+            CellKind::PAPER_TRIO
+                .iter()
+                .map(|&k| Cell::new(k, DriveStrength::X2)),
+        );
+        Self::new("slic-standard", cells)
+    }
+
+    /// The minimal library used in the paper's figures: INV, NAND2 and NOR2 at unit drive.
+    pub fn paper_trio() -> Self {
+        Self::new(
+            "paper-trio",
+            CellKind::PAPER_TRIO
+                .iter()
+                .map(|&k| Cell::new(k, DriveStrength::X1)),
+        )
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cells in catalogue order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` when the library has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Looks a cell up by its full name (e.g. `"NAND2_X1"`).
+    pub fn find(&self, name: &str) -> Option<Cell> {
+        self.cells.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Returns every primary timing arc (input pin 0, rise and fall) across the library.
+    pub fn primary_arcs(&self) -> Vec<TimingArc> {
+        self.cells
+            .iter()
+            .flat_map(|&c| TimingArc::primary_arcs(c))
+            .collect()
+    }
+
+    /// Returns every timing arc (all pins, rise and fall) across the library.
+    pub fn all_arcs(&self) -> Vec<TimingArc> {
+        self.cells
+            .iter()
+            .flat_map(|&c| TimingArc::all_arcs(c))
+            .collect()
+    }
+
+    /// Iterator over the cells.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cell> {
+        self.cells.iter()
+    }
+}
+
+impl fmt::Display for Library {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} cells)", self.name, self.cells.len())
+    }
+}
+
+impl<'a> IntoIterator for &'a Library {
+    type Item = &'a Cell;
+    type IntoIter = std::slice::Iter<'a, Cell>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_contents() {
+        let lib = Library::standard();
+        assert_eq!(lib.len(), CellKind::ALL.len() + 3);
+        assert!(lib.find("INV_X1").is_some());
+        assert!(lib.find("NAND2_X2").is_some());
+        assert!(lib.find("NAND3_X4").is_none());
+        assert!(!lib.is_empty());
+        assert_eq!(lib.name(), "slic-standard");
+    }
+
+    #[test]
+    fn paper_trio_library() {
+        let lib = Library::paper_trio();
+        assert_eq!(lib.len(), 3);
+        let names: Vec<String> = lib.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["INV_X1", "NAND2_X1", "NOR2_X1"]);
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let c = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let lib = Library::new("dups", vec![c, c, c]);
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    fn arc_enumeration() {
+        let lib = Library::paper_trio();
+        assert_eq!(lib.primary_arcs().len(), 6);
+        // INV: 2 arcs, NAND2: 4, NOR2: 4.
+        assert_eq!(lib.all_arcs().len(), 10);
+    }
+
+    #[test]
+    fn display_and_iteration() {
+        let lib = Library::paper_trio();
+        assert!(format!("{lib}").contains("3 cells"));
+        assert_eq!((&lib).into_iter().count(), 3);
+    }
+}

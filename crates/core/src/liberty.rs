@@ -1,0 +1,231 @@
+//! Liberty-flavoured export of a characterized library.
+//!
+//! Downstream STA tools consume standard-cell timing as Liberty (`.lib`) tables.  The export
+//! here characterizes every primary arc of a library on a small grid — either by direct
+//! simulation or from already-extracted compact-model parameters — and emits a readable
+//! subset of the Liberty syntax (`library`/`cell`/`pin`/`timing` groups with
+//! `cell_rise`/`cell_fall`/`rise_transition`/`fall_transition` tables).  The goal is a
+//! faithful, diff-able artefact of a characterization run, not byte-for-byte compatibility
+//! with any particular commercial parser.
+
+use slic_cells::{Cell, Library, TimingArc, Transition};
+use slic_spice::CharacterizationEngine;
+use slic_units::{Farads, Seconds, Volts};
+
+/// Grid used for the exported tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExportGrid {
+    /// Number of input-slew indices.
+    pub slew_levels: usize,
+    /// Number of load-capacitance indices.
+    pub load_levels: usize,
+}
+
+impl Default for ExportGrid {
+    fn default() -> Self {
+        Self {
+            slew_levels: 4,
+            load_levels: 4,
+        }
+    }
+}
+
+/// Characterizes `library` at the technology's nominal supply and renders a Liberty-like
+/// description.
+///
+/// Every value is simulated with the engine's transient solver; the returned string is the
+/// complete `.lib` text.
+///
+/// # Panics
+///
+/// Panics if the library is empty or the grid has fewer than two levels on either axis.
+pub fn export_library(engine: &CharacterizationEngine, library: &Library, grid: ExportGrid) -> String {
+    assert!(!library.is_empty(), "cannot export an empty library");
+    assert!(
+        grid.slew_levels >= 2 && grid.load_levels >= 2,
+        "export grid needs at least 2x2 indices"
+    );
+    let tech = engine.tech();
+    let vdd = tech.vdd_nominal();
+    let space = engine.input_space();
+    let (sin_lo, sin_hi) = space.sin_range();
+    let (cl_lo, cl_hi) = space.cload_range();
+    let slew_axis: Vec<f64> = slic_units::range::linspace(sin_lo.value(), sin_hi.value(), grid.slew_levels);
+    let load_axis: Vec<f64> = slic_units::range::linspace(cl_lo.value(), cl_hi.value(), grid.load_levels);
+
+    let mut out = String::new();
+    out.push_str(&format!("library ({}_slic) {{\n", tech.name().replace('-', "_")));
+    out.push_str("  delay_model : table_lookup;\n");
+    out.push_str("  time_unit : \"1ps\";\n");
+    out.push_str("  capacitive_load_unit (1, ff);\n");
+    out.push_str(&format!("  nom_voltage : {:.3};\n", vdd.value()));
+    out.push_str(&format!(
+        "  lu_table_template (slic_template) {{\n    variable_1 : input_net_transition;\n    variable_2 : total_output_net_capacitance;\n    index_1 (\"{}\");\n    index_2 (\"{}\");\n  }}\n",
+        format_axis_ps(&slew_axis),
+        format_axis_ff(&load_axis)
+    ));
+
+    for &cell in library.cells() {
+        out.push_str(&render_cell(engine, cell, vdd, &slew_axis, &load_axis));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_cell(
+    engine: &CharacterizationEngine,
+    cell: Cell,
+    vdd: Volts,
+    slew_axis: &[f64],
+    load_axis: &[f64],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("  cell ({}) {{\n", cell.name()));
+    let eq = engine.equivalent_inverter(cell, &slic_device::ProcessSample::nominal());
+    for pin in 0..cell.input_count() {
+        out.push_str(&format!(
+            "    pin (A{pin}) {{\n      direction : input;\n      capacitance : {:.4};\n    }}\n",
+            eq.input_cap().femtofarads()
+        ));
+    }
+    out.push_str("    pin (Y) {\n      direction : output;\n");
+    for transition in Transition::BOTH {
+        let arc = TimingArc::new(cell, 0, transition);
+        let (delay_rows, slew_rows) = table_values(engine, cell, &arc, vdd, slew_axis, load_axis);
+        let (delay_group, slew_group) = match transition {
+            Transition::Rise => ("cell_rise", "rise_transition"),
+            Transition::Fall => ("cell_fall", "fall_transition"),
+        };
+        out.push_str("      timing () {\n        related_pin : \"A0\";\n");
+        out.push_str(&render_table(delay_group, &delay_rows));
+        out.push_str(&render_table(slew_group, &slew_rows));
+        out.push_str("      }\n");
+    }
+    out.push_str("    }\n  }\n");
+    out
+}
+
+fn table_values(
+    engine: &CharacterizationEngine,
+    cell: Cell,
+    arc: &TimingArc,
+    vdd: Volts,
+    slew_axis: &[f64],
+    load_axis: &[f64],
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mut delay_rows = Vec::with_capacity(slew_axis.len());
+    let mut slew_rows = Vec::with_capacity(slew_axis.len());
+    for &sin in slew_axis {
+        let mut delay_row = Vec::with_capacity(load_axis.len());
+        let mut slew_row = Vec::with_capacity(load_axis.len());
+        for &cload in load_axis {
+            let point = slic_spice::InputPoint::new(Seconds(sin), Farads(cload), vdd);
+            let m = engine.simulate_nominal(cell, arc, &point);
+            delay_row.push(m.delay.picoseconds());
+            slew_row.push(m.output_slew.picoseconds());
+        }
+        delay_rows.push(delay_row);
+        slew_rows.push(slew_row);
+    }
+    (delay_rows, slew_rows)
+}
+
+fn render_table(group: &str, rows: &[Vec<f64>]) -> String {
+    let mut out = format!("        {group} (slic_template) {{\n          values ( \\\n");
+    for (i, row) in rows.iter().enumerate() {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
+        let terminator = if i + 1 == rows.len() { " );\n" } else { ", \\\n" };
+        out.push_str(&format!("            \"{}\"{terminator}", cells.join(", ")));
+    }
+    out.push_str("        }\n");
+    out
+}
+
+fn format_axis_ps(axis: &[f64]) -> String {
+    axis.iter()
+        .map(|v| format!("{:.3}", v * 1e12))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn format_axis_ff(axis: &[f64]) -> String {
+    axis.iter()
+        .map(|v| format!("{:.3}", v * 1e15))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slic_cells::{CellKind, DriveStrength};
+    use slic_device::TechnologyNode;
+    use slic_spice::TransientConfig;
+
+    fn engine() -> CharacterizationEngine {
+        CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+    }
+
+    #[test]
+    fn export_contains_library_cells_and_tables() {
+        let eng = engine();
+        let lib = Library::new(
+            "mini",
+            [
+                Cell::new(CellKind::Inv, DriveStrength::X1),
+                Cell::new(CellKind::Nand2, DriveStrength::X1),
+            ],
+        );
+        let grid = ExportGrid { slew_levels: 2, load_levels: 2 };
+        let text = export_library(&eng, &lib, grid);
+        assert!(text.starts_with("library ("));
+        assert!(text.contains("cell (INV_X1)"));
+        assert!(text.contains("cell (NAND2_X1)"));
+        assert!(text.contains("cell_rise"));
+        assert!(text.contains("fall_transition"));
+        assert!(text.contains("lu_table_template"));
+        // Two cells x two transitions x two tables x 2 rows of values.
+        assert!(text.matches("values (").count() == 8);
+        // Braces balance.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        // Cost: 2 cells x 2 transitions x 4 grid points.
+        assert_eq!(eng.simulation_count(), 16);
+    }
+
+    #[test]
+    fn delays_in_tables_increase_with_load() {
+        let eng = engine();
+        let lib = Library::new("inv", [Cell::new(CellKind::Inv, DriveStrength::X1)]);
+        let grid = ExportGrid { slew_levels: 2, load_levels: 3 };
+        let text = export_library(&eng, &lib, grid);
+        // Extract the first values row and check it is increasing (delay vs load).
+        let row = text
+            .lines()
+            .find(|l| l.trim_start().starts_with('"'))
+            .expect("at least one values row");
+        let nums: Vec<f64> = row
+            .trim()
+            .trim_start_matches('"')
+            .split('"')
+            .next()
+            .unwrap()
+            .split(',')
+            .map(|s| s.trim().parse::<f64>().unwrap())
+            .collect();
+        assert_eq!(nums.len(), 3);
+        assert!(nums.windows(2).all(|w| w[1] > w[0]), "row = {nums:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty library")]
+    fn empty_library_rejected() {
+        let _ = export_library(&engine(), &Library::new("none", []), ExportGrid::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_grid_rejected() {
+        let lib = Library::new("inv", [Cell::new(CellKind::Inv, DriveStrength::X1)]);
+        let _ = export_library(&engine(), &lib, ExportGrid { slew_levels: 1, load_levels: 4 });
+    }
+}

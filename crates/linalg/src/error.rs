@@ -1,0 +1,67 @@
+//! Error types for the linear-algebra kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by decompositions and solvers in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// A Cholesky factorization was requested for a matrix that is not (numerically)
+    /// symmetric positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot where the factorization broke down.
+        pivot: usize,
+    },
+    /// An LU factorization encountered a (numerically) singular matrix.
+    Singular {
+        /// Index of the pivot column where no usable pivot was found.
+        pivot: usize,
+    },
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the two shapes involved.
+        context: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (pivot {pivot})")
+            }
+            LinalgError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 2 };
+        assert!(e.to_string().contains("positive definite"));
+        let e = LinalgError::Singular { pivot: 0 };
+        assert!(e.to_string().contains("singular"));
+        let e = LinalgError::DimensionMismatch {
+            context: "3x2 * 4".into(),
+        };
+        assert!(e.to_string().contains("3x2 * 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

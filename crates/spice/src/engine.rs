@@ -1,0 +1,323 @@
+//! The characterization engine: the workspace's stand-in for "HSPICE plus a deck generator".
+//!
+//! A [`CharacterizationEngine`] is bound to one [`TechnologyNode`] and provides the three
+//! operations every experiment in the paper is built from:
+//!
+//! 1. single switching-event simulations (`.TRAN` on one arc at one input condition),
+//! 2. sweeps over many input conditions for a fixed process seed (the `.ALTER` loop), and
+//! 3. Monte Carlo ensembles over process seeds at fixed input conditions.
+//!
+//! Every transient simulation increments a shared [`SimulationCounter`].  The paper's
+//! reported speedups are ratios of simulation counts at equal accuracy, so the counter is
+//! the basis of all cost accounting in `slic-core` and the benches.
+
+use crate::input::{InputPoint, InputSpace};
+use crate::measure::TimingMeasurement;
+use crate::transient::{simulate_switching, TransientConfig};
+use rayon::prelude::*;
+use slic_cells::{Cell, EquivalentInverter, TimingArc};
+use slic_device::{ProcessSample, TechnologyNode};
+use slic_units::Amperes;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cloneable handle onto a shared count of transient simulations.
+#[derive(Debug, Clone, Default)]
+pub struct SimulationCounter {
+    count: Arc<AtomicU64>,
+}
+
+impl SimulationCounter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` simulations to the count.
+    pub fn add(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Resets the count to zero and returns the previous value.
+    pub fn reset(&self) -> u64 {
+        self.count.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A simulator front-end bound to one technology node.
+#[derive(Debug, Clone)]
+pub struct CharacterizationEngine {
+    tech: TechnologyNode,
+    config: TransientConfig,
+    counter: SimulationCounter,
+}
+
+impl CharacterizationEngine {
+    /// Creates an engine with the accurate (baseline-grade) transient settings.
+    pub fn new(tech: TechnologyNode) -> Self {
+        Self::with_config(tech, TransientConfig::accurate())
+    }
+
+    /// Creates an engine with an explicit transient configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn with_config(tech: TechnologyNode, config: TransientConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid transient configuration: {msg}");
+        }
+        Self {
+            tech,
+            config,
+            counter: SimulationCounter::new(),
+        }
+    }
+
+    /// The technology this engine simulates.
+    pub fn tech(&self) -> &TechnologyNode {
+        &self.tech
+    }
+
+    /// The transient solver configuration in use.
+    pub fn config(&self) -> &TransientConfig {
+        &self.config
+    }
+
+    /// Handle onto the shared simulation counter.
+    pub fn counter(&self) -> &SimulationCounter {
+        &self.counter
+    }
+
+    /// Total number of transient simulations run so far (across clones of this engine).
+    pub fn simulation_count(&self) -> u64 {
+        self.counter.count()
+    }
+
+    /// The default characterization input space of this technology (paper ranges for slew
+    /// and load, the technology's own supply window).
+    pub fn input_space(&self) -> InputSpace {
+        InputSpace::paper_space(self.tech.vdd_range())
+    }
+
+    /// Builds the equivalent inverter of `cell` under `seed`.
+    pub fn equivalent_inverter(&self, cell: Cell, seed: &ProcessSample) -> EquivalentInverter {
+        EquivalentInverter::build(&self.tech, cell, seed)
+    }
+
+    /// Effective switching current (Eq. 4) of the arc's driving device at the given supply.
+    ///
+    /// This is a pair of DC operating-point evaluations, not a transient simulation, so it
+    /// does not increment the simulation counter — matching the paper's assumption that
+    /// `Ieff` per input vector is available from performance modelling.
+    pub fn ieff(&self, arc: &TimingArc, point: &InputPoint, seed: &ProcessSample) -> Amperes {
+        self.equivalent_inverter(arc.cell(), seed).ieff(arc, point.vdd)
+    }
+
+    /// Runs one transient simulation of `arc` at `point` under process seed `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transient solver cannot complete the transition — with the supported
+    /// technologies and the paper input space this only happens for unphysical inputs, and
+    /// failing loudly is preferable to silently corrupting a characterization campaign.
+    pub fn simulate(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        point: &InputPoint,
+        seed: &ProcessSample,
+    ) -> TimingMeasurement {
+        let eq = EquivalentInverter::build(&self.tech, cell, seed);
+        self.counter.add(1);
+        simulate_switching(&eq, arc, point, &self.config).unwrap_or_else(|err| {
+            panic!(
+                "transient simulation failed for {} at {point}: {err}",
+                arc.id()
+            )
+        })
+    }
+
+    /// Runs one transient simulation at the nominal process corner.
+    pub fn simulate_nominal(&self, cell: Cell, arc: &TimingArc, point: &InputPoint) -> TimingMeasurement {
+        self.simulate(cell, arc, point, &ProcessSample::nominal())
+    }
+
+    /// Simulates `arc` at every input point for a fixed process seed (the `.ALTER` sweep),
+    /// in parallel.
+    pub fn sweep(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        points: &[InputPoint],
+        seed: &ProcessSample,
+    ) -> Vec<TimingMeasurement> {
+        points
+            .par_iter()
+            .map(|p| self.simulate(cell, arc, p, seed))
+            .collect()
+    }
+
+    /// Simulates `arc` at every input point at the nominal corner, in parallel.
+    pub fn sweep_nominal(&self, cell: Cell, arc: &TimingArc, points: &[InputPoint]) -> Vec<TimingMeasurement> {
+        self.sweep(cell, arc, points, &ProcessSample::nominal())
+    }
+
+    /// Monte Carlo ensemble: simulates `arc` at one input point under every process seed,
+    /// in parallel.  Element `i` of the result corresponds to `seeds[i]`.
+    pub fn monte_carlo(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        point: &InputPoint,
+        seeds: &[ProcessSample],
+    ) -> Vec<TimingMeasurement> {
+        seeds
+            .par_iter()
+            .map(|s| self.simulate(cell, arc, point, s))
+            .collect()
+    }
+
+    /// Full statistical baseline: simulates every (input point, seed) pair.
+    ///
+    /// The result is indexed `[point][seed]`.
+    pub fn monte_carlo_sweep(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        points: &[InputPoint],
+        seeds: &[ProcessSample],
+    ) -> Vec<Vec<TimingMeasurement>> {
+        points
+            .par_iter()
+            .map(|p| {
+                seeds
+                    .iter()
+                    .map(|s| self.simulate(cell, arc, p, s))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slic_cells::{CellKind, DriveStrength, Transition};
+    use slic_units::{Farads, Seconds, Volts};
+
+    fn engine() -> CharacterizationEngine {
+        CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+    }
+
+    fn inv_fall() -> (Cell, TimingArc) {
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        (cell, TimingArc::new(cell, 0, Transition::Fall))
+    }
+
+    fn pt(sin_ps: f64, cload_ff: f64, vdd: f64) -> InputPoint {
+        InputPoint::new(
+            Seconds::from_picoseconds(sin_ps),
+            Farads::from_femtofarads(cload_ff),
+            Volts(vdd),
+        )
+    }
+
+    #[test]
+    fn simulation_counter_counts_every_run() {
+        let eng = engine();
+        let (cell, arc) = inv_fall();
+        assert_eq!(eng.simulation_count(), 0);
+        let _ = eng.simulate_nominal(cell, &arc, &pt(5.0, 2.0, 0.8));
+        assert_eq!(eng.simulation_count(), 1);
+        let points = vec![pt(2.0, 1.0, 0.8), pt(5.0, 2.0, 0.9), pt(9.0, 4.0, 0.7)];
+        let _ = eng.sweep_nominal(cell, &arc, &points);
+        assert_eq!(eng.simulation_count(), 4);
+        assert_eq!(eng.counter().reset(), 4);
+        assert_eq!(eng.simulation_count(), 0);
+    }
+
+    #[test]
+    fn counter_is_shared_between_clones() {
+        let eng = engine();
+        let clone = eng.clone();
+        let (cell, arc) = inv_fall();
+        let _ = clone.simulate_nominal(cell, &arc, &pt(5.0, 2.0, 0.8));
+        assert_eq!(eng.simulation_count(), 1);
+    }
+
+    #[test]
+    fn ieff_does_not_count_as_a_simulation() {
+        let eng = engine();
+        let (_, arc) = inv_fall();
+        let i = eng.ieff(&arc, &pt(5.0, 2.0, 0.8), &ProcessSample::nominal());
+        assert!(i.value() > 0.0);
+        assert_eq!(eng.simulation_count(), 0);
+    }
+
+    #[test]
+    fn sweep_results_match_individual_runs() {
+        let eng = engine();
+        let (cell, arc) = inv_fall();
+        let points = vec![pt(2.0, 1.0, 0.8), pt(8.0, 4.0, 0.7)];
+        let swept = eng.sweep_nominal(cell, &arc, &points);
+        for (p, m) in points.iter().zip(&swept) {
+            let single = eng.simulate_nominal(cell, &arc, p);
+            assert_eq!(*m, single, "sweep must be deterministic and ordered");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_produces_spread() {
+        let eng = engine();
+        let (cell, arc) = inv_fall();
+        let mut rng = StdRng::seed_from_u64(11);
+        let seeds = eng.tech().variation().sample_n(&mut rng, 48);
+        let ms = eng.monte_carlo(cell, &arc, &pt(5.0, 2.0, 0.8), &seeds);
+        assert_eq!(ms.len(), 48);
+        let delays: Vec<f64> = ms.iter().map(|m| m.delay.value()).collect();
+        let mean = delays.iter().sum::<f64>() / delays.len() as f64;
+        let sd = (delays.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (delays.len() - 1) as f64)
+            .sqrt();
+        assert!(sd > 0.0, "process variation must spread the delays");
+        assert!(sd / mean < 0.5, "spread should stay moderate (cv = {})", sd / mean);
+    }
+
+    #[test]
+    fn monte_carlo_sweep_shape() {
+        let eng = engine();
+        let (cell, arc) = inv_fall();
+        let mut rng = StdRng::seed_from_u64(3);
+        let seeds = eng.tech().variation().sample_n(&mut rng, 5);
+        let points = vec![pt(2.0, 1.0, 0.8), pt(8.0, 4.0, 0.7), pt(5.0, 2.0, 0.9)];
+        let grid = eng.monte_carlo_sweep(cell, &arc, &points, &seeds);
+        assert_eq!(grid.len(), 3);
+        assert!(grid.iter().all(|row| row.len() == 5));
+        assert_eq!(eng.simulation_count(), 15);
+    }
+
+    #[test]
+    fn input_space_uses_tech_supply_window() {
+        let eng = engine();
+        let space = eng.input_space();
+        let (lo, hi) = space.vdd_range();
+        assert_eq!((lo, hi), eng.tech().vdd_range());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid transient configuration")]
+    fn invalid_config_rejected_at_construction() {
+        let bad = TransientConfig {
+            dv_max_fraction: 0.5,
+            ..TransientConfig::fast()
+        };
+        let _ = CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), bad);
+    }
+}

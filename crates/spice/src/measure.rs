@@ -1,0 +1,138 @@
+//! Waveform measurement conventions and results.
+
+use serde::{Deserialize, Serialize};
+use slic_units::Seconds;
+
+/// Fraction of the supply at which propagation delay is measured (50 %).
+pub const DELAY_THRESHOLD: f64 = 0.5;
+
+/// Lower threshold of the output-slew measurement window (20 %).
+pub const SLEW_LOW_THRESHOLD: f64 = 0.2;
+
+/// Upper threshold of the output-slew measurement window (80 %).
+pub const SLEW_HIGH_THRESHOLD: f64 = 0.8;
+
+/// Scale factor converting the 20–80 % crossing time into an equivalent full-swing
+/// transition time (`1 / (0.8 − 0.2)`), the convention used consistently for both the input
+/// stimulus and the reported output slew.
+pub const SLEW_SCALE: f64 = 1.0 / (SLEW_HIGH_THRESHOLD - SLEW_LOW_THRESHOLD);
+
+/// The result of one switching-event simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingMeasurement {
+    /// Propagation delay: 50 % of input swing to 50 % of output swing.
+    pub delay: Seconds,
+    /// Output transition time: 20–80 % crossing time scaled to full swing.
+    pub output_slew: Seconds,
+}
+
+impl TimingMeasurement {
+    /// Creates a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is non-finite, or if the slew is non-positive (a delay of
+    /// exactly zero is tolerated; a *negative* delay indicates the output crossed before the
+    /// input, which the solver never produces for the supported single-arc stimuli).
+    pub fn new(delay: Seconds, output_slew: Seconds) -> Self {
+        assert!(
+            delay.is_finite() && delay.value() >= 0.0,
+            "delay must be finite and non-negative (got {delay})"
+        );
+        assert!(
+            output_slew.is_finite() && output_slew.value() > 0.0,
+            "output slew must be finite and positive (got {output_slew})"
+        );
+        Self { delay, output_slew }
+    }
+
+    /// Returns the delay in picoseconds (convenience for reports).
+    pub fn delay_ps(&self) -> f64 {
+        self.delay.picoseconds()
+    }
+
+    /// Returns the output slew in picoseconds (convenience for reports).
+    pub fn output_slew_ps(&self) -> f64 {
+        self.output_slew.picoseconds()
+    }
+}
+
+/// Extracts the mean delay and mean slew of an ensemble of measurements.
+///
+/// Returns `(mean_delay, mean_slew)` in seconds; `(0, 0)` for an empty slice.
+pub fn ensemble_means(measurements: &[TimingMeasurement]) -> (f64, f64) {
+    if measurements.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = measurements.len() as f64;
+    let d = measurements.iter().map(|m| m.delay.value()).sum::<f64>() / n;
+    let s = measurements.iter().map(|m| m.output_slew.value()).sum::<f64>() / n;
+    (d, s)
+}
+
+/// Extracts the delay and slew standard deviations of an ensemble of measurements
+/// (unbiased); zeros when fewer than two measurements are given.
+pub fn ensemble_std_devs(measurements: &[TimingMeasurement]) -> (f64, f64) {
+    if measurements.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let (md, ms) = ensemble_means(measurements);
+    let n = (measurements.len() - 1) as f64;
+    let vd = measurements
+        .iter()
+        .map(|m| (m.delay.value() - md).powi(2))
+        .sum::<f64>()
+        / n;
+    let vs = measurements
+        .iter()
+        .map(|m| (m.output_slew.value() - ms).powi(2))
+        .sum::<f64>()
+        / n;
+    (vd.sqrt(), vs.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_are_consistent() {
+        assert!(SLEW_LOW_THRESHOLD < DELAY_THRESHOLD);
+        assert!(DELAY_THRESHOLD < SLEW_HIGH_THRESHOLD);
+        assert!((SLEW_SCALE - 1.0 / 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_construction_and_conversion() {
+        let m = TimingMeasurement::new(Seconds::from_picoseconds(12.5), Seconds::from_picoseconds(8.0));
+        assert!((m.delay_ps() - 12.5).abs() < 1e-9);
+        assert!((m.output_slew_ps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be finite")]
+    fn negative_delay_rejected() {
+        let _ = TimingMeasurement::new(Seconds(-1e-12), Seconds(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "output slew must be finite")]
+    fn zero_slew_rejected() {
+        let _ = TimingMeasurement::new(Seconds(1e-12), Seconds(0.0));
+    }
+
+    #[test]
+    fn ensemble_statistics() {
+        let ms = vec![
+            TimingMeasurement::new(Seconds(10e-12), Seconds(6e-12)),
+            TimingMeasurement::new(Seconds(14e-12), Seconds(10e-12)),
+        ];
+        let (md, msl) = ensemble_means(&ms);
+        assert!((md - 12e-12).abs() < 1e-20);
+        assert!((msl - 8e-12).abs() < 1e-20);
+        let (sd, ss) = ensemble_std_devs(&ms);
+        assert!(sd > 0.0 && ss > 0.0);
+        assert_eq!(ensemble_means(&[]), (0.0, 0.0));
+        assert_eq!(ensemble_std_devs(&ms[..1]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,209 @@
+//! The extended (five-parameter) timing model with a `Sin·Cload` cross term.
+//!
+//! The paper notes at the end of Section III that "for some technologies there might be an
+//! offset between the proposed model and circuit simulations.  In those cases, extra fitting
+//! terms (e.g. `Sin·Cload`) might be needed.  The optimal model complexity will be given by
+//! a trade-off between model accuracy and degree of data compression."  This module provides
+//! that extension so the model-complexity ablation can quantify the trade-off.
+
+use crate::model::{TimingParams, TimingSample};
+use serde::{Deserialize, Serialize};
+use slic_linalg::Vector;
+use slic_spice::InputPoint;
+use slic_units::{Amperes, Seconds};
+use std::fmt;
+
+/// Number of parameters in the extended model.
+pub const EXTENDED_PARAM_COUNT: usize = 5;
+
+/// Conversion of the cross-term coefficient from fF/ps/fF (i.e. 1/ps) to SI (1/s) times the
+/// farad conversions: `γ · Sin · Cload` must come out in farads when `γ` is expressed in
+/// `fF / (ps·fF)` = 1/ps.
+const GAMMA_TO_SI: f64 = 1.0e12;
+
+/// Parameters of the extended model `{kd, Cpar, V', α, γ}` where the effective capacitance
+/// becomes `Cload + Cpar + α·Sin + γ·Sin·Cload`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtendedTimingParams {
+    /// The four base parameters.
+    pub base: TimingParams,
+    /// Cross-term coefficient, in 1/ps (so that `γ·Sin·Cload` is a capacitance).
+    pub gamma: f64,
+}
+
+impl ExtendedTimingParams {
+    /// Creates extended parameters from a base model and a cross-term coefficient.
+    pub fn new(base: TimingParams, gamma: f64) -> Self {
+        Self { base, gamma }
+    }
+
+    /// Starting point for extraction: the base initial guess with no cross term.
+    pub fn initial_guess() -> Self {
+        Self::new(TimingParams::initial_guess(), 0.0)
+    }
+
+    /// Converts to a dense vector `[kd, cpar, v_prime, alpha, gamma]`.
+    pub fn to_vector(self) -> Vector {
+        let mut v = self.base.to_vector().into_vec();
+        v.push(self.gamma);
+        Vector::from(v)
+    }
+
+    /// Builds parameters from a dense vector of length [`EXTENDED_PARAM_COUNT`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector does not have exactly five entries.
+    pub fn from_vector(v: &Vector) -> Self {
+        assert_eq!(v.len(), EXTENDED_PARAM_COUNT, "parameter vector must have 5 entries");
+        Self::new(TimingParams::new(v[0], v[1], v[2], v[3]), v[4])
+    }
+
+    /// Effective capacitance including the cross term, in farads.
+    pub fn effective_capacitance(&self, point: &InputPoint) -> f64 {
+        self.base.effective_capacitance(point).value()
+            + self.gamma * GAMMA_TO_SI * point.sin.value() * point.cload.value()
+    }
+
+    /// Evaluates the extended model.
+    pub fn evaluate(&self, point: &InputPoint, ieff: Amperes) -> Seconds {
+        let v_term = point.vdd.value() + self.base.v_prime;
+        Seconds(self.base.kd * v_term * self.effective_capacitance(point) / ieff.value())
+    }
+
+    /// Residual `observed − predicted` for one sample, in seconds.
+    pub fn residual(&self, sample: &TimingSample) -> f64 {
+        sample.observed.value() - self.evaluate(&sample.point, sample.ieff).value()
+    }
+
+    /// Mean absolute relative fitting error in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn mean_relative_error_percent(&self, samples: &[TimingSample]) -> f64 {
+        assert!(!samples.is_empty(), "fit error over empty sample set");
+        100.0
+            * samples
+                .iter()
+                .map(|s| (self.residual(s) / s.observed.value()).abs())
+                .sum::<f64>()
+            / samples.len() as f64
+    }
+
+    /// Gradient of the prediction with respect to the five parameters.
+    pub fn gradient(&self, point: &InputPoint, ieff: Amperes) -> Vector {
+        let i = ieff.value();
+        let v_term = point.vdd.value() + self.base.v_prime;
+        let c_eff = self.effective_capacitance(point);
+        let base_grad = self.base.gradient(point, ieff);
+        Vector::from_slice(&[
+            v_term * c_eff / i,
+            base_grad[1],
+            self.base.kd * c_eff / i,
+            base_grad[3],
+            self.base.kd * v_term * GAMMA_TO_SI * point.sin.value() * point.cload.value() / i,
+        ])
+    }
+}
+
+impl Default for ExtendedTimingParams {
+    fn default() -> Self {
+        Self::initial_guess()
+    }
+}
+
+impl fmt::Display for ExtendedTimingParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, gamma = {:.4} 1/ps", self.base, self.gamma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slic_units::{Farads, Volts};
+
+    fn point(sin_ps: f64, cload_ff: f64, vdd: f64) -> InputPoint {
+        InputPoint::new(
+            Seconds::from_picoseconds(sin_ps),
+            Farads::from_femtofarads(cload_ff),
+            Volts(vdd),
+        )
+    }
+
+    #[test]
+    fn zero_gamma_reduces_to_base_model() {
+        let base = TimingParams::new(0.39, 1.0, -0.26, 0.09);
+        let ext = ExtendedTimingParams::new(base, 0.0);
+        let pt = point(5.0, 2.0, 0.8);
+        let ieff = Amperes(40e-6);
+        assert!((ext.evaluate(&pt, ieff).value() - base.evaluate(&pt, ieff).value()).abs() < 1e-30);
+    }
+
+    #[test]
+    fn cross_term_adds_capacitance() {
+        let base = TimingParams::new(0.39, 1.0, -0.26, 0.09);
+        let with_cross = ExtendedTimingParams::new(base, 0.01);
+        let pt = point(10.0, 4.0, 0.8);
+        // gamma * Sin * Cload = 0.01/ps * 10 ps * 4 fF = 0.4 fF extra.
+        let extra = with_cross.effective_capacitance(&pt) - base.effective_capacitance(&pt).value();
+        assert!((extra - 0.4e-15).abs() < 1e-20, "extra = {extra}");
+        assert!(with_cross.evaluate(&pt, Amperes(40e-6)) > base.evaluate(&pt, Amperes(40e-6)));
+    }
+
+    #[test]
+    fn vector_round_trip() {
+        let ext = ExtendedTimingParams::new(TimingParams::new(0.4, 1.1, -0.2, 0.05), 0.02);
+        let back = ExtendedTimingParams::from_vector(&ext.to_vector());
+        assert_eq!(ext, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "5 entries")]
+    fn wrong_vector_length_rejected() {
+        let _ = ExtendedTimingParams::from_vector(&Vector::zeros(4));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let ext = ExtendedTimingParams::new(TimingParams::new(0.39, 1.0, -0.26, 0.09), 0.015);
+        let pt = point(7.0, 2.5, 0.75);
+        let ieff = Amperes(35e-6);
+        let analytic = ext.gradient(&pt, ieff);
+        let h = 1e-6;
+        let base_vec = ext.to_vector();
+        for j in 0..EXTENDED_PARAM_COUNT {
+            let mut plus = base_vec.clone();
+            plus[j] += h;
+            let mut minus = base_vec.clone();
+            minus[j] -= h;
+            let fd = (ExtendedTimingParams::from_vector(&plus).evaluate(&pt, ieff).value()
+                - ExtendedTimingParams::from_vector(&minus).evaluate(&pt, ieff).value())
+                / (2.0 * h);
+            let denom = analytic[j].abs().max(1e-30);
+            assert!(
+                (analytic[j] - fd).abs() / denom < 1e-4,
+                "component {j}: analytic {}, fd {fd}",
+                analytic[j]
+            );
+        }
+    }
+
+    #[test]
+    fn residual_and_error_metrics() {
+        let ext = ExtendedTimingParams::new(TimingParams::new(0.39, 1.0, -0.26, 0.09), 0.01);
+        let pt = point(5.0, 2.0, 0.8);
+        let ieff = Amperes(40e-6);
+        let truth = ext.evaluate(&pt, ieff);
+        let sample = TimingSample::new(pt, ieff, truth);
+        assert!(ext.residual(&sample).abs() < 1e-25);
+        assert!(ext.mean_relative_error_percent(&[sample]) < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_gamma() {
+        let text = format!("{}", ExtendedTimingParams::initial_guess());
+        assert!(text.contains("gamma"));
+    }
+}

@@ -1,0 +1,8 @@
+//! `slic-suite` — the workspace umbrella package.
+//!
+//! This package exists to host the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`).  The actual library API lives in the [`slic`] crate and
+//! the substrate crates it re-exports; this module only re-exports `slic` for convenience so
+//! examples can `use slic_suite as _;` if desired.
+
+pub use slic;
