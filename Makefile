@@ -1,0 +1,25 @@
+# Development entry points (mirrors .github/workflows/ci.yml).
+
+CARGO ?= cargo
+
+.PHONY: build test bench lint fmt clippy clean
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+bench:
+	$(CARGO) bench -p slic-bench
+
+fmt:
+	$(CARGO) fmt --all -- --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+lint: fmt clippy
+
+clean:
+	$(CARGO) clean

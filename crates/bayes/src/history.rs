@@ -272,10 +272,12 @@ mod tests {
 
     #[test]
     fn merge_and_extend() {
-        let mut a: HistoricalDatabase =
-            [record("n45", "INV_X1", TimingMetric::Delay, 0.40)].into_iter().collect();
-        let b: HistoricalDatabase =
-            [record("n28", "INV_X1", TimingMetric::Delay, 0.39)].into_iter().collect();
+        let mut a: HistoricalDatabase = [record("n45", "INV_X1", TimingMetric::Delay, 0.40)]
+            .into_iter()
+            .collect();
+        let b: HistoricalDatabase = [record("n28", "INV_X1", TimingMetric::Delay, 0.39)]
+            .into_iter()
+            .collect();
         a.merge(b);
         assert_eq!(a.len(), 2);
         a.extend([record("n20", "INV_X1", TimingMetric::Delay, 0.38)]);

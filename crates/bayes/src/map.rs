@@ -121,9 +121,13 @@ impl MapExtractor {
                 weights: Vec::new(),
             };
         }
-        let weights: Vec<f64> = samples.iter().map(|s| self.precision.beta(&s.point)).collect();
+        let weights: Vec<f64> = samples
+            .iter()
+            .map(|s| self.precision.beta(&s.point))
+            .collect();
         let fitter = LeastSquaresFitter::with_config(self.fit_config);
-        let result = fitter.fit_weighted(samples, &weights, Some(&penalty), self.prior.mean_params());
+        let result =
+            fitter.fit_weighted(samples, &weights, Some(&penalty), self.prior.mean_params());
         let posterior_covariance = self.laplace_covariance(&result.params, samples, &weights);
         MapFit {
             params: result.params,
@@ -181,7 +185,10 @@ mod tests {
         // Historical parameters scattered around values close to (but not equal to) the
         // target truth, the way Table I scatters.
         let mut db = HistoricalDatabase::new();
-        for (i, tech) in ["n45", "n32", "n28", "n20", "n16", "n14"].iter().enumerate() {
+        for (i, tech) in ["n45", "n32", "n28", "n20", "n16", "n14"]
+            .iter()
+            .enumerate()
+        {
             let d = (i as f64 - 2.5) * 0.008;
             db.push(HistoricalRecord::new(
                 *tech,
@@ -244,7 +251,8 @@ mod tests {
         let ex = extractor();
         let err0 = validation_error(&ex.extract(&[]).params);
         let err2 = validation_error(
-            &ex.extract(&[sample_at(3.0, 1.0, 0.9), sample_at(12.0, 5.0, 0.7)]).params,
+            &ex.extract(&[sample_at(3.0, 1.0, 0.9), sample_at(12.0, 5.0, 0.7)])
+                .params,
         );
         let err5 = validation_error(
             &ex.extract(&[
@@ -256,9 +264,18 @@ mod tests {
             ])
             .params,
         );
-        assert!(err2 < err0, "two samples must improve on the prior ({err2} vs {err0})");
-        assert!(err5 <= err2 + 0.2, "five samples must not be worse ({err5} vs {err2})");
-        assert!(err5 < 1.0, "five clean samples should nail the parameters ({err5}%)");
+        assert!(
+            err2 < err0,
+            "two samples must improve on the prior ({err2} vs {err0})"
+        );
+        assert!(
+            err5 <= err2 + 0.2,
+            "five samples must not be worse ({err5} vs {err2})"
+        );
+        assert!(
+            err5 < 1.0,
+            "five clean samples should nail the parameters ({err5}%)"
+        );
     }
 
     #[test]
@@ -304,8 +321,16 @@ mod tests {
             .build(&historical_db(), TimingMetric::Delay, None)
             .unwrap();
         let mut db = HistoricalDatabase::new();
-        let hi = InputPoint::new(Seconds::from_picoseconds(5.0), Farads::from_femtofarads(2.0), Volts(0.95));
-        let lo = InputPoint::new(Seconds::from_picoseconds(5.0), Farads::from_femtofarads(2.0), Volts(0.66));
+        let hi = InputPoint::new(
+            Seconds::from_picoseconds(5.0),
+            Farads::from_femtofarads(2.0),
+            Volts(0.95),
+        );
+        let lo = InputPoint::new(
+            Seconds::from_picoseconds(5.0),
+            Farads::from_femtofarads(2.0),
+            Volts(0.66),
+        );
         for (tech, sign) in [("a", 1.0), ("b", -1.0), ("c", 0.5), ("d", -0.5)] {
             db.push(HistoricalRecord::new(
                 tech,
@@ -316,18 +341,29 @@ mod tests {
                 TimingParams::new(0.39, 1.0, -0.26, 0.09),
                 1.0,
                 vec![
-                    crate::history::ConditionResidual { point: hi, relative_residual: sign * 0.01 },
-                    crate::history::ConditionResidual { point: lo, relative_residual: sign * 0.12 },
+                    crate::history::ConditionResidual {
+                        point: hi,
+                        relative_residual: sign * 0.01,
+                    },
+                    crate::history::ConditionResidual {
+                        point: lo,
+                        relative_residual: sign * 0.12,
+                    },
                 ],
             ));
         }
         let space = slic_spice::InputSpace::paper_space((Volts(0.65), Volts(1.0)));
-        let precision = PrecisionModel::learn(&db, TimingMetric::Delay, &space, PrecisionConfig::default());
+        let precision =
+            PrecisionModel::learn(&db, TimingMetric::Delay, &space, PrecisionConfig::default());
         let ex = MapExtractor::new(prior, precision);
 
         let good = sample_at(5.0, 2.0, 0.95);
         let ieff_lo = Amperes(25e-6);
-        let corrupted = TimingSample::new(lo, ieff_lo, Seconds(truth().evaluate(&lo, ieff_lo).value() * 1.6));
+        let corrupted = TimingSample::new(
+            lo,
+            ieff_lo,
+            Seconds(truth().evaluate(&lo, ieff_lo).value() * 1.6),
+        );
         let fit = ex.extract(&[good, corrupted]);
         assert!(fit.weights[0] > 10.0 * fit.weights[1]);
         // Prediction at a clean high-Vdd condition stays accurate despite the corrupted

@@ -27,8 +27,8 @@ pub struct PrecisionConfig {
 impl Default for PrecisionConfig {
     fn default() -> Self {
         Self {
-            beta_min: 1e2,    // never trust the model better than ~10% ... 1/sqrt(1e2)
-            beta_max: 1e6,    // ...nor worse than 0.1 %
+            beta_min: 1e2, // never trust the model better than ~10% ... 1/sqrt(1e2)
+            beta_max: 1e6, // ...nor worse than 0.1 %
             beta_default: 400.0,
         }
     }
@@ -72,7 +72,9 @@ impl PrecisionModel {
         let mut groups: Vec<(InputPoint, Vec<f64>)> = Vec::new();
         for record in db.select(metric, None) {
             for residual in &record.residuals {
-                let entry = groups.iter_mut().find(|(p, _)| same_condition(p, &residual.point));
+                let entry = groups
+                    .iter_mut()
+                    .find(|(p, _)| same_condition(p, &residual.point));
                 match entry {
                     Some((_, values)) => values.push(residual.relative_residual),
                     None => groups.push((residual.point, vec![residual.relative_residual])),
@@ -261,7 +263,10 @@ mod tests {
             beta_high > 5.0 * beta_low,
             "high-Vdd beta {beta_high} should far exceed low-Vdd beta {beta_low}"
         );
-        assert!(model.relative_uncertainty(&point(5.0, 2.0, 0.68)) > model.relative_uncertainty(&point(5.0, 2.0, 0.95)));
+        assert!(
+            model.relative_uncertainty(&point(5.0, 2.0, 0.68))
+                > model.relative_uncertainty(&point(5.0, 2.0, 0.95))
+        );
     }
 
     #[test]
@@ -291,7 +296,10 @@ mod tests {
             TimingMetric::Delay,
             TimingParams::new(0.39, 1.0, -0.26, 0.09),
             1.0,
-            vec![ConditionResidual { point: point(5.0, 2.0, 0.9), relative_residual: 0.02 }],
+            vec![ConditionResidual {
+                point: point(5.0, 2.0, 0.9),
+                relative_residual: 0.02,
+            }],
         ));
         db.push(HistoricalRecord::new(
             "b",
@@ -301,7 +309,10 @@ mod tests {
             TimingMetric::Delay,
             TimingParams::new(0.40, 1.0, -0.26, 0.09),
             1.0,
-            vec![ConditionResidual { point: point(5.0, 2.0, 0.9), relative_residual: -0.02 }],
+            vec![ConditionResidual {
+                point: point(5.0, 2.0, 0.9),
+                relative_residual: -0.02,
+            }],
         ));
         let model = PrecisionModel::learn(&db, TimingMetric::Delay, &space(), config);
         assert_eq!(model.anchor_count(), 1);
@@ -311,9 +322,17 @@ mod tests {
     #[test]
     fn no_residuals_falls_back_to_default() {
         let db = HistoricalDatabase::new();
-        let model = PrecisionModel::learn(&db, TimingMetric::Delay, &space(), PrecisionConfig::default());
+        let model = PrecisionModel::learn(
+            &db,
+            TimingMetric::Delay,
+            &space(),
+            PrecisionConfig::default(),
+        );
         assert_eq!(model.anchor_count(), 0);
-        assert_eq!(model.beta(&point(5.0, 2.0, 0.8)), PrecisionConfig::default().beta_default);
+        assert_eq!(
+            model.beta(&point(5.0, 2.0, 0.8)),
+            PrecisionConfig::default().beta_default
+        );
     }
 
     #[test]
@@ -327,15 +346,28 @@ mod tests {
             TimingMetric::Delay,
             TimingParams::new(0.39, 1.0, -0.26, 0.09),
             1.0,
-            vec![ConditionResidual { point: point(5.0, 2.0, 0.9), relative_residual: 0.02 }],
+            vec![ConditionResidual {
+                point: point(5.0, 2.0, 0.9),
+                relative_residual: 0.02,
+            }],
         ));
-        let model = PrecisionModel::learn(&db, TimingMetric::Delay, &space(), PrecisionConfig::default());
-        assert_eq!(model.anchor_count(), 0, "cannot estimate a variance from one sample");
+        let model = PrecisionModel::learn(
+            &db,
+            TimingMetric::Delay,
+            &space(),
+            PrecisionConfig::default(),
+        );
+        assert_eq!(
+            model.anchor_count(),
+            0,
+            "cannot estimate a variance from one sample"
+        );
     }
 
     #[test]
     fn flat_model_reports_constant_beta() {
-        let model = PrecisionModel::flat(TimingMetric::OutputSlew, 900.0, PrecisionConfig::default());
+        let model =
+            PrecisionModel::flat(TimingMetric::OutputSlew, 900.0, PrecisionConfig::default());
         assert_eq!(model.metric(), TimingMetric::OutputSlew);
         assert_eq!(model.beta(&point(1.0, 0.5, 0.7)), 900.0);
         assert_eq!(model.beta(&point(14.0, 5.5, 1.0)), 900.0);

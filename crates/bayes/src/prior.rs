@@ -227,7 +227,9 @@ mod tests {
     #[test]
     fn pooled_prior_mean_is_near_the_record_average() {
         let db = db_with_spread();
-        let prior = PriorBuilder::new().build(&db, TimingMetric::Delay, None).unwrap();
+        let prior = PriorBuilder::new()
+            .build(&db, TimingMetric::Delay, None)
+            .unwrap();
         let mean = prior.mean_params();
         assert!((mean.kd - 0.38).abs() < 0.03, "kd mean = {}", mean.kd);
         assert!((mean.v_prime + 0.26).abs() < 0.03);
@@ -241,7 +243,9 @@ mod tests {
         let db = db_with_spread();
         let builder = PriorBuilder::new();
         let pooled = builder.build(&db, TimingMetric::Delay, None).unwrap();
-        let filtered = builder.build(&db, TimingMetric::Delay, Some("NAND2")).unwrap();
+        let filtered = builder
+            .build(&db, TimingMetric::Delay, Some("NAND2"))
+            .unwrap();
         // Cpar differs a lot between cells, so restricting to one kind shrinks its variance.
         let pooled_var = pooled.distribution().covariance()[(1, 1)];
         let filtered_var = filtered.distribution().covariance()[(1, 1)];
@@ -261,7 +265,9 @@ mod tests {
     #[test]
     fn missing_records_are_an_error() {
         let db = HistoricalDatabase::new();
-        let err = PriorBuilder::new().build(&db, TimingMetric::Delay, None).unwrap_err();
+        let err = PriorBuilder::new()
+            .build(&db, TimingMetric::Delay, None)
+            .unwrap_err();
         assert!(matches!(err, PriorError::NoMatchingRecords { .. }));
         assert!(err.to_string().contains("no historical records"));
         let db = db_with_spread();
@@ -284,7 +290,9 @@ mod tests {
             1.0,
             Vec::new(),
         ));
-        let prior = PriorBuilder::new().build(&db, TimingMetric::Delay, None).unwrap();
+        let prior = PriorBuilder::new()
+            .build(&db, TimingMetric::Delay, None)
+            .unwrap();
         // The covariance collapses to the regularization + floor, but stays valid.
         assert!(prior.distribution().covariance()[(0, 0)] > 0.0);
         let penalty = prior.to_penalty();
@@ -294,10 +302,13 @@ mod tests {
     #[test]
     fn covariance_scaling_ablation_knob() {
         let db = db_with_spread();
-        let prior = PriorBuilder::new().build(&db, TimingMetric::Delay, None).unwrap();
+        let prior = PriorBuilder::new()
+            .build(&db, TimingMetric::Delay, None)
+            .unwrap();
         let broad = prior.with_covariance_scaled(4.0);
         assert!(
-            broad.distribution().covariance()[(0, 0)] > 3.9 * prior.distribution().covariance()[(0, 0)]
+            broad.distribution().covariance()[(0, 0)]
+                > 3.9 * prior.distribution().covariance()[(0, 0)]
         );
         assert_eq!(broad.mean_params(), prior.mean_params());
     }

@@ -45,14 +45,24 @@ fn regenerate() -> (Vec<TimingSample>, TimingParams) {
         "Ablation A1",
         "4-parameter model vs 5-parameter model with the Sin*Cload cross term (Section III trade-off)",
     );
-    let headers: Vec<String> = ["Tech", "Cell", "4-param error (%)", "5-param error (%)", "gamma (1/ps)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "Tech",
+        "Cell",
+        "4-param error (%)",
+        "5-param error (%)",
+        "gamma (1/ps)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     let mut kept: Option<(Vec<TimingSample>, TimingParams)> = None;
-    for (label, tech) in [("14nm", TechnologyNode::n14_finfet()), ("28nm", TechnologyNode::n28_bulk())] {
-        let engine = CharacterizationEngine::with_config(tech, TransientConfig::fast());
+    for (label, tech) in [
+        ("14nm", TechnologyNode::n14_finfet()),
+        ("28nm", TechnologyNode::n28_bulk()),
+    ] {
+        let engine = CharacterizationEngine::with_config(tech, TransientConfig::fast())
+            .expect("valid transient configuration");
         for kind in [CellKind::Inv, CellKind::Nor2] {
             let cell = Cell::new(kind, DriveStrength::X1);
             let samples = collect_samples(&engine, cell);
@@ -79,7 +89,9 @@ fn regenerate() -> (Vec<TimingSample>, TimingParams) {
 
 fn bench(c: &mut Criterion) {
     let (samples, base) = regenerate();
-    c.bench_function("ablation_extended_model_refit", |b| b.iter(|| fit_extended(&samples, base)));
+    c.bench_function("ablation_extended_model_refit", |b| {
+        b.iter(|| fit_extended(&samples, base))
+    });
 }
 
 criterion_group! {

@@ -19,7 +19,12 @@ fn k2_error(
     let prior = PriorBuilder::new()
         .build(db, TimingMetric::Delay, Some(cell.kind().name()))
         .expect("delay records for the cell kind");
-    let precision = PrecisionModel::learn(db, TimingMetric::Delay, &engine.input_space(), PrecisionConfig::default());
+    let precision = PrecisionModel::learn(
+        db,
+        TimingMetric::Delay,
+        &engine.input_space(),
+        PrecisionConfig::default(),
+    );
     let extractor = MapExtractor::new(prior, precision);
     let nominal = ProcessSample::nominal();
     let mut rng = StdRng::seed_from_u64(55);
@@ -34,7 +39,9 @@ fn k2_error(
     let fit = extractor.extract(&samples);
     let errors: Vec<f64> = validation
         .iter()
-        .map(|(p, reference, ieff)| 100.0 * (fit.params.evaluate(p, *ieff).value() - reference).abs() / reference)
+        .map(|(p, reference, ieff)| {
+            100.0 * (fit.params.evaluate(p, *ieff).value() - reference).abs() / reference
+        })
         .collect();
     errors.iter().sum::<f64>() / errors.len() as f64
 }
@@ -44,7 +51,9 @@ fn regenerate(db: &HistoricalDatabase) {
         "Ablation A3",
         "Growing the historical suite: prediction error at k = 2 as Ntech goes from 1 to 6",
     );
-    let engine = CharacterizationEngine::with_config(TechnologyNode::target_14nm(), TransientConfig::fast());
+    let engine =
+        CharacterizationEngine::with_config(TechnologyNode::target_14nm(), TransientConfig::fast())
+            .expect("valid transient configuration");
     let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
     let arc = TimingArc::new(cell, 0, Transition::Fall);
     let nominal = ProcessSample::nominal();
@@ -68,10 +77,14 @@ fn regenerate(db: &HistoricalDatabase) {
         "hist-32nm-soi",
         "hist-45nm-bulk",
     ];
-    let headers: Vec<String> = ["Ntech", "newest .. oldest node included", "delay error @ k=2 (%)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "Ntech",
+        "newest .. oldest node included",
+        "delay error @ k=2 (%)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for n in 1..=order.len() {
         let names: Vec<&str> = order[..n].to_vec();
@@ -92,7 +105,9 @@ fn bench(c: &mut Criterion) {
     regenerate(&db);
     c.bench_function("ablation_precision_learning", |b| {
         let space = InputSpace::paper_space((Volts(0.65), Volts(1.0)));
-        b.iter(|| PrecisionModel::learn(&db, TimingMetric::Delay, &space, PrecisionConfig::default()))
+        b.iter(|| {
+            PrecisionModel::learn(&db, TimingMetric::Delay, &space, PrecisionConfig::default())
+        })
     });
 }
 

@@ -20,7 +20,12 @@ fn k2_error(
     let prior = PriorBuilder::new()
         .build(db, TimingMetric::Delay, Some(cell.kind().name()))
         .expect("delay records for the cell kind");
-    let precision = PrecisionModel::learn(db, TimingMetric::Delay, &engine.input_space(), PrecisionConfig::default());
+    let precision = PrecisionModel::learn(
+        db,
+        TimingMetric::Delay,
+        &engine.input_space(),
+        PrecisionConfig::default(),
+    );
     let extractor = MapExtractor::new(prior, precision);
     let nominal = ProcessSample::nominal();
     let mut rng = StdRng::seed_from_u64(77);
@@ -35,7 +40,9 @@ fn k2_error(
     let fit = extractor.extract(&samples);
     let errors: Vec<f64> = validation
         .iter()
-        .map(|(p, reference, ieff)| 100.0 * (fit.params.evaluate(p, *ieff).value() - reference).abs() / reference)
+        .map(|(p, reference, ieff)| {
+            100.0 * (fit.params.evaluate(p, *ieff).value() - reference).abs() / reference
+        })
         .collect();
     errors.iter().sum::<f64>() / errors.len() as f64
 }
@@ -45,7 +52,9 @@ fn regenerate(db: &HistoricalDatabase) -> (CharacterizationEngine, HistoricalDat
         "Ablation A2",
         "Prior source selection for the 14-nm target: matched FinFET vs mismatched planar vs pooled history",
     );
-    let engine = CharacterizationEngine::with_config(TechnologyNode::target_14nm(), TransientConfig::fast());
+    let engine =
+        CharacterizationEngine::with_config(TechnologyNode::target_14nm(), TransientConfig::fast())
+            .expect("valid transient configuration");
     let cell = Cell::new(CellKind::Nor2, DriveStrength::X1);
     let arc = TimingArc::new(cell, 0, Transition::Fall);
     let nominal = ProcessSample::nominal();
@@ -62,10 +71,14 @@ fn regenerate(db: &HistoricalDatabase) -> (CharacterizationEngine, HistoricalDat
 
     let matched = db.select_technologies(&["hist-16nm-finfet", "hist-14nm-finfet"]);
     let mismatched = db.select_technologies(&["hist-45nm-bulk", "hist-32nm-soi"]);
-    let headers: Vec<String> = ["prior source", "historical records", "delay error @ k=2 (%)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "prior source",
+        "historical records",
+        "delay error @ k=2 (%)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for (label, subset) in [
         ("matched FinFET nodes", &matched),
@@ -73,7 +86,11 @@ fn regenerate(db: &HistoricalDatabase) -> (CharacterizationEngine, HistoricalDat
         ("all historical nodes", db),
     ] {
         let err = k2_error(&engine, cell, &arc, subset, &validation);
-        rows.push(vec![label.to_string(), subset.len().to_string(), format!("{err:.2}")]);
+        rows.push(vec![
+            label.to_string(),
+            subset.len().to_string(),
+            format!("{err:.2}"),
+        ]);
     }
     println!("{}", markdown_table(&headers, &rows));
     println!("(paper: historical libraries sharing the target's process choices give the most useful prior)");

@@ -18,10 +18,19 @@ fn regenerate(db: &HistoricalDatabase) {
     );
 
     // Analytic cost model at a few operating points.
-    let headers: Vec<String> = ["NLUT", "k", "Nsample", "LUT cost", "proposed cost", "with history", "speedup", "speedup w/ history"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "NLUT",
+        "k",
+        "Nsample",
+        "LUT cost",
+        "proposed cost",
+        "with history",
+        "speedup",
+        "speedup w/ history",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for (n_lut, k, n_sample) in [(60, 4, 1000), (60, 7, 1000), (100, 5, 1000), (60, 4, 300)] {
         let cost = CostModel::new(n_lut, k, n_sample, 6);
@@ -51,7 +60,10 @@ fn regenerate(db: &HistoricalDatabase) {
     let bayes = result.curve(MethodKind::ProposedBayesian);
     let lse = result.curve(MethodKind::ProposedLse);
     let lut = result.curve(MethodKind::Lut);
-    let target = bayes.final_error().max(lse.final_error()).max(lut.final_error());
+    let target = bayes
+        .final_error()
+        .max(lse.final_error())
+        .max(lut.final_error());
     if let (Some(b), Some(l), Some(t)) = (
         bayes.simulations_to_reach(target),
         lse.simulations_to_reach(target),

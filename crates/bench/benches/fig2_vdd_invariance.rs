@@ -40,7 +40,9 @@ fn regenerate() -> Vec<TimingSample> {
         "Fig. 2",
         "Td*Ieff/(Vdd+V') and Sout*Ieff/(Vdd+V') vs Vdd for a 14-nm NOR2 (constant per group)",
     );
-    let engine = CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast());
+    let engine =
+        CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+            .expect("valid transient configuration");
     let cell = Cell::new(CellKind::Nor2, DriveStrength::X1);
     let fitter = LeastSquaresFitter::new();
     let mut kept = Vec::new();
@@ -51,12 +53,11 @@ fn regenerate() -> Vec<TimingSample> {
             let series = vdd_collapse(samples, v_prime);
             println!("\n{quantity}, output {transition} (V' = {v_prime:.3} V):");
             for s in &series {
-                let values: Vec<String> = s
-                    .x
-                    .iter()
-                    .zip(&s.y)
-                    .map(|(vdd, y)| format!("{vdd:.2}V -> {y:.3e}"))
-                    .collect();
+                let values: Vec<String> =
+                    s.x.iter()
+                        .zip(&s.y)
+                        .map(|(vdd, y)| format!("{vdd:.2}V -> {y:.3e}"))
+                        .collect();
                 println!(
                     "  {:<24} cv = {:>6.2}%   [{}]",
                     s.label,
@@ -74,7 +75,9 @@ fn regenerate() -> Vec<TimingSample> {
 fn bench(c: &mut Criterion) {
     let samples = regenerate();
     let v_prime = LeastSquaresFitter::new().fit(&samples).params.v_prime;
-    c.bench_function("fig2_vdd_collapse", |b| b.iter(|| vdd_collapse(&samples, v_prime)));
+    c.bench_function("fig2_vdd_collapse", |b| {
+        b.iter(|| vdd_collapse(&samples, v_prime))
+    });
 }
 
 criterion_group! {

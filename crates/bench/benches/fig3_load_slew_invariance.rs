@@ -6,7 +6,10 @@ use slic::prelude::*;
 use slic_bench::banner;
 use slic_timing_model::load_slew_collapse;
 
-fn collect_samples(engine: &CharacterizationEngine, cell: Cell) -> (Vec<TimingSample>, Vec<TimingSample>) {
+fn collect_samples(
+    engine: &CharacterizationEngine,
+    cell: Cell,
+) -> (Vec<TimingSample>, Vec<TimingSample>) {
     let arc = TimingArc::new(cell, 0, Transition::Fall);
     let nominal = ProcessSample::nominal();
     let combos: Vec<(f64, f64)> = (0..14)
@@ -35,13 +38,17 @@ fn regenerate() -> (Vec<TimingSample>, TimingParams) {
         "Fig. 3",
         "Td/(Cload+Cpar+alpha*Sin) vs 14 load/slew combinations for a 14-nm NOR2 (constant per Vdd)",
     );
-    let engine = CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast());
+    let engine =
+        CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+            .expect("valid transient configuration");
     let cell = Cell::new(CellKind::Nor2, DriveStrength::X1);
     let fitter = LeastSquaresFitter::new();
     let (delay, slew) = collect_samples(&engine, cell);
     let delay_params = fitter.fit(&delay).params;
     let slew_params = fitter.fit(&slew).params;
-    for (samples, params, quantity) in [(&delay, &delay_params, "Td"), (&slew, &slew_params, "Sout")] {
+    for (samples, params, quantity) in
+        [(&delay, &delay_params, "Td"), (&slew, &slew_params, "Sout")]
+    {
         println!(
             "\n{quantity} (Cpar = {:.3} fF, alpha = {:.3} fF/ps):",
             params.cpar, params.alpha

@@ -37,11 +37,32 @@ fn regenerate() -> (InputSpace, Vec<InputPoint>) {
     };
     println!("{} points:", points.len());
     let (slo, shi) = space.sin_range();
-    axis("Sin", points.iter().map(|p| p.sin.value()).collect(), slo.value(), shi.value(), "ps", 1e12);
+    axis(
+        "Sin",
+        points.iter().map(|p| p.sin.value()).collect(),
+        slo.value(),
+        shi.value(),
+        "ps",
+        1e12,
+    );
     let (clo, chi) = space.cload_range();
-    axis("Cload", points.iter().map(|p| p.cload.value()).collect(), clo.value(), chi.value(), "fF", 1e15);
+    axis(
+        "Cload",
+        points.iter().map(|p| p.cload.value()).collect(),
+        clo.value(),
+        chi.value(),
+        "fF",
+        1e15,
+    );
     let (vlo, vhi) = space.vdd_range();
-    axis("Vdd", points.iter().map(|p| p.vdd.value()).collect(), vlo.value(), vhi.value(), "V", 1.0);
+    axis(
+        "Vdd",
+        points.iter().map(|p| p.vdd.value()).collect(),
+        vlo.value(),
+        vhi.value(),
+        "V",
+        1.0,
+    );
 
     // Uniformity check: each octant of the box holds roughly 1/8 of the points.
     let center = space.center();

@@ -31,7 +31,10 @@ fn regenerate(db: &HistoricalDatabase) {
         let bayes = result.curve(MethodKind::ProposedBayesian);
         let lse = result.curve(MethodKind::ProposedLse);
         let lut = result.curve(MethodKind::Lut);
-        let target = bayes.final_error().max(lut.final_error()).max(lse.final_error());
+        let target = bayes
+            .final_error()
+            .max(lut.final_error())
+            .max(lse.final_error());
         let fmt = |v: Option<f64>| v.map_or("n/a".to_string(), |x| format!("{x:.1}x"));
         println!(
             "speedups at {target:.2}% accuracy: total (Bayesian vs LUT) = {}, model alone (LSE vs LUT) = {}, prior (Bayesian vs LSE) = {}",
@@ -63,7 +66,9 @@ fn bench(c: &mut Criterion) {
             TimingSample::new(*p, engine.ieff(&arc, p, &nominal), m.delay)
         })
         .collect();
-    c.bench_function("fig6_map_extraction_k2", |b| b.iter(|| extractor.extract(&samples)));
+    c.bench_function("fig6_map_extraction_k2", |b| {
+        b.iter(|| extractor.extract(&samples))
+    });
 }
 
 criterion_group! {

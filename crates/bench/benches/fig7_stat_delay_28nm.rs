@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use slic::nominal::MethodKind;
-use slic::statistical::{StatMetric, StatisticalStudy, StatisticalStudyConfig};
 use slic::prelude::*;
+use slic::statistical::{StatMetric, StatisticalStudy, StatisticalStudyConfig};
 use slic_bench::{banner, bench_historical_db, planar_history};
 
 fn study_config() -> StatisticalStudyConfig {
@@ -26,13 +26,23 @@ fn regenerate(db: &'static HistoricalDatabase) -> StatisticalStudyResultHolder {
     let cell = Cell::new(CellKind::Nand2, DriveStrength::X1);
     let arc = TimingArc::new(cell, 0, Transition::Fall);
     let result = study.run(cell, &arc);
-    for (metric, title) in [(StatMetric::MeanDelay, "E(mu_Td)"), (StatMetric::StdDelay, "E(sigma_Td)")] {
+    for (metric, title) in [
+        (StatMetric::MeanDelay, "E(mu_Td)"),
+        (StatMetric::StdDelay, "E(sigma_Td)"),
+    ] {
         println!("\n{title} for {}:", arc.id());
         println!("{}", result.to_markdown(metric));
-        let bayes = result.curves_for(MethodKind::ProposedBayesian).as_method_curve(metric);
+        let bayes = result
+            .curves_for(MethodKind::ProposedBayesian)
+            .as_method_curve(metric);
         let lut = result.curves_for(MethodKind::Lut).as_method_curve(metric);
         let target = bayes.final_error().max(lut.final_error());
-        if let Some(speedup) = result.speedup_at(metric, target, MethodKind::ProposedBayesian, MethodKind::Lut) {
+        if let Some(speedup) = result.speedup_at(
+            metric,
+            target,
+            MethodKind::ProposedBayesian,
+            MethodKind::Lut,
+        ) {
             println!("simulation speedup vs statistical LUT at {target:.2}%: {speedup:.1}x");
         }
     }
@@ -53,7 +63,8 @@ struct StatisticalStudyResultHolder {
 fn bench(c: &mut Criterion) {
     // Leak the database so the study can borrow it with a 'static lifetime inside the
     // holder; the process exits right after the bench, so this is deliberate and bounded.
-    let db: &'static HistoricalDatabase = Box::leak(Box::new(bench_historical_db(&planar_history())));
+    let db: &'static HistoricalDatabase =
+        Box::leak(Box::new(bench_historical_db(&planar_history())));
     let holder = regenerate(db);
 
     // Kernel: one Monte Carlo ensemble at a single validation condition (the unit of the

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use slic::nominal::MethodKind;
-use slic::statistical::{StatMetric, StatisticalStudy, StatisticalStudyConfig};
 use slic::prelude::*;
+use slic::statistical::{StatMetric, StatisticalStudy, StatisticalStudyConfig};
 use slic_bench::{banner, bench_historical_db, planar_history};
 
 fn study_config() -> StatisticalStudyConfig {
@@ -26,14 +26,31 @@ fn regenerate(db: &HistoricalDatabase) {
     let cell = Cell::new(CellKind::Nor2, DriveStrength::X1);
     let arc = TimingArc::new(cell, 0, Transition::Rise);
     let result = study.run(cell, &arc);
-    for (metric, title) in [(StatMetric::MeanSlew, "E(mu_Sout)"), (StatMetric::StdSlew, "E(sigma_Sout)")] {
+    for (metric, title) in [
+        (StatMetric::MeanSlew, "E(mu_Sout)"),
+        (StatMetric::StdSlew, "E(sigma_Sout)"),
+    ] {
         println!("\n{title} for {}:", arc.id());
         println!("{}", result.to_markdown(metric));
-        let bayes = result.curves_for(MethodKind::ProposedBayesian).as_method_curve(metric);
-        let lse = result.curves_for(MethodKind::ProposedLse).as_method_curve(metric);
+        let bayes = result
+            .curves_for(MethodKind::ProposedBayesian)
+            .as_method_curve(metric);
+        let lse = result
+            .curves_for(MethodKind::ProposedLse)
+            .as_method_curve(metric);
         let target = bayes.final_error().max(lse.final_error());
-        let vs_lse = result.speedup_at(metric, target, MethodKind::ProposedBayesian, MethodKind::ProposedLse);
-        let vs_lut = result.speedup_at(metric, target, MethodKind::ProposedBayesian, MethodKind::Lut);
+        let vs_lse = result.speedup_at(
+            metric,
+            target,
+            MethodKind::ProposedBayesian,
+            MethodKind::ProposedLse,
+        );
+        let vs_lut = result.speedup_at(
+            metric,
+            target,
+            MethodKind::ProposedBayesian,
+            MethodKind::Lut,
+        );
         println!(
             "simulation speedup at {target:.2}%: vs LSE = {}, vs statistical LUT = {}",
             vs_lse.map_or("n/a".to_string(), |x| format!("{x:.1}x")),

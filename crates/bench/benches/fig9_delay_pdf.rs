@@ -4,8 +4,8 @@
 //! is visibly non-Gaussian (right-skewed) and the proposed method reproduces it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use slic::statistical::{StatisticalStudy, StatisticalStudyConfig};
 use slic::prelude::*;
+use slic::statistical::{StatisticalStudy, StatisticalStudyConfig};
 use slic_bench::{banner, bench_historical_db, planar_history};
 
 fn regenerate(db: &HistoricalDatabase) {
@@ -45,7 +45,10 @@ fn regenerate(db: &HistoricalDatabase) {
         &format!("proposed ({} conditions)", pdf.proposed_training_conditions),
         &pdf.proposed,
     );
-    report(&format!("LUT ({} conditions)", pdf.lut_training_conditions), &pdf.lut);
+    report(
+        &format!("LUT ({} conditions)", pdf.lut_training_conditions),
+        &pdf.lut,
+    );
     println!(
         "  per-seed tracking error: proposed = {:.2}%, LUT = {:.2}%",
         pdf.proposed_error_percent(),
@@ -74,7 +77,9 @@ fn bench(c: &mut Criterion) {
     regenerate(&db);
 
     // Kernel: kernel-density evaluation over the reconstruction grid.
-    let samples: Vec<f64> = (0..400).map(|i| 1.0e-11 + (i % 37) as f64 * 2.0e-13).collect();
+    let samples: Vec<f64> = (0..400)
+        .map(|i| 1.0e-11 + (i % 37) as f64 * 2.0e-13)
+        .collect();
     let kde = KernelDensity::from_samples(&samples);
     c.bench_function("fig9_kde_evaluation", |b| b.iter(|| kde.evaluate_grid(100)));
 }

@@ -39,13 +39,22 @@ fn regenerate() {
         ("B", TechnologyNode::n16_finfet()),
         ("C", TechnologyNode::n20_bulk()),
     ];
-    let headers: Vec<String> = ["Tech", "Cell", "kd", "Cpar (fF)", "V' (V)", "alpha (fF/ps)", "% error"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "Tech",
+        "Cell",
+        "kd",
+        "Cpar (fF)",
+        "V' (V)",
+        "alpha (fF/ps)",
+        "% error",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for (label, tech) in technologies {
-        let engine = CharacterizationEngine::with_config(tech, TransientConfig::fast());
+        let engine = CharacterizationEngine::with_config(tech, TransientConfig::fast())
+            .expect("valid transient configuration");
         let points = engine.input_space().lut_grid(4, 4, 3);
         for kind in CellKind::PAPER_TRIO {
             let cell = Cell::new(kind, DriveStrength::X1);
@@ -67,10 +76,18 @@ fn regenerate() {
 
 fn bench(c: &mut Criterion) {
     regenerate();
-    let engine = CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast());
+    let engine =
+        CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+            .expect("valid transient configuration");
     let points = engine.input_space().lut_grid(3, 3, 2);
     c.bench_function("table1_single_cell_extraction", |b| {
-        b.iter(|| fit_cell(&engine, Cell::new(CellKind::Nor2, DriveStrength::X1), &points))
+        b.iter(|| {
+            fit_cell(
+                &engine,
+                Cell::new(CellKind::Nor2, DriveStrength::X1),
+                &points,
+            )
+        })
     });
 }
 

@@ -43,7 +43,11 @@ pub fn finfet_history() -> Vec<TechnologyNode> {
 
 /// The planar nodes used as history for the 28-nm statistical experiments.
 pub fn planar_history() -> Vec<TechnologyNode> {
-    vec![TechnologyNode::n28_bulk(), TechnologyNode::n32_soi(), TechnologyNode::n20_bulk()]
+    vec![
+        TechnologyNode::n28_bulk(),
+        TechnologyNode::n32_soi(),
+        TechnologyNode::n20_bulk(),
+    ]
 }
 
 /// Prints a banner identifying which paper artefact a bench regenerates.

@@ -44,6 +44,14 @@ impl CellKind {
     /// The three cell kinds used for Table I and most of the paper's plots.
     pub const PAPER_TRIO: [CellKind; 3] = [CellKind::Inv, CellKind::Nand2, CellKind::Nor2];
 
+    /// Parses a kind from its canonical name (case-insensitive), e.g. `"nand2"`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
     /// Canonical name of the kind (upper-case, as it would appear in a `.lib`).
     pub fn name(self) -> &'static str {
         match self {
@@ -162,6 +170,15 @@ impl DriveStrength {
             DriveStrength::X2 => "_X2",
             DriveStrength::X4 => "_X4",
         }
+    }
+
+    /// Parses a drive strength from its short name (case-insensitive), e.g. `"X2"`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|d| {
+            d.suffix()
+                .trim_start_matches('_')
+                .eq_ignore_ascii_case(name)
+        })
     }
 }
 

@@ -55,9 +55,8 @@ impl EquivalentInverter {
         let nmos_total_width = cell.nmos_width_factor();
         let drain_cap = pmos_nominal.drain_cap * pmos_total_width * parallel_up.max(1) as f64
             + nmos_nominal.drain_cap * nmos_total_width * parallel_down.max(1) as f64;
-        let output_parasitic_cap = Farads(
-            tech.cell_parasitic_cap().value() * cell.drive().multiplier() + drain_cap,
-        );
+        let output_parasitic_cap =
+            Farads(tech.cell_parasitic_cap().value() * cell.drive().multiplier() + drain_cap);
 
         // The switching input drives the gates of one PMOS and one NMOS of the conducting
         // paths (scaled by the cell sizing).
@@ -161,7 +160,11 @@ mod tests {
         // Stack of two compensated by 1.35 sizing: equivalent width < inverter width.
         assert!(nand.nmos().params().width < inv.nmos().params().width);
         // Pull-up is a parallel pair: single conducting PMOS at full width.
-        assert!((nand.pmos().params().width - inv.pmos().params().width).abs() / inv.pmos().params().width < 1e-9);
+        assert!(
+            (nand.pmos().params().width - inv.pmos().params().width).abs()
+                / inv.pmos().params().width
+                < 1e-9
+        );
     }
 
     #[test]
@@ -170,7 +173,11 @@ mod tests {
         let inv = EquivalentInverter::nominal(&t, cell(CellKind::Inv));
         let nor = EquivalentInverter::nominal(&t, cell(CellKind::Nor2));
         assert!(nor.pmos().params().width < inv.pmos().params().width);
-        assert!((nor.nmos().params().width - inv.nmos().params().width).abs() / inv.nmos().params().width < 1e-9);
+        assert!(
+            (nor.nmos().params().width - inv.nmos().params().width).abs()
+                / inv.nmos().params().width
+                < 1e-9
+        );
     }
 
     #[test]
@@ -186,7 +193,11 @@ mod tests {
         let t = tech();
         let x1 = EquivalentInverter::nominal(&t, Cell::new(CellKind::Inv, DriveStrength::X1));
         let x4 = EquivalentInverter::nominal(&t, Cell::new(CellKind::Inv, DriveStrength::X4));
-        let arc = TimingArc::new(Cell::new(CellKind::Inv, DriveStrength::X1), 0, Transition::Fall);
+        let arc = TimingArc::new(
+            Cell::new(CellKind::Inv, DriveStrength::X1),
+            0,
+            Transition::Fall,
+        );
         let vdd = t.vdd_nominal();
         let ratio = x4.ieff(&arc, vdd).value() / x1.ieff(&arc, vdd).value();
         assert!((ratio - 4.0).abs() < 1e-9);
@@ -199,8 +210,14 @@ mod tests {
         let t = tech();
         let c = cell(CellKind::Inv);
         let eq = EquivalentInverter::nominal(&t, c);
-        assert_eq!(eq.driving_device(Transition::Rise).polarity(), Polarity::Pmos);
-        assert_eq!(eq.driving_device(Transition::Fall).polarity(), Polarity::Nmos);
+        assert_eq!(
+            eq.driving_device(Transition::Rise).polarity(),
+            Polarity::Pmos
+        );
+        assert_eq!(
+            eq.driving_device(Transition::Fall).polarity(),
+            Polarity::Nmos
+        );
         let rise = TimingArc::new(c, 0, Transition::Rise);
         let fall = TimingArc::new(c, 0, Transition::Fall);
         let vdd = t.vdd_nominal();

@@ -38,4 +38,4 @@ pub mod library;
 pub use arc::{TimingArc, Transition};
 pub use cell::{Cell, CellKind, DriveStrength};
 pub use equivalent::EquivalentInverter;
-pub use library::Library;
+pub use library::{glob_match, Library};

@@ -98,6 +98,59 @@ impl Library {
     pub fn iter(&self) -> std::slice::Iter<'_, Cell> {
         self.cells.iter()
     }
+
+    /// Looks a built-in library up by name: `"paper-trio"` or `"standard"`.
+    ///
+    /// This is the name → catalogue mapping used by run configs and the CLI.
+    pub fn builtin(name: &str) -> Option<Self> {
+        match name {
+            "paper-trio" | "paper_trio" => Some(Self::paper_trio()),
+            "standard" | "slic-standard" => Some(Self::standard()),
+            _ => None,
+        }
+    }
+
+    /// A sub-library containing only the cells whose kind name matches `pattern`
+    /// (a case-insensitive glob supporting `*` and `?`, e.g. `"NAND*"`).
+    pub fn filter_kinds(&self, pattern: &str) -> Self {
+        Self {
+            name: self.name.clone(),
+            cells: self
+                .cells
+                .iter()
+                .copied()
+                .filter(|c| glob_match(pattern, c.kind().name()))
+                .collect(),
+        }
+    }
+
+    /// A sub-library containing only the cells at one of the given drive strengths.
+    pub fn filter_drives(&self, drives: &[DriveStrength]) -> Self {
+        Self {
+            name: self.name.clone(),
+            cells: self
+                .cells
+                .iter()
+                .copied()
+                .filter(|c| drives.contains(&c.drive()))
+                .collect(),
+        }
+    }
+}
+
+/// Case-insensitive glob matching with `*` (any run) and `?` (any single character) — the
+/// cell-kind selector used by characterization plans.
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    fn rec(pat: &[u8], txt: &[u8]) -> bool {
+        match (pat.first(), txt.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => rec(&pat[1..], txt) || (!txt.is_empty() && rec(pat, &txt[1..])),
+            (Some(b'?'), Some(_)) => rec(&pat[1..], &txt[1..]),
+            (Some(p), Some(t)) => p.eq_ignore_ascii_case(t) && rec(&pat[1..], &txt[1..]),
+            _ => false,
+        }
+    }
+    rec(pattern.as_bytes(), name.as_bytes())
 }
 
 impl fmt::Display for Library {
@@ -157,5 +210,41 @@ mod tests {
         let lib = Library::paper_trio();
         assert!(format!("{lib}").contains("3 cells"));
         assert_eq!((&lib).into_iter().count(), 3);
+    }
+
+    #[test]
+    fn builtin_lookup() {
+        assert_eq!(Library::builtin("paper-trio").unwrap().len(), 3);
+        assert_eq!(
+            Library::builtin("standard").unwrap().len(),
+            Library::standard().len()
+        );
+        assert!(Library::builtin("no-such-library").is_none());
+    }
+
+    #[test]
+    fn kind_and_drive_filters() {
+        let lib = Library::standard();
+        let nands = lib.filter_kinds("NAND*");
+        assert!(nands.iter().all(|c| c.kind().name().starts_with("NAND")));
+        assert_eq!(nands.len(), 3, "NAND2_X1, NAND3_X1, NAND2_X2");
+        let x2 = lib.filter_drives(&[DriveStrength::X2]);
+        assert_eq!(x2.len(), 3, "the paper trio at X2");
+        assert!(
+            lib.filter_kinds("inv").find("INV_X1").is_some(),
+            "matching is case-insensitive"
+        );
+        assert!(lib.filter_kinds("XYZ*").is_empty());
+    }
+
+    #[test]
+    fn glob_matching_semantics() {
+        assert!(glob_match("NAND*", "NAND2"));
+        assert!(glob_match("*", "ANYTHING"));
+        assert!(glob_match("N?R2", "NOR2"));
+        assert!(glob_match("inv", "INV"));
+        assert!(!glob_match("NAND", "NAND2"));
+        assert!(!glob_match("N?R2", "NAND2"));
+        assert!(glob_match("*2", "NOR2"));
     }
 }

@@ -1,0 +1,317 @@
+//! `slic` — the command-line driver of the characterization pipeline.
+//!
+//! Subcommands mirror the resumable pipeline stages:
+//!
+//! ```text
+//! slic learn        # historical nodes -> historical-database JSON
+//! slic characterize # plan + run -> run-artifact JSON (+ optional Liberty)
+//! slic export       # run artifact -> Liberty text
+//! slic report       # run artifact -> Markdown summary
+//! ```
+//!
+//! Run `slic help` for the full flag reference.  Argument parsing is hand-rolled
+//! (`--flag value` pairs only) because the build environment vendors no CLI crate.
+
+use slic_bayes::HistoricalDatabase;
+use slic_device::TechnologyNode;
+use slic_pipeline::{
+    CharacterizationPlan, PipelineError, PipelineRunner, RunArtifact, RunConfig, RunProfile,
+};
+use slic_spice::CharacterizationEngine;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "slic — statistical library characterization pipeline
+
+USAGE:
+    slic <learn|characterize|export|report|help> [--flag value]...
+
+SUBCOMMANDS:
+    learn         Characterize the historical technologies and archive the
+                  compact-model fits.
+                    --historical <a,b,...>  historical node names
+                                            (default n16_finfet,n14_finfet)
+                    --library <name>        paper-trio (default) | standard
+                    --profile <name>        quick (default) | accurate
+                    --out <file>            output database JSON (default history.json)
+
+    characterize  Run a library-scale characterization plan.
+                    --config <file>         run config (.json or .toml); CLI flags
+                                            below override its fields
+                    --history <file>        database JSON from `slic learn`;
+                                            omitted = learn inline first
+                    --library <name>        paper-trio | standard
+                    --technology <name>     e.g. target_14nm, target_28nm
+                    --profile <name>        quick | accurate
+                    --cells <glob>          cell-kind filter, e.g. 'NAND*'
+                    --drives <a,b,...>      drive filter, e.g. X1,X2
+                    --metrics <a,b,...>     delay,slew
+                    --methods <a,b,...>     bayesian,lse,lut
+                    --seed <n>              sampling seed
+                    --out <file>            run artifact JSON (default run.json)
+                    --liberty <file>        also write the Liberty text here
+
+    export        Render the Liberty text of a finished run.
+                    --run <file>            run artifact JSON (default run.json)
+                    --out <file>            output .lib path (stdout when omitted)
+
+    report        Print the Markdown summary of a finished run.
+                    --run <file>            run artifact JSON (default run.json)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if matches!(command, "help" | "--help" | "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    const CONFIG_FLAGS: &[&str] = &[
+        "config",
+        "library",
+        "technology",
+        "historical",
+        "profile",
+        "cells",
+        "drives",
+        "metrics",
+        "methods",
+        "seed",
+        "out",
+    ];
+    let allowed: Vec<&str> = match command {
+        "learn" => CONFIG_FLAGS.to_vec(),
+        "characterize" => {
+            let mut flags = CONFIG_FLAGS.to_vec();
+            flags.extend(["history", "liberty"]);
+            flags
+        }
+        "export" => vec!["run", "out"],
+        "report" => vec!["run"],
+        other => {
+            eprintln!("error: unknown subcommand `{other}`\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let flags = match parse_flags(&args[1..], &allowed) {
+        Ok(flags) => flags,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match command {
+        "learn" => cmd_learn(&flags),
+        "characterize" => cmd_characterize(&flags),
+        "export" => cmd_export(&flags),
+        "report" => cmd_report(&flags),
+        _ => unreachable!("unknown subcommands rejected above"),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--flag value` pairs; rejects stray positionals, valueless flags, and flags the
+/// subcommand does not consume (a typo'd flag must not silently fall back to a default).
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let name = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument `{arg}` (flags are `--name value`)"))?;
+        if !allowed.contains(&name) {
+            return Err(format!(
+                "unknown flag `--{name}` for this subcommand (expected one of: {})",
+                allowed
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag `--{name}` is missing its value"))?;
+        if flags.insert(name.to_string(), value.clone()).is_some() {
+            return Err(format!("flag `--{name}` given twice"));
+        }
+    }
+    Ok(flags)
+}
+
+fn comma_list(text: &str) -> Vec<String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Builds the run configuration from an optional `--config` file plus CLI overrides.
+fn build_config(flags: &HashMap<String, String>) -> Result<RunConfig, PipelineError> {
+    let mut config = match flags.get("config") {
+        Some(path) => RunConfig::load(path)?,
+        None => RunConfig::default(),
+    };
+    if let Some(v) = flags.get("library") {
+        config.library = Some(v.clone());
+    }
+    if let Some(v) = flags.get("technology") {
+        config.technology = Some(v.clone());
+    }
+    if let Some(v) = flags.get("historical") {
+        config.historical = Some(comma_list(v));
+    }
+    if let Some(v) = flags.get("profile") {
+        config.profile = Some(v.clone());
+    }
+    if let Some(v) = flags.get("cells") {
+        config.cell_pattern = Some(v.clone());
+    }
+    if let Some(v) = flags.get("drives") {
+        config.drives = Some(comma_list(v));
+    }
+    if let Some(v) = flags.get("metrics") {
+        config.metrics = Some(comma_list(v));
+    }
+    if let Some(v) = flags.get("methods") {
+        config.methods = Some(comma_list(v));
+    }
+    if let Some(v) = flags.get("seed") {
+        let seed = v
+            .parse::<u64>()
+            .map_err(|_| PipelineError::config(format!("`--seed {v}` is not an integer")))?;
+        config.seed = Some(seed);
+    }
+    Ok(config)
+}
+
+fn cmd_learn(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+    let config = build_config(flags)?.resolve()?;
+    let runner = PipelineRunner::new(config)?;
+    let learning = runner.learn();
+    let out = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("history.json");
+    std::fs::write(out, learning.database.to_json()?)?;
+    println!(
+        "learned {} records from {} technologies in {} simulations -> {out}",
+        learning.database.len(),
+        learning.database.technology_names().len(),
+        learning.simulation_cost,
+    );
+    Ok(())
+}
+
+fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+    let config = build_config(flags)?.resolve()?;
+    let export_grid = config.export_grid;
+    let runner = PipelineRunner::new(config)?;
+    let plan = CharacterizationPlan::from_config(runner.config())?;
+    println!(
+        "plan: {} units over {} arcs of `{}` on {}",
+        plan.len(),
+        plan.arcs().len(),
+        plan.library_name(),
+        runner.config().technology.name(),
+    );
+
+    let database = match flags.get("history") {
+        Some(path) => HistoricalDatabase::from_json(&std::fs::read_to_string(path)?)
+            .map_err(|err| PipelineError::config(format!("cannot parse `{path}`: {err}")))?,
+        None => {
+            println!("no --history given; learning inline...");
+            runner.learn().database
+        }
+    };
+
+    let artifact = runner.characterize(&plan, &database)?;
+    let out = flags.get("out").map(String::as_str).unwrap_or("run.json");
+    artifact.save(out)?;
+    println!(
+        "characterized {}/{} arcs in {} simulations ({} cache hits) -> {out}",
+        artifact.characterized.arcs.len(),
+        plan.arcs().len(),
+        artifact.total_simulations,
+        artifact.cache_hits,
+    );
+    if let Some(liberty_path) = flags.get("liberty") {
+        if artifact.characterized.arcs.is_empty() {
+            return Err(PipelineError::config(format!(
+                "no arc obtained both delay and slew fits, so there is nothing to export to \
+                 `{liberty_path}` (the run artifact `{out}` was still written); a Liberty \
+                 export needs both metrics and a parameter-producing method (bayesian or lse)"
+            )));
+        }
+        let text = artifact
+            .characterized
+            .to_liberty(runner.engine(), export_grid);
+        std::fs::write(liberty_path, text)?;
+        println!("liberty -> {liberty_path}");
+    }
+    Ok(())
+}
+
+/// Rebuilds the artifact's engine (technology + profile transient settings) for export.
+fn engine_for(
+    artifact: &RunArtifact,
+) -> Result<(CharacterizationEngine, RunProfile), PipelineError> {
+    let technology = TechnologyNode::by_name(&artifact.technology).ok_or_else(|| {
+        PipelineError::config(format!(
+            "artifact references unknown technology `{}`",
+            artifact.technology
+        ))
+    })?;
+    let profile = RunProfile::from_name(&artifact.profile).ok_or_else(|| {
+        PipelineError::config(format!(
+            "artifact references unknown profile `{}`",
+            artifact.profile
+        ))
+    })?;
+    let engine = CharacterizationEngine::with_config(technology, profile.transient())?;
+    Ok((engine, profile))
+}
+
+fn cmd_export(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+    let run_path = flags.get("run").map(String::as_str).unwrap_or("run.json");
+    let artifact = RunArtifact::load(run_path)?;
+    if artifact.characterized.arcs.is_empty() {
+        return Err(PipelineError::config(format!(
+            "`{run_path}` contains no fully characterized arcs to export"
+        )));
+    }
+    let (engine, profile) = engine_for(&artifact)?;
+    let text = artifact
+        .characterized
+        .to_liberty(&engine, profile.export_grid());
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            println!(
+                "exported {} arcs of `{}` -> {path}",
+                artifact.characterized.arcs.len(),
+                artifact.library,
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_report(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+    let run_path = flags.get("run").map(String::as_str).unwrap_or("run.json");
+    let artifact = RunArtifact::load(run_path)?;
+    print!("{}", artifact.summary_markdown());
+    Ok(())
+}

@@ -1,0 +1,283 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the property-test surface this workspace uses: the [`proptest!`] macro with
+//! `arg in strategy` bindings and an optional `#![proptest_config(...)]` header,
+//! [`prop_assert!`] / [`prop_assert_eq!`], numeric [`Range`](std::ops::Range) strategies
+//! and [`collection::vec`] (exact or ranged length).
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics with its case index
+//! and the generator is seeded deterministically, so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; the transient-simulation-heavy properties in this
+        // workspace make 32 a better runtime/coverage balance, and each property may widen
+        // it again via `proptest_config`.
+        Self { cases: 32 }
+    }
+}
+
+/// A rejected or failed test case, produced by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The deterministic generator driving every property.
+pub fn test_rng(property_name: &str) -> StdRng {
+    // Stable per-property seed so properties are independent of execution order.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in property_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Produces random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(f64, u64, usize, u32, i64, i32);
+
+    /// Length specification for [`vec`](super::collection::vec): an exact `usize` or a
+    /// `Range<usize>`.
+    pub trait IntoLenRange {
+        /// The concrete half-open length range.
+        fn into_len_range(self) -> Range<usize>;
+    }
+
+    impl IntoLenRange for usize {
+        fn into_len_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn into_len_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    /// A strategy generating vectors of another strategy's values.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.len.len() <= 1 {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub(crate) fn vec_strategy<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into_len_range(),
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::{IntoLenRange, Strategy, VecStrategy};
+
+    /// A strategy for vectors of `element` values with the given exact or ranged length.
+    pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        super::strategy::vec_strategy(element, len)
+    }
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_rng(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Bound to a bool first so negating it never trips clippy's
+        // `neg_cmp_op_on_partial_ord` at the macro's call sites.
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.5f64..7.5, n in 1usize..16) {
+            prop_assert!((-2.5..7.5).contains(&x), "x = {x}");
+            prop_assert!((1..16).contains(&n));
+        }
+
+        #[test]
+        fn vectors_respect_length_specs(
+            exact in crate::collection::vec(0.0f64..1.0, 8),
+            ranged in crate::collection::vec(-1.0f64..1.0, 2..6),
+        ) {
+            prop_assert_eq!(exact.len(), 8);
+            prop_assert!((2..6).contains(&ranged.len()));
+            prop_assert!(exact.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_is_honoured(seed in 0u64..1000) {
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    #[test]
+    fn prop_assert_produces_case_errors() {
+        let check = |x: f64| -> Result<(), TestCaseError> {
+            prop_assert!(x < 0.5, "x = {x}");
+            prop_assert_eq!(1 + 1, 2);
+            Ok(())
+        };
+        assert!(check(0.1).is_ok());
+        let err = check(0.9).expect_err("assertion must fail");
+        assert!(err.to_string().contains("x = 0.9"));
+    }
+}

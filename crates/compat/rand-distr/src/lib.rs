@@ -1,0 +1,87 @@
+//! Offline stand-in for the `rand_distr` crate: the [`Distribution`] trait and the
+//! [`StandardNormal`] distribution, which is all this workspace draws from it.
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+
+/// Types that can generate values of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method; the spare draw is discarded to keep the type stateless.
+        loop {
+            let u = 2.0 * rng.gen::<f64>() - 1.0;
+            let v = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+/// A normal distribution with arbitrary mean and standard deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `std_dev` is negative or non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, &'static str> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Self { mean, std_dev })
+        } else {
+            Err("invalid normal distribution parameters")
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| StandardNormal.sample(&mut rng))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn shifted_normal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = Normal::new(5.0, 0.5).unwrap();
+        let xs: Vec<f64> = (0..5_000).map(|_| dist.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

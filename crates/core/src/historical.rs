@@ -11,8 +11,9 @@ use serde::{Deserialize, Serialize};
 use slic_bayes::{ConditionResidual, HistoricalDatabase, HistoricalRecord, TimingMetric};
 use slic_cells::{Library, TimingArc};
 use slic_device::{ProcessSample, TechnologyNode};
-use slic_spice::{CharacterizationEngine, TransientConfig};
+use slic_spice::{CharacterizationEngine, SimulationCache, SimulationCounter, TransientConfig};
 use slic_timing_model::{LeastSquaresFitter, TimingSample};
+use std::sync::Arc;
 
 /// Configuration of the historical learning pass.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -64,13 +65,41 @@ impl HistoricalLearner {
     ///
     /// # Panics
     ///
-    /// Panics if the library is empty.
-    pub fn learn(&self, technologies: &[TechnologyNode], library: &Library) -> HistoricalLearningResult {
+    /// Panics if the library is empty or the configured transient settings are invalid.
+    pub fn learn(
+        &self,
+        technologies: &[TechnologyNode],
+        library: &Library,
+    ) -> HistoricalLearningResult {
+        self.learn_shared(technologies, library, &SimulationCounter::new(), None)
+    }
+
+    /// As [`learn`](Self::learn), but every per-technology engine shares `counter` (and the
+    /// optional simulation `cache`), so a library-scale pipeline aggregates the cost of its
+    /// learning stage into the same total as its characterization stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library is empty or the configured transient settings are invalid.
+    pub fn learn_shared(
+        &self,
+        technologies: &[TechnologyNode],
+        library: &Library,
+        counter: &SimulationCounter,
+        cache: Option<Arc<dyn SimulationCache>>,
+    ) -> HistoricalLearningResult {
         assert!(!library.is_empty(), "cannot learn from an empty library");
         let mut database = HistoricalDatabase::new();
         let mut simulation_cost = 0u64;
         for tech in technologies {
-            let engine = CharacterizationEngine::with_config(tech.clone(), self.config.transient);
+            let mut engine =
+                CharacterizationEngine::with_config(tech.clone(), self.config.transient)
+                    .expect("historical learning transient configuration must be valid")
+                    .with_shared_counter(counter.clone());
+            if let Some(cache) = &cache {
+                engine = engine.with_cache(cache.clone());
+            }
+            let cost_before = counter.count();
             let grid = engine.input_space().lut_grid(
                 self.config.grid_levels.0,
                 self.config.grid_levels.1,
@@ -81,7 +110,10 @@ impl HistoricalLearner {
                     // One transient run per grid point yields both delay and slew.
                     let measurements = engine.sweep_nominal(cell, &arc, &grid);
                     let nominal = ProcessSample::nominal();
-                    let ieffs: Vec<_> = grid.iter().map(|p| engine.ieff(&arc, p, &nominal)).collect();
+                    let ieffs: Vec<_> = grid
+                        .iter()
+                        .map(|p| engine.ieff(&arc, p, &nominal))
+                        .collect();
                     for metric in TimingMetric::BOTH {
                         let samples: Vec<TimingSample> = grid
                             .iter()
@@ -116,7 +148,7 @@ impl HistoricalLearner {
                     }
                 }
             }
-            simulation_cost += engine.simulation_count();
+            simulation_cost += counter.count() - cost_before;
         }
         HistoricalLearningResult {
             database,
@@ -188,12 +220,17 @@ mod tests {
         let mean = prior.mean_params();
         // Delay parameters land in the physically expected region (Table I ballpark).
         assert!(mean.kd > 0.05 && mean.kd < 2.0, "kd = {}", mean.kd);
-        assert!(mean.v_prime > -0.6 && mean.v_prime < 0.3, "v' = {}", mean.v_prime);
+        assert!(
+            mean.v_prime > -0.6 && mean.v_prime < 0.3,
+            "v' = {}",
+            mean.v_prime
+        );
     }
 
     #[test]
     #[should_panic(expected = "empty library")]
     fn empty_library_rejected() {
-        let _ = HistoricalLearner::new(tiny_config()).learn(&two_node_suite(), &Library::new("empty", []));
+        let _ = HistoricalLearner::new(tiny_config())
+            .learn(&two_node_suite(), &Library::new("empty", []));
     }
 }

@@ -62,14 +62,20 @@ pub mod prelude {
         HistoricalDatabase, HistoricalRecord, MapExtractor, ParameterPrior, PrecisionConfig,
         PrecisionModel, PriorBuilder, TimingMetric,
     };
-    pub use slic_cells::{Cell, CellKind, DriveStrength, EquivalentInverter, Library, TimingArc, Transition};
-    pub use slic_device::{DeviceParams, Mosfet, Polarity, ProcessSample, ProcessVariation, TechnologyNode};
+    pub use slic_cells::{
+        Cell, CellKind, DriveStrength, EquivalentInverter, Library, TimingArc, Transition,
+    };
+    pub use slic_device::{
+        DeviceParams, Mosfet, Polarity, ProcessSample, ProcessVariation, TechnologyNode,
+    };
     pub use slic_lut::{grid_levels_for_budget, Lut3d, LutBuilder, NominalLut, StatisticalLut};
-    pub use slic_spice::{CharacterizationEngine, InputPoint, InputSpace, TimingMeasurement, TransientConfig};
+    pub use slic_spice::{
+        CharacterizationEngine, InputPoint, InputSpace, TimingMeasurement, TransientConfig,
+    };
     pub use slic_stats::{Gaussian, Histogram, KernelDensity, MultivariateGaussian, Summary};
     pub use slic_timing_model::{
-        ExtendedTimingParams, FitConfig, FitResult, GaussianPenalty, LeastSquaresFitter, TimingParams,
-        TimingSample,
+        ExtendedTimingParams, FitConfig, FitResult, GaussianPenalty, LeastSquaresFitter,
+        TimingParams, TimingSample,
     };
     pub use slic_units::{Amperes, Celsius, Coulombs, Farads, Seconds, Volts};
 }
@@ -77,4 +83,6 @@ pub mod prelude {
 pub use cost::CostModel;
 pub use historical::{HistoricalLearner, HistoricalLearningConfig, HistoricalLearningResult};
 pub use nominal::{MethodKind, NominalStudy, NominalStudyConfig, NominalStudyResult};
-pub use statistical::{DelayPdfComparison, StatisticalStudy, StatisticalStudyConfig, StatisticalStudyResult};
+pub use statistical::{
+    DelayPdfComparison, StatisticalStudy, StatisticalStudyConfig, StatisticalStudyResult,
+};

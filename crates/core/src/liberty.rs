@@ -1,15 +1,24 @@
 //! Liberty-flavoured export of a characterized library.
 //!
-//! Downstream STA tools consume standard-cell timing as Liberty (`.lib`) tables.  The export
-//! here characterizes every primary arc of a library on a small grid — either by direct
-//! simulation or from already-extracted compact-model parameters — and emits a readable
-//! subset of the Liberty syntax (`library`/`cell`/`pin`/`timing` groups with
-//! `cell_rise`/`cell_fall`/`rise_transition`/`fall_transition` tables).  The goal is a
-//! faithful, diff-able artefact of a characterization run, not byte-for-byte compatibility
-//! with any particular commercial parser.
+//! Downstream STA tools consume standard-cell timing as Liberty (`.lib`) tables.  Two
+//! export paths produce the same readable subset of the Liberty syntax
+//! (`library`/`cell`/`pin`/`timing` groups with `cell_rise`/`cell_fall`/
+//! `rise_transition`/`fall_transition` tables):
+//!
+//! * [`export_library`] — characterizes every primary arc of a library on a small grid by
+//!   **direct simulation** (one transient per table entry);
+//! * [`export_fitted_library`] — renders the tables from **already-extracted compact-model
+//!   parameters** ([`FittedArc`]), the output of a pipeline run.  Only zero-cost DC
+//!   operating-point evaluations (`Ieff`) are needed, so exporting a characterized library
+//!   costs no transient simulations at all.
+//!
+//! The goal is a faithful, diff-able artefact of a characterization run, not
+//! byte-for-byte compatibility with any particular commercial parser.
 
 use slic_cells::{Cell, Library, TimingArc, Transition};
-use slic_spice::CharacterizationEngine;
+use slic_device::ProcessSample;
+use slic_spice::{CharacterizationEngine, InputPoint};
+use slic_timing_model::TimingParams;
 use slic_units::{Farads, Seconds, Volts};
 
 /// Grid used for the exported tables.
@@ -39,7 +48,11 @@ impl Default for ExportGrid {
 /// # Panics
 ///
 /// Panics if the library is empty or the grid has fewer than two levels on either axis.
-pub fn export_library(engine: &CharacterizationEngine, library: &Library, grid: ExportGrid) -> String {
+pub fn export_library(
+    engine: &CharacterizationEngine,
+    library: &Library,
+    grid: ExportGrid,
+) -> String {
     assert!(!library.is_empty(), "cannot export an empty library");
     assert!(
         grid.slew_levels >= 2 && grid.load_levels >= 2,
@@ -50,11 +63,16 @@ pub fn export_library(engine: &CharacterizationEngine, library: &Library, grid: 
     let space = engine.input_space();
     let (sin_lo, sin_hi) = space.sin_range();
     let (cl_lo, cl_hi) = space.cload_range();
-    let slew_axis: Vec<f64> = slic_units::range::linspace(sin_lo.value(), sin_hi.value(), grid.slew_levels);
-    let load_axis: Vec<f64> = slic_units::range::linspace(cl_lo.value(), cl_hi.value(), grid.load_levels);
+    let slew_axis: Vec<f64> =
+        slic_units::range::linspace(sin_lo.value(), sin_hi.value(), grid.slew_levels);
+    let load_axis: Vec<f64> =
+        slic_units::range::linspace(cl_lo.value(), cl_hi.value(), grid.load_levels);
 
     let mut out = String::new();
-    out.push_str(&format!("library ({}_slic) {{\n", tech.name().replace('-', "_")));
+    out.push_str(&format!(
+        "library ({}_slic) {{\n",
+        tech.name().replace('-', "_")
+    ));
     out.push_str("  delay_model : table_lookup;\n");
     out.push_str("  time_unit : \"1ps\";\n");
     out.push_str("  capacitive_load_unit (1, ff);\n");
@@ -69,6 +87,136 @@ pub fn export_library(engine: &CharacterizationEngine, library: &Library, grid: 
         out.push_str(&render_cell(engine, cell, vdd, &slew_axis, &load_axis));
     }
     out.push_str("}\n");
+    out
+}
+
+/// The fitted compact models of one timing arc — what a pipeline run archives per arc.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedArc {
+    /// The arc the parameters model.
+    pub arc: TimingArc,
+    /// Compact-model parameters of the propagation delay.
+    pub delay: TimingParams,
+    /// Compact-model parameters of the output slew.
+    pub slew: TimingParams,
+}
+
+/// Renders a Liberty-like description from already-extracted compact-model parameters.
+///
+/// The table values are model evaluations at the grid points; the engine is only consulted
+/// for effective currents and input capacitances (DC operating-point evaluations), so this
+/// export increments the simulation counter by **zero**.
+///
+/// Cells are emitted in first-appearance order of `arcs`; a cell's timing group for a
+/// transition is omitted when no fitted arc covers it.
+///
+/// # Panics
+///
+/// Panics if `arcs` is empty or the grid has fewer than two levels on either axis.
+pub fn export_fitted_library(
+    engine: &CharacterizationEngine,
+    library_name: &str,
+    arcs: &[FittedArc],
+    grid: ExportGrid,
+) -> String {
+    assert!(!arcs.is_empty(), "cannot export an empty library");
+    assert!(
+        grid.slew_levels >= 2 && grid.load_levels >= 2,
+        "export grid needs at least 2x2 indices"
+    );
+    let tech = engine.tech();
+    let vdd = tech.vdd_nominal();
+    let space = engine.input_space();
+    let (sin_lo, sin_hi) = space.sin_range();
+    let (cl_lo, cl_hi) = space.cload_range();
+    let slew_axis: Vec<f64> =
+        slic_units::range::linspace(sin_lo.value(), sin_hi.value(), grid.slew_levels);
+    let load_axis: Vec<f64> =
+        slic_units::range::linspace(cl_lo.value(), cl_hi.value(), grid.load_levels);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "library ({}_slic) {{\n",
+        library_name.replace(['-', ' '], "_")
+    ));
+    out.push_str("  delay_model : table_lookup;\n");
+    out.push_str("  time_unit : \"1ps\";\n");
+    out.push_str("  capacitive_load_unit (1, ff);\n");
+    out.push_str(&format!("  nom_voltage : {:.3};\n", vdd.value()));
+    out.push_str(&format!(
+        "  lu_table_template (slic_template) {{\n    variable_1 : input_net_transition;\n    variable_2 : total_output_net_capacitance;\n    index_1 (\"{}\");\n    index_2 (\"{}\");\n  }}\n",
+        format_axis_ps(&slew_axis),
+        format_axis_ff(&load_axis)
+    ));
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for fitted in arcs {
+        if !cells.contains(&fitted.arc.cell()) {
+            cells.push(fitted.arc.cell());
+        }
+    }
+    for cell in cells {
+        out.push_str(&render_fitted_cell(
+            engine, cell, arcs, vdd, &slew_axis, &load_axis,
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_fitted_cell(
+    engine: &CharacterizationEngine,
+    cell: Cell,
+    arcs: &[FittedArc],
+    vdd: Volts,
+    slew_axis: &[f64],
+    load_axis: &[f64],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("  cell ({}) {{\n", cell.name()));
+    let eq = engine.equivalent_inverter(cell, &ProcessSample::nominal());
+    for pin in 0..cell.input_count() {
+        out.push_str(&format!(
+            "    pin (A{pin}) {{\n      direction : input;\n      capacitance : {:.4};\n    }}\n",
+            eq.input_cap().femtofarads()
+        ));
+    }
+    out.push_str("    pin (Y) {\n      direction : output;\n");
+    for transition in Transition::BOTH {
+        let Some(fitted) = arcs
+            .iter()
+            .find(|f| f.arc.cell() == cell && f.arc.output_transition() == transition)
+        else {
+            continue;
+        };
+        let nominal = ProcessSample::nominal();
+        let mut delay_rows = Vec::with_capacity(slew_axis.len());
+        let mut slew_rows = Vec::with_capacity(slew_axis.len());
+        for &sin in slew_axis {
+            let mut delay_row = Vec::with_capacity(load_axis.len());
+            let mut slew_row = Vec::with_capacity(load_axis.len());
+            for &cload in load_axis {
+                let point = InputPoint::new(Seconds(sin), Farads(cload), vdd);
+                let ieff = engine.ieff(&fitted.arc, &point, &nominal);
+                delay_row.push(fitted.delay.evaluate(&point, ieff).picoseconds());
+                slew_row.push(fitted.slew.evaluate(&point, ieff).picoseconds());
+            }
+            delay_rows.push(delay_row);
+            slew_rows.push(slew_row);
+        }
+        let (delay_group, slew_group) = match transition {
+            Transition::Rise => ("cell_rise", "rise_transition"),
+            Transition::Fall => ("cell_fall", "fall_transition"),
+        };
+        out.push_str(&format!(
+            "      timing () {{\n        related_pin : \"A{}\";\n",
+            fitted.arc.input_pin()
+        ));
+        out.push_str(&render_table(delay_group, &delay_rows));
+        out.push_str(&render_table(slew_group, &slew_rows));
+        out.push_str("      }\n");
+    }
+    out.push_str("    }\n  }\n");
     out
 }
 
@@ -134,7 +282,11 @@ fn render_table(group: &str, rows: &[Vec<f64>]) -> String {
     let mut out = format!("        {group} (slic_template) {{\n          values ( \\\n");
     for (i, row) in rows.iter().enumerate() {
         let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
-        let terminator = if i + 1 == rows.len() { " );\n" } else { ", \\\n" };
+        let terminator = if i + 1 == rows.len() {
+            " );\n"
+        } else {
+            ", \\\n"
+        };
         out.push_str(&format!("            \"{}\"{terminator}", cells.join(", ")));
     }
     out.push_str("        }\n");
@@ -164,6 +316,7 @@ mod tests {
 
     fn engine() -> CharacterizationEngine {
         CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+            .expect("valid transient configuration")
     }
 
     #[test]
@@ -176,7 +329,10 @@ mod tests {
                 Cell::new(CellKind::Nand2, DriveStrength::X1),
             ],
         );
-        let grid = ExportGrid { slew_levels: 2, load_levels: 2 };
+        let grid = ExportGrid {
+            slew_levels: 2,
+            load_levels: 2,
+        };
         let text = export_library(&eng, &lib, grid);
         assert!(text.starts_with("library ("));
         assert!(text.contains("cell (INV_X1)"));
@@ -196,7 +352,10 @@ mod tests {
     fn delays_in_tables_increase_with_load() {
         let eng = engine();
         let lib = Library::new("inv", [Cell::new(CellKind::Inv, DriveStrength::X1)]);
-        let grid = ExportGrid { slew_levels: 2, load_levels: 3 };
+        let grid = ExportGrid {
+            slew_levels: 2,
+            load_levels: 3,
+        };
         let text = export_library(&eng, &lib, grid);
         // Extract the first values row and check it is increasing (delay vs load).
         let row = text
@@ -217,15 +376,114 @@ mod tests {
     }
 
     #[test]
+    fn fitted_export_costs_no_simulations_and_tracks_the_model() {
+        let eng = engine();
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        // Fit both metrics of both transitions from a handful of direct simulations.
+        let mut arcs = Vec::new();
+        let points = eng.input_space().lut_grid(3, 3, 2);
+        let nominal = slic_device::ProcessSample::nominal();
+        for transition in Transition::BOTH {
+            let arc = TimingArc::new(cell, 0, transition);
+            let ms = eng.sweep_nominal(cell, &arc, &points);
+            let fitter = slic_timing_model::LeastSquaresFitter::new();
+            let samples = |metric: fn(&slic_spice::TimingMeasurement) -> slic_units::Seconds| {
+                points
+                    .iter()
+                    .zip(&ms)
+                    .map(|(p, m)| {
+                        slic_timing_model::TimingSample::new(
+                            *p,
+                            eng.ieff(&arc, p, &nominal),
+                            metric(m),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            arcs.push(FittedArc {
+                arc,
+                delay: fitter.fit(&samples(|m| m.delay)).params,
+                slew: fitter.fit(&samples(|m| m.output_slew)).params,
+            });
+        }
+        let before = eng.simulation_count();
+        let text = export_fitted_library(
+            &eng,
+            "run-artifact",
+            &arcs,
+            ExportGrid {
+                slew_levels: 3,
+                load_levels: 3,
+            },
+        );
+        assert_eq!(
+            eng.simulation_count(),
+            before,
+            "fitted export must not simulate"
+        );
+        assert!(text.starts_with("library (run_artifact_slic)"));
+        assert!(text.contains("cell (INV_X1)"));
+        assert!(text.contains("cell_rise"));
+        assert!(text.contains("fall_transition"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        // The model-rendered delay row increases with load, like the simulated tables.
+        let row = text
+            .lines()
+            .find(|l| l.trim_start().starts_with('"'))
+            .expect("at least one values row");
+        let nums: Vec<f64> = row
+            .trim()
+            .trim_start_matches('"')
+            .split('"')
+            .next()
+            .unwrap()
+            .split(',')
+            .map(|s| s.trim().parse::<f64>().unwrap())
+            .collect();
+        assert!(nums.windows(2).all(|w| w[1] > w[0]), "row = {nums:?}");
+    }
+
+    #[test]
+    fn fitted_export_skips_uncovered_transitions() {
+        let eng = engine();
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let arc = TimingArc::new(cell, 0, Transition::Fall);
+        let arcs = [FittedArc {
+            arc,
+            delay: slic_timing_model::TimingParams::initial_guess(),
+            slew: slic_timing_model::TimingParams::initial_guess(),
+        }];
+        let text = export_fitted_library(&eng, "partial", &arcs, ExportGrid::default());
+        assert!(text.contains("cell_fall"));
+        assert!(
+            !text.contains("cell_rise"),
+            "uncovered rise transition must be omitted"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "empty library")]
     fn empty_library_rejected() {
         let _ = export_library(&engine(), &Library::new("none", []), ExportGrid::default());
     }
 
     #[test]
+    #[should_panic(expected = "empty library")]
+    fn empty_fitted_export_rejected() {
+        let _ = export_fitted_library(&engine(), "none", &[], ExportGrid::default());
+    }
+
+    #[test]
     #[should_panic(expected = "at least 2x2")]
     fn degenerate_grid_rejected() {
         let lib = Library::new("inv", [Cell::new(CellKind::Inv, DriveStrength::X1)]);
-        let _ = export_library(&engine(), &lib, ExportGrid { slew_levels: 1, load_levels: 4 });
+        let _ = export_library(
+            &engine(),
+            &lib,
+            ExportGrid {
+                slew_levels: 1,
+                load_levels: 4,
+            },
+        );
     }
 }

@@ -90,7 +90,10 @@ impl MethodCurve {
 
     /// The error achieved at the largest training count.
     pub fn final_error(&self) -> f64 {
-        *self.errors_percent.last().expect("curve has at least one point")
+        *self
+            .errors_percent
+            .last()
+            .expect("curve has at least one point")
     }
 }
 
@@ -160,7 +163,12 @@ impl NominalStudyResult {
     /// Speedup of `fast` over `slow` at matched accuracy: the ratio of simulations each
     /// method needs to reach the given target error.  Returns `None` when either method
     /// never reaches the target.
-    pub fn speedup_at(&self, target_percent: f64, fast: MethodKind, slow: MethodKind) -> Option<f64> {
+    pub fn speedup_at(
+        &self,
+        target_percent: f64,
+        fast: MethodKind,
+        slow: MethodKind,
+    ) -> Option<f64> {
         let fast_sims = self.curve(fast).simulations_to_reach(target_percent)? as f64;
         let slow_sims = self.curve(slow).simulations_to_reach(target_percent)? as f64;
         Some(slow_sims / fast_sims)
@@ -188,7 +196,11 @@ impl NominalStudyResult {
             .enumerate()
             .map(|(i, k)| {
                 let mut row = vec![k.to_string()];
-                row.extend(self.curves.iter().map(|c| format!("{:.2}", c.errors_percent[i])));
+                row.extend(
+                    self.curves
+                        .iter()
+                        .map(|c| format!("{:.2}", c.errors_percent[i])),
+                );
                 row
             })
             .collect();
@@ -206,9 +218,50 @@ pub struct NominalStudy<'a> {
 
 impl<'a> NominalStudy<'a> {
     /// Creates a study of `target` using the archived `database` of historical fits.
-    pub fn new(target: TechnologyNode, database: &'a HistoricalDatabase, config: NominalStudyConfig) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.transient` is invalid; use [`try_new`](Self::try_new) to handle
+    /// that as an error.
+    pub fn new(
+        target: TechnologyNode,
+        database: &'a HistoricalDatabase,
+        config: NominalStudyConfig,
+    ) -> Self {
+        Self::try_new(target, database, config)
+            .expect("study transient configuration must be valid")
+    }
+
+    /// Creates a study of `target`, surfacing an invalid transient configuration as an
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's [`slic_spice::ConfigError`] when `config.transient` fails
+    /// validation.
+    pub fn try_new(
+        target: TechnologyNode,
+        database: &'a HistoricalDatabase,
+        config: NominalStudyConfig,
+    ) -> Result<Self, slic_spice::ConfigError> {
+        Ok(Self::with_engine(
+            CharacterizationEngine::with_config(target, config.transient)?,
+            database,
+            config,
+        ))
+    }
+
+    /// Creates a study running on an existing engine — the reusable-stage entry point for
+    /// library-scale pipelines, which share one engine (counter, cache) across studies.
+    ///
+    /// The engine's transient configuration takes precedence over `config.transient`.
+    pub fn with_engine(
+        engine: CharacterizationEngine,
+        database: &'a HistoricalDatabase,
+        config: NominalStudyConfig,
+    ) -> Self {
         Self {
-            engine: CharacterizationEngine::with_config(target, config.transient),
+            engine,
             database,
             config,
         }
@@ -283,7 +336,8 @@ impl<'a> NominalStudy<'a> {
 
         for &k in &self.config.training_counts {
             // Shared training conditions for both model-based methods.
-            let mut training_rng = StdRng::seed_from_u64(self.config.seed ^ (k as u64).wrapping_mul(0x9E37_79B9));
+            let mut training_rng =
+                StdRng::seed_from_u64(self.config.seed ^ (k as u64).wrapping_mul(0x9E37_79B9));
             let training_points = space.sample_latin_hypercube(&mut training_rng, k);
             let before = self.engine.simulation_count();
             let training_measurements = self.engine.sweep_nominal(cell, arc, &training_points);
@@ -302,11 +356,27 @@ impl<'a> NominalStudy<'a> {
 
             // Proposed + Bayesian.
             let map_fit = extractor.extract(&training_samples);
-            self.push_model_error(&mut curves, MethodKind::ProposedBayesian, &map_fit.params, &validation, &validation_ieffs, &reference, model_simulations);
+            self.push_model_error(
+                &mut curves,
+                MethodKind::ProposedBayesian,
+                &map_fit.params,
+                &validation,
+                &validation_ieffs,
+                &reference,
+                model_simulations,
+            );
 
             // Proposed + LSE.
             let lse_fit = fitter.fit(&training_samples);
-            self.push_model_error(&mut curves, MethodKind::ProposedLse, &lse_fit.params, &validation, &validation_ieffs, &reference, model_simulations);
+            self.push_model_error(
+                &mut curves,
+                MethodKind::ProposedLse,
+                &lse_fit.params,
+                &validation,
+                &validation_ieffs,
+                &reference,
+                model_simulations,
+            );
 
             // LUT with the same simulation budget.
             let before = self.engine.simulation_count();
@@ -323,7 +393,10 @@ impl<'a> NominalStudy<'a> {
                 })
                 .collect();
             let lut_error = mean_relative_error_percent(&lut_predictions, &reference);
-            let lut_curve = curves.iter_mut().find(|c| c.method == MethodKind::Lut).expect("curve exists");
+            let lut_curve = curves
+                .iter_mut()
+                .find(|c| c.method == MethodKind::Lut)
+                .expect("curve exists");
             lut_curve.errors_percent.push(lut_error);
             lut_curve.simulations.push(lut_simulations);
         }
@@ -352,7 +425,10 @@ impl<'a> NominalStudy<'a> {
             .map(|(p, ieff)| params.evaluate(p, slic_units::Amperes(*ieff)).value())
             .collect();
         let error = mean_relative_error_percent(&predictions, reference);
-        let curve = curves.iter_mut().find(|c| c.method == method).expect("curve exists");
+        let curve = curves
+            .iter_mut()
+            .find(|c| c.method == method)
+            .expect("curve exists");
         curve.errors_percent.push(error);
         curve.simulations.push(simulations);
     }
@@ -380,7 +456,11 @@ mod tests {
     #[test]
     fn study_produces_three_monotone_ish_curves() {
         let db = learned_database();
-        let study = NominalStudy::new(TechnologyNode::target_14nm(), &db, NominalStudyConfig::quick());
+        let study = NominalStudy::new(
+            TechnologyNode::target_14nm(),
+            &db,
+            NominalStudyConfig::quick(),
+        );
         let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
         let arc = TimingArc::new(cell, 0, Transition::Fall);
         let result = study.run(cell, &arc, TimingMetric::Delay);
@@ -389,13 +469,24 @@ mod tests {
         assert_eq!(result.baseline_simulations, 60);
         for curve in &result.curves {
             assert_eq!(curve.errors_percent.len(), 3);
-            assert!(curve.errors_percent.iter().all(|e| e.is_finite() && *e >= 0.0));
+            assert!(curve
+                .errors_percent
+                .iter()
+                .all(|e| e.is_finite() && *e >= 0.0));
             // Errors at the largest budget are better than (or close to) the smallest.
-            assert!(curve.final_error() <= curve.errors_percent[0] + 2.0, "{}", curve.method);
+            assert!(
+                curve.final_error() <= curve.errors_percent[0] + 2.0,
+                "{}",
+                curve.method
+            );
         }
         // The Bayesian curve at k = 2 must already be decent thanks to the prior.
         let bayes = result.curve(MethodKind::ProposedBayesian);
-        assert!(bayes.errors_percent[0] < 15.0, "k=2 error = {}", bayes.errors_percent[0]);
+        assert!(
+            bayes.errors_percent[0] < 15.0,
+            "k=2 error = {}",
+            bayes.errors_percent[0]
+        );
         // And it must beat the LUT at the same tiny budget.
         let lut = result.curve(MethodKind::Lut);
         assert!(bayes.errors_percent[0] < lut.errors_percent[0]);
@@ -422,9 +513,26 @@ mod tests {
             curves: vec![curve_fast, curve_slow],
             baseline_simulations: 100,
         };
-        assert_eq!(result.curve(MethodKind::Lut).simulations_to_reach(5.0), Some(9));
-        assert_eq!(result.curve(MethodKind::ProposedBayesian).simulations_to_reach(5.0), Some(5));
-        assert!((result.speedup_at(5.0, MethodKind::ProposedBayesian, MethodKind::Lut).unwrap() - 1.8).abs() < 1e-12);
-        assert!(result.speedup_at(0.1, MethodKind::ProposedBayesian, MethodKind::Lut).is_none());
+        assert_eq!(
+            result.curve(MethodKind::Lut).simulations_to_reach(5.0),
+            Some(9)
+        );
+        assert_eq!(
+            result
+                .curve(MethodKind::ProposedBayesian)
+                .simulations_to_reach(5.0),
+            Some(5)
+        );
+        assert!(
+            (result
+                .speedup_at(5.0, MethodKind::ProposedBayesian, MethodKind::Lut)
+                .unwrap()
+                - 1.8)
+                .abs()
+                < 1e-12
+        );
+        assert!(result
+            .speedup_at(0.1, MethodKind::ProposedBayesian, MethodKind::Lut)
+            .is_none());
     }
 }

@@ -50,7 +50,13 @@ pub fn csv_table(headers: &[String], rows: &[Vec<String>]) -> String {
         }
     };
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
@@ -81,7 +87,10 @@ mod tests {
     fn markdown_structure() {
         let table = markdown_table(
             &headers(),
-            &[vec!["2".to_string(), "4.3".to_string()], vec!["5".to_string(), "2.1".to_string()]],
+            &[
+                vec!["2".to_string(), "4.3".to_string()],
+                vec!["5".to_string(), "2.1".to_string()],
+            ],
         );
         let lines: Vec<&str> = table.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -99,7 +108,7 @@ mod tests {
     #[test]
     fn csv_quoting() {
         let table = csv_table(
-            &vec!["name".to_string(), "value".to_string()],
+            &["name".to_string(), "value".to_string()],
             &[vec!["a,b".to_string(), "say \"hi\"".to_string()]],
         );
         assert!(table.contains("\"a,b\""));

@@ -10,7 +10,9 @@
 use crate::nominal::{MethodCurve, MethodKind};
 use crate::report::markdown_table;
 use serde::{Deserialize, Serialize};
-use slic_bayes::{HistoricalDatabase, MapExtractor, PrecisionConfig, PrecisionModel, PriorBuilder, TimingMetric};
+use slic_bayes::{
+    HistoricalDatabase, MapExtractor, PrecisionConfig, PrecisionModel, PriorBuilder, TimingMetric,
+};
 use slic_cells::{Cell, TimingArc};
 use slic_device::{ProcessSample, TechnologyNode};
 use slic_lut::LutBuilder;
@@ -236,13 +238,50 @@ pub struct StatisticalStudy<'a> {
 
 impl<'a> StatisticalStudy<'a> {
     /// Creates a study of `target` using the archived historical fits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.transient` is invalid; use [`try_new`](Self::try_new) to handle
+    /// that as an error.
     pub fn new(
         target: TechnologyNode,
         database: &'a HistoricalDatabase,
         config: StatisticalStudyConfig,
     ) -> Self {
+        Self::try_new(target, database, config)
+            .expect("study transient configuration must be valid")
+    }
+
+    /// Creates a study of `target`, surfacing an invalid transient configuration as an
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's [`slic_spice::ConfigError`] when `config.transient` fails
+    /// validation.
+    pub fn try_new(
+        target: TechnologyNode,
+        database: &'a HistoricalDatabase,
+        config: StatisticalStudyConfig,
+    ) -> Result<Self, slic_spice::ConfigError> {
+        Ok(Self::with_engine(
+            CharacterizationEngine::with_config(target, config.transient)?,
+            database,
+            config,
+        ))
+    }
+
+    /// Creates a study running on an existing engine — the reusable-stage entry point for
+    /// library-scale pipelines, which share one engine (counter, cache) across studies.
+    ///
+    /// The engine's transient configuration takes precedence over `config.transient`.
+    pub fn with_engine(
+        engine: CharacterizationEngine,
+        database: &'a HistoricalDatabase,
+        config: StatisticalStudyConfig,
+    ) -> Self {
         Self {
-            engine: CharacterizationEngine::with_config(target, config.transient),
+            engine,
             database,
             config,
         }
@@ -330,12 +369,18 @@ impl<'a> StatisticalStudy<'a> {
     pub fn run(&self, cell: Cell, arc: &TimingArc) -> StatisticalStudyResult {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let space = self.engine.input_space();
-        let seeds = self.engine.tech().variation().sample_n(&mut rng, self.config.process_seeds);
+        let seeds = self
+            .engine
+            .tech()
+            .variation()
+            .sample_n(&mut rng, self.config.process_seeds);
         let validation = space.sample_uniform(&mut rng, self.config.validation_points);
 
         // Monte Carlo baseline: every validation point under every seed.
         let before = self.engine.simulation_count();
-        let baseline_grid = self.engine.monte_carlo_sweep(cell, arc, &validation, &seeds);
+        let baseline_grid = self
+            .engine
+            .monte_carlo_sweep(cell, arc, &validation, &seeds);
         let baseline_simulations = self.engine.simulation_count() - before;
         let baseline_mean_delay: Vec<f64> = baseline_grid
             .iter()
@@ -347,11 +392,23 @@ impl<'a> StatisticalStudy<'a> {
             .collect();
         let baseline_mean_slew: Vec<f64> = baseline_grid
             .iter()
-            .map(|row| moments::mean(&row.iter().map(|m| m.output_slew.value()).collect::<Vec<_>>()))
+            .map(|row| {
+                moments::mean(
+                    &row.iter()
+                        .map(|m| m.output_slew.value())
+                        .collect::<Vec<_>>(),
+                )
+            })
             .collect();
         let baseline_std_slew: Vec<f64> = baseline_grid
             .iter()
-            .map(|row| moments::std_dev(&row.iter().map(|m| m.output_slew.value()).collect::<Vec<_>>()))
+            .map(|row| {
+                moments::std_dev(
+                    &row.iter()
+                        .map(|m| m.output_slew.value())
+                        .collect::<Vec<_>>(),
+                )
+            })
             .collect();
 
         // Per-seed effective currents at the validation points are needed to evaluate the
@@ -366,18 +423,22 @@ impl<'a> StatisticalStudy<'a> {
             })
             .collect();
 
-        let mut curves: Vec<StatMethodCurves> = [MethodKind::ProposedBayesian, MethodKind::ProposedLse, MethodKind::Lut]
-            .iter()
-            .map(|&method| StatMethodCurves {
-                method,
-                training_counts: self.config.training_counts.clone(),
-                mean_delay_error: Vec::new(),
-                std_delay_error: Vec::new(),
-                mean_slew_error: Vec::new(),
-                std_slew_error: Vec::new(),
-                simulations: Vec::new(),
-            })
-            .collect();
+        let mut curves: Vec<StatMethodCurves> = [
+            MethodKind::ProposedBayesian,
+            MethodKind::ProposedLse,
+            MethodKind::Lut,
+        ]
+        .iter()
+        .map(|&method| StatMethodCurves {
+            method,
+            training_counts: self.config.training_counts.clone(),
+            mean_delay_error: Vec::new(),
+            std_delay_error: Vec::new(),
+            mean_slew_error: Vec::new(),
+            std_slew_error: Vec::new(),
+            simulations: Vec::new(),
+        })
+        .collect();
 
         let lut_builder = LutBuilder::new(&self.engine);
 
@@ -386,7 +447,10 @@ impl<'a> StatisticalStudy<'a> {
                 StdRng::seed_from_u64(self.config.seed ^ (k as u64).wrapping_mul(0x9E37_79B9));
             let training_points = space.sample_latin_hypercube(&mut training_rng, k);
 
-            for (method, use_prior) in [(MethodKind::ProposedBayesian, true), (MethodKind::ProposedLse, false)] {
+            for (method, use_prior) in [
+                (MethodKind::ProposedBayesian, true),
+                (MethodKind::ProposedLse, false),
+            ] {
                 let (delay_params, slew_params, cost) =
                     self.extract_per_seed(cell, arc, &training_points, &seeds, use_prior);
                 let (md, sd, ms, ss) = self.model_moment_errors(
@@ -394,9 +458,17 @@ impl<'a> StatisticalStudy<'a> {
                     &validation_ieffs_per_seed,
                     &delay_params,
                     &slew_params,
-                    (&baseline_mean_delay, &baseline_std_delay, &baseline_mean_slew, &baseline_std_slew),
+                    (
+                        &baseline_mean_delay,
+                        &baseline_std_delay,
+                        &baseline_mean_slew,
+                        &baseline_std_slew,
+                    ),
                 );
-                let curve = curves.iter_mut().find(|c| c.method == method).expect("curve exists");
+                let curve = curves
+                    .iter_mut()
+                    .find(|c| c.method == method)
+                    .expect("curve exists");
                 curve.mean_delay_error.push(md);
                 curve.std_delay_error.push(sd);
                 curve.mean_slew_error.push(ms);
@@ -416,11 +488,22 @@ impl<'a> StatisticalStudy<'a> {
                 pred.2.push(ms);
                 pred.3.push(ss);
             }
-            let curve = curves.iter_mut().find(|c| c.method == MethodKind::Lut).expect("curve exists");
-            curve.mean_delay_error.push(mean_relative_error_percent(&pred.0, &baseline_mean_delay));
-            curve.std_delay_error.push(mean_relative_error_percent(&pred.1, &baseline_std_delay));
-            curve.mean_slew_error.push(mean_relative_error_percent(&pred.2, &baseline_mean_slew));
-            curve.std_slew_error.push(mean_relative_error_percent(&pred.3, &baseline_std_slew));
+            let curve = curves
+                .iter_mut()
+                .find(|c| c.method == MethodKind::Lut)
+                .expect("curve exists");
+            curve
+                .mean_delay_error
+                .push(mean_relative_error_percent(&pred.0, &baseline_mean_delay));
+            curve
+                .std_delay_error
+                .push(mean_relative_error_percent(&pred.1, &baseline_std_delay));
+            curve
+                .mean_slew_error
+                .push(mean_relative_error_percent(&pred.2, &baseline_mean_slew));
+            curve
+                .std_slew_error
+                .push(mean_relative_error_percent(&pred.3, &baseline_std_slew));
             curve.simulations.push(lut_cost);
         }
 
@@ -449,12 +532,18 @@ impl<'a> StatisticalStudy<'a> {
             let delays: Vec<f64> = delay_params
                 .iter()
                 .enumerate()
-                .map(|(j, p)| p.evaluate(point, slic_units::Amperes(ieffs_per_seed[j][i])).value())
+                .map(|(j, p)| {
+                    p.evaluate(point, slic_units::Amperes(ieffs_per_seed[j][i]))
+                        .value()
+                })
                 .collect();
             let slews: Vec<f64> = slew_params
                 .iter()
                 .enumerate()
-                .map(|(j, p)| p.evaluate(point, slic_units::Amperes(ieffs_per_seed[j][i])).value())
+                .map(|(j, p)| {
+                    p.evaluate(point, slic_units::Amperes(ieffs_per_seed[j][i]))
+                        .value()
+                })
                 .collect();
             mean_delay.push(moments::mean(&delays));
             std_delay.push(moments::std_dev(&delays));
@@ -481,7 +570,11 @@ impl<'a> StatisticalStudy<'a> {
         lut_budget: usize,
     ) -> DelayPdfComparison {
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(9));
-        let seeds = self.engine.tech().variation().sample_n(&mut rng, self.config.process_seeds);
+        let seeds = self
+            .engine
+            .tech()
+            .variation()
+            .sample_n(&mut rng, self.config.process_seeds);
         let space = self.engine.input_space();
 
         // Baseline Monte Carlo at the probe point.
@@ -499,7 +592,10 @@ impl<'a> StatisticalStudy<'a> {
         let proposed: Vec<f64> = delay_params
             .iter()
             .zip(&seeds)
-            .map(|(p, seed)| p.evaluate(&point, self.engine.ieff(arc, &point, seed)).value())
+            .map(|(p, seed)| {
+                p.evaluate(&point, self.engine.ieff(arc, &point, seed))
+                    .value()
+            })
             .collect();
 
         // LUT: a per-seed nominal grid of `lut_budget` conditions, interpolated at the probe.
@@ -511,9 +607,21 @@ impl<'a> StatisticalStudy<'a> {
                 let measurements = self.engine.sweep(cell, arc, &grid, seed);
                 let delays: Vec<f64> = measurements.iter().map(|m| m.delay.value()).collect();
                 let table = slic_lut::Lut3d::from_values(
-                    grid.iter().map(|p| p.sin.value()).collect::<Vec<_>>().into_iter().fold(Vec::new(), dedup_push),
-                    grid.iter().map(|p| p.cload.value()).collect::<Vec<_>>().into_iter().fold(Vec::new(), dedup_push),
-                    grid.iter().map(|p| p.vdd.value()).collect::<Vec<_>>().into_iter().fold(Vec::new(), dedup_push),
+                    grid.iter()
+                        .map(|p| p.sin.value())
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .fold(Vec::new(), dedup_push),
+                    grid.iter()
+                        .map(|p| p.cload.value())
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .fold(Vec::new(), dedup_push),
+                    grid.iter()
+                        .map(|p| p.vdd.value())
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .fold(Vec::new(), dedup_push),
                     delays,
                 );
                 table.interpolate(&point)
@@ -585,7 +693,11 @@ mod tests {
         }
         // Mean-delay reconstruction by the Bayesian method must be accurate even at k = 3.
         let bayes = result.curves_for(MethodKind::ProposedBayesian);
-        assert!(bayes.mean_delay_error[0] < 12.0, "mean-delay error = {}", bayes.mean_delay_error[0]);
+        assert!(
+            bayes.mean_delay_error[0] < 12.0,
+            "mean-delay error = {}",
+            bayes.mean_delay_error[0]
+        );
         // And it must beat the 3-condition statistical LUT on mean delay.
         let lut = result.curves_for(MethodKind::Lut);
         assert!(bayes.mean_delay_error[0] < lut.mean_delay_error[0]);
@@ -613,7 +725,11 @@ mod tests {
         assert_eq!(pdf.proposed_training_conditions, 7);
         assert!(pdf.lut_training_conditions <= 12);
         // The proposed reconstruction tracks the baseline seed by seed.
-        assert!(pdf.proposed_error_percent() < 15.0, "proposed error = {}", pdf.proposed_error_percent());
+        assert!(
+            pdf.proposed_error_percent() < 15.0,
+            "proposed error = {}",
+            pdf.proposed_error_percent()
+        );
         // Both reconstructions are positive delays of comparable magnitude.
         let base_mean = moments::mean(&pdf.baseline);
         let prop_mean = moments::mean(&pdf.proposed);

@@ -77,15 +77,27 @@ impl DeviceParams {
     /// Returns a human-readable description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         let checks: [(bool, &str); 9] = [
-            (self.vth0 > 0.0 && self.vth0 < 1.5, "vth0 must be in (0, 1.5) V"),
-            (self.dibl >= 0.0 && self.dibl < 0.5, "dibl must be in [0, 0.5)"),
-            (self.ss_factor >= 1.0 && self.ss_factor < 3.0, "ss_factor must be in [1, 3)"),
+            (
+                self.vth0 > 0.0 && self.vth0 < 1.5,
+                "vth0 must be in (0, 1.5) V",
+            ),
+            (
+                self.dibl >= 0.0 && self.dibl < 0.5,
+                "dibl must be in [0, 0.5)",
+            ),
+            (
+                self.ss_factor >= 1.0 && self.ss_factor < 3.0,
+                "ss_factor must be in [1, 3)",
+            ),
             (self.vx0 > 0.0, "vx0 must be positive"),
             (self.cinv > 0.0, "cinv must be positive"),
             (self.width > 0.0, "width must be positive"),
             (self.vdsat > 0.0, "vdsat must be positive"),
             (self.beta_sat >= 1.0, "beta_sat must be >= 1"),
-            (self.gate_cap >= 0.0 && self.drain_cap >= 0.0, "capacitances must be non-negative"),
+            (
+                self.gate_cap >= 0.0 && self.drain_cap >= 0.0,
+                "capacitances must be non-negative",
+            ),
         ];
         for (ok, msg) in checks {
             if !ok {
@@ -304,8 +316,8 @@ mod tests {
         let at_sat = m.drain_current(Volts(0.8), Volts(0.7)).value();
         let beyond = m.drain_current(Volts(0.8), Volts(0.9)).value();
         // DIBL keeps a slight increase, but it must be much less than in the linear region.
-        let linear_slope =
-            m.drain_current(Volts(0.8), Volts(0.1)).value() - m.drain_current(Volts(0.8), Volts(0.05)).value();
+        let linear_slope = m.drain_current(Volts(0.8), Volts(0.1)).value()
+            - m.drain_current(Volts(0.8), Volts(0.05)).value();
         assert!((beyond - at_sat) < linear_slope);
     }
 

@@ -189,32 +189,120 @@ impl TechnologyNode {
 
     /// 45-nm bulk planar node (oldest historical node).
     pub fn n45_bulk() -> Self {
-        Self::node_from_recipe("hist-45nm-bulk", 45, false, false, false, 1.1, (0.85, 1.2), 1.0)
+        Self::node_from_recipe(
+            "hist-45nm-bulk",
+            45,
+            false,
+            false,
+            false,
+            1.1,
+            (0.85, 1.2),
+            1.0,
+        )
     }
 
     /// 32-nm SOI planar node.
     pub fn n32_soi() -> Self {
-        Self::node_from_recipe("hist-32nm-soi", 32, false, true, false, 1.0, (0.8, 1.15), 0.9)
+        Self::node_from_recipe(
+            "hist-32nm-soi",
+            32,
+            false,
+            true,
+            false,
+            1.0,
+            (0.8, 1.15),
+            0.9,
+        )
     }
 
     /// 28-nm bulk planar node (low-power flavor).
     pub fn n28_bulk() -> Self {
-        Self::node_from_recipe("hist-28nm-bulk", 28, false, false, true, 0.95, (0.75, 1.1), 0.85)
+        Self::node_from_recipe(
+            "hist-28nm-bulk",
+            28,
+            false,
+            false,
+            true,
+            0.95,
+            (0.75, 1.1),
+            0.85,
+        )
     }
 
     /// 20-nm bulk planar node.
     pub fn n20_bulk() -> Self {
-        Self::node_from_recipe("hist-20nm-bulk", 20, false, false, false, 0.9, (0.7, 1.05), 0.8)
+        Self::node_from_recipe(
+            "hist-20nm-bulk",
+            20,
+            false,
+            false,
+            false,
+            0.9,
+            (0.7, 1.05),
+            0.8,
+        )
     }
 
     /// 16-nm bulk FinFET node.
     pub fn n16_finfet() -> Self {
-        Self::node_from_recipe("hist-16nm-finfet", 16, true, false, false, 0.8, (0.65, 1.0), 0.75)
+        Self::node_from_recipe(
+            "hist-16nm-finfet",
+            16,
+            true,
+            false,
+            false,
+            0.8,
+            (0.65, 1.0),
+            0.75,
+        )
     }
 
     /// 14-nm SOI FinFET node (newest historical node).
     pub fn n14_finfet() -> Self {
-        Self::node_from_recipe("hist-14nm-finfet", 14, true, true, false, 0.8, (0.65, 1.0), 0.7)
+        Self::node_from_recipe(
+            "hist-14nm-finfet",
+            14,
+            true,
+            true,
+            false,
+            0.8,
+            (0.65, 1.0),
+            0.7,
+        )
+    }
+
+    /// Looks a node of the synthetic family up by name, accepting both the constructor
+    /// spelling (`"n28_bulk"`, `"target_14nm"`) and the node's display name
+    /// (`"hist-28nm-bulk"`, `"target-14nm-finfet"`) — the name → node mapping used by run
+    /// configs and the CLI.
+    pub fn by_name(name: &str) -> Option<Self> {
+        let shorts = [
+            "n45_bulk",
+            "n32_soi",
+            "n28_bulk",
+            "n20_bulk",
+            "n16_finfet",
+            "n14_finfet",
+            "target_14nm",
+            "target_28nm",
+        ];
+        let nodes = [
+            Self::n45_bulk(),
+            Self::n32_soi(),
+            Self::n28_bulk(),
+            Self::n20_bulk(),
+            Self::n16_finfet(),
+            Self::n14_finfet(),
+            Self::target_14nm(),
+            Self::target_28nm(),
+        ];
+        shorts
+            .iter()
+            .zip(nodes)
+            .find(|(short, node)| {
+                short.eq_ignore_ascii_case(name) || node.name().eq_ignore_ascii_case(name)
+            })
+            .map(|(_, node)| node)
     }
 
     /// The full historical suite used to learn priors (6 nodes, mirroring the paper's
@@ -286,6 +374,7 @@ impl TechnologyNode {
     /// The scaling rules are deliberately simple monotone functions of the feature size and
     /// flavor flags; they produce the ±10 %-ish node-to-node parameter spread that makes
     /// historical priors informative.
+    #[allow(clippy::too_many_arguments)]
     fn node_from_recipe(
         name: &str,
         node_nm: u32,
@@ -425,7 +514,9 @@ mod tests {
     fn pmos_is_weaker_than_nmos_at_same_width() {
         for node in TechnologyNode::historical_suite() {
             let n = node.unit_nmos();
-            let p = node.unit_pmos().scaled_width(node.nmos().width / node.pmos().width);
+            let p = node
+                .unit_pmos()
+                .scaled_width(node.nmos().width / node.pmos().width);
             let vdd = node.vdd_nominal();
             assert!(
                 p.ieff(vdd).value() < n.ieff(vdd).value(),
@@ -446,6 +537,29 @@ mod tests {
     fn with_kind_retags_node() {
         let node = TechnologyNode::n45_bulk().with_kind(TechnologyKind::Target);
         assert_eq!(node.kind(), TechnologyKind::Target);
+    }
+
+    #[test]
+    fn nodes_resolve_by_either_name_spelling() {
+        assert_eq!(
+            TechnologyNode::by_name("n28_bulk").unwrap().name(),
+            "hist-28nm-bulk"
+        );
+        assert_eq!(
+            TechnologyNode::by_name("hist-28nm-bulk").unwrap().node_nm(),
+            28
+        );
+        assert_eq!(
+            TechnologyNode::by_name("TARGET_14NM").unwrap().name(),
+            "target-14nm-finfet"
+        );
+        assert_eq!(
+            TechnologyNode::by_name("target-28nm-bulk")
+                .unwrap()
+                .node_nm(),
+            28
+        );
+        assert!(TechnologyNode::by_name("n7_gaafet").is_none());
     }
 
     #[test]

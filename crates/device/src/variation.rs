@@ -91,7 +91,8 @@ impl ProcessVariation {
             delta_vth_n: global_vth * self.vth_sigma_global + normal() * self.vth_sigma_local,
             delta_vth_p: global_vth * self.vth_sigma_global + normal() * self.vth_sigma_local,
             vx0_scale_n: (1.0 + global_vx0 * self.vx0_sigma_frac).max(0.05),
-            vx0_scale_p: (1.0 + (0.7 * global_vx0 + 0.3 * normal()) * self.vx0_sigma_frac).max(0.05),
+            vx0_scale_p: (1.0 + (0.7 * global_vx0 + 0.3 * normal()) * self.vx0_sigma_frac)
+                .max(0.05),
             cinv_scale: (1.0 + global_cinv * self.cinv_sigma_frac).max(0.05),
             dibl_scale_n: (1.0 + normal() * self.dibl_sigma_frac).max(0.0),
             dibl_scale_p: (1.0 + normal() * self.dibl_sigma_frac).max(0.0),

@@ -35,9 +35,9 @@ impl Vector {
     }
 
     /// Creates a vector by evaluating `f` at each index `0..n`.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> f64) -> Self {
         Self {
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         }
     }
 
@@ -77,11 +77,7 @@ impl Vector {
             other.len(),
             "dot product requires equal lengths"
         );
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
     /// Euclidean norm.
@@ -211,7 +207,11 @@ impl<'a> IntoIterator for &'a Vector {
 impl Add for &Vector {
     type Output = Vector;
     fn add(self, rhs: &Vector) -> Vector {
-        assert_eq!(self.len(), rhs.len(), "vector addition requires equal lengths");
+        assert_eq!(
+            self.len(),
+            rhs.len(),
+            "vector addition requires equal lengths"
+        );
         Vector {
             data: self
                 .data
@@ -244,7 +244,11 @@ impl Sub for &Vector {
 
 impl AddAssign<&Vector> for Vector {
     fn add_assign(&mut self, rhs: &Vector) {
-        assert_eq!(self.len(), rhs.len(), "vector addition requires equal lengths");
+        assert_eq!(
+            self.len(),
+            rhs.len(),
+            "vector addition requires equal lengths"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b;
         }
@@ -287,7 +291,10 @@ mod tests {
     fn construction_variants() {
         assert_eq!(Vector::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
         assert_eq!(Vector::filled(2, 1.5).as_slice(), &[1.5, 1.5]);
-        assert_eq!(Vector::from_fn(3, |i| i as f64).as_slice(), &[0.0, 1.0, 2.0]);
+        assert_eq!(
+            Vector::from_fn(3, |i| i as f64).as_slice(),
+            &[0.0, 1.0, 2.0]
+        );
         let v: Vector = vec![1.0, 2.0].into();
         assert_eq!(v.len(), 2);
         let w: Vector = (0..4).map(|i| i as f64).collect();

@@ -132,7 +132,12 @@ impl<'a> LutBuilder<'a> {
     }
 
     /// Builds a nominal LUT for one arc with an explicit grid shape.
-    pub fn build_nominal(&self, cell: Cell, arc: &TimingArc, levels: (usize, usize, usize)) -> NominalLut {
+    pub fn build_nominal(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        levels: (usize, usize, usize),
+    ) -> NominalLut {
         let before = self.engine.simulation_count();
         let (sin_axis, cload_axis, vdd_axis) = self.axes(levels);
         let mut delays = Vec::new();
@@ -148,14 +153,24 @@ impl<'a> LutBuilder<'a> {
             }
         }
         NominalLut {
-            delay: Lut3d::from_values(sin_axis.clone(), cload_axis.clone(), vdd_axis.clone(), delays),
+            delay: Lut3d::from_values(
+                sin_axis.clone(),
+                cload_axis.clone(),
+                vdd_axis.clone(),
+                delays,
+            ),
             slew: Lut3d::from_values(sin_axis, cload_axis, vdd_axis, slews),
             simulation_cost: self.engine.simulation_count() - before,
         }
     }
 
     /// Builds a nominal LUT whose grid uses at most `budget` simulations.
-    pub fn build_nominal_with_budget(&self, cell: Cell, arc: &TimingArc, budget: usize) -> NominalLut {
+    pub fn build_nominal_with_budget(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        budget: usize,
+    ) -> NominalLut {
         self.build_nominal(cell, arc, grid_levels_for_budget(budget))
     }
 
@@ -168,7 +183,10 @@ impl<'a> LutBuilder<'a> {
         levels: (usize, usize, usize),
         seeds: &[ProcessSample],
     ) -> StatisticalLut {
-        assert!(!seeds.is_empty(), "statistical LUT needs at least one process seed");
+        assert!(
+            !seeds.is_empty(),
+            "statistical LUT needs at least one process seed"
+        );
         let before = self.engine.simulation_count();
         let (sin_axis, cload_axis, vdd_axis) = self.axes(levels);
         let mut mean_d = Vec::new();
@@ -190,9 +208,24 @@ impl<'a> LutBuilder<'a> {
             }
         }
         StatisticalLut {
-            mean_delay: Lut3d::from_values(sin_axis.clone(), cload_axis.clone(), vdd_axis.clone(), mean_d),
-            std_delay: Lut3d::from_values(sin_axis.clone(), cload_axis.clone(), vdd_axis.clone(), std_d),
-            mean_slew: Lut3d::from_values(sin_axis.clone(), cload_axis.clone(), vdd_axis.clone(), mean_s),
+            mean_delay: Lut3d::from_values(
+                sin_axis.clone(),
+                cload_axis.clone(),
+                vdd_axis.clone(),
+                mean_d,
+            ),
+            std_delay: Lut3d::from_values(
+                sin_axis.clone(),
+                cload_axis.clone(),
+                vdd_axis.clone(),
+                std_d,
+            ),
+            mean_slew: Lut3d::from_values(
+                sin_axis.clone(),
+                cload_axis.clone(),
+                vdd_axis.clone(),
+                mean_s,
+            ),
             std_slew: Lut3d::from_values(sin_axis, cload_axis, vdd_axis, std_s),
             simulation_cost: self.engine.simulation_count() - before,
         }
@@ -222,6 +255,7 @@ mod tests {
 
     fn engine() -> CharacterizationEngine {
         CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+            .expect("valid transient configuration")
     }
 
     fn inv_fall() -> (Cell, TimingArc) {
@@ -264,8 +298,14 @@ mod tests {
         );
         let direct = eng.simulate_nominal(cell, &arc, &node);
         let predicted = lut.predict(&node);
-        assert!((predicted.delay.value() - direct.delay.value()).abs() / direct.delay.value() < 1e-9);
-        assert!((predicted.output_slew.value() - direct.output_slew.value()).abs() / direct.output_slew.value() < 1e-9);
+        assert!(
+            (predicted.delay.value() - direct.delay.value()).abs() / direct.delay.value() < 1e-9
+        );
+        assert!(
+            (predicted.output_slew.value() - direct.output_slew.value()).abs()
+                / direct.output_slew.value()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -293,7 +333,10 @@ mod tests {
                 .sum::<f64>()
                 / validation.len() as f64
         };
-        assert!(err(&fine) < err(&coarse), "finer grid must interpolate better");
+        assert!(
+            err(&fine) < err(&coarse),
+            "finer grid must interpolate better"
+        );
         assert!(err(&fine) < 0.05, "60-point LUT should be within 5 %");
     }
 
@@ -308,8 +351,14 @@ mod tests {
         let probe = eng.input_space().center();
         let (md, sd, ms, ss) = lut.predict(&probe);
         assert!(md > 0.0 && ms > 0.0);
-        assert!(sd > 0.0 && ss > 0.0, "process variation must produce spread");
-        assert!(sd < md && ss < ms, "spread should be a fraction of the mean");
+        assert!(
+            sd > 0.0 && ss > 0.0,
+            "process variation must produce spread"
+        );
+        assert!(
+            sd < md && ss < ms,
+            "spread should be a fraction of the mean"
+        );
     }
 
     #[test]
@@ -324,7 +373,10 @@ mod tests {
     fn custom_space_is_respected() {
         let eng = engine();
         let space = InputSpace::new(
-            (Seconds::from_picoseconds(2.0), Seconds::from_picoseconds(4.0)),
+            (
+                Seconds::from_picoseconds(2.0),
+                Seconds::from_picoseconds(4.0),
+            ),
             (Farads::from_femtofarads(1.0), Farads::from_femtofarads(2.0)),
             (Volts(0.7), Volts(0.9)),
         );

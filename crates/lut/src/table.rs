@@ -87,7 +87,11 @@ impl Lut3d {
 
     /// Grid shape `(sin levels, cload levels, vdd levels)`.
     pub fn shape(&self) -> (usize, usize, usize) {
-        (self.sin_axis.len(), self.cload_axis.len(), self.vdd_axis.len())
+        (
+            self.sin_axis.len(),
+            self.cload_axis.len(),
+            self.vdd_axis.len(),
+        )
     }
 
     /// The slew axis.
@@ -234,7 +238,10 @@ mod tests {
         for (s, c, v) in [(2.0, 1.0, 0.7), (7.5, 3.3, 0.9), (14.9, 5.9, 0.99)] {
             let expected = 2.0 * s + 3.0 * c - 4.0 * v + 7.0;
             let got = t.interpolate(&point(s, c, v));
-            assert!((got - expected).abs() < 1e-9, "({s},{c},{v}): {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "({s},{c},{v}): {got} vs {expected}"
+            );
         }
     }
 
@@ -260,7 +267,10 @@ mod tests {
         assert_eq!(t.shape(), (1, 2, 1));
         let a = t.interpolate(&point(1.0, 1.5, 0.9));
         let b = t.interpolate(&point(20.0, 1.5, 0.5));
-        assert!((a - b).abs() < 1e-12, "slew/vdd must not matter with one level");
+        assert!(
+            (a - b).abs() < 1e-12,
+            "slew/vdd must not matter with one level"
+        );
         assert!((a - 15.0).abs() < 1e-12);
     }
 

@@ -1,0 +1,256 @@
+//! Run artifacts: the persistent, reloadable record of a characterization run.
+
+use crate::error::PipelineError;
+use serde::{Deserialize, Serialize};
+use slic::liberty::{export_fitted_library, ExportGrid, FittedArc};
+use slic::nominal::MethodKind;
+use slic::report::markdown_table;
+use slic_bayes::TimingMetric;
+use slic_cells::{TimingArc, Transition};
+use slic_spice::CharacterizationEngine;
+use slic_timing_model::TimingParams;
+use std::path::Path;
+
+/// The outcome of one executed [`WorkUnit`](crate::plan::WorkUnit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitResult {
+    /// Arc identifier, e.g. `"NAND2_X1/A0/FALL"`.
+    pub arc_id: String,
+    /// The arc itself (reconstructable for export).
+    pub arc: TimingArc,
+    /// The characterized metric.
+    pub metric: TimingMetric,
+    /// The extraction method.
+    pub method: MethodKind,
+    /// The extracted compact-model parameters (absent for the LUT method).
+    pub params: Option<TimingParams>,
+    /// Training conditions requested.
+    pub training_count: usize,
+    /// Validation conditions requested.
+    pub validation_points: usize,
+    /// Mean absolute relative error against direct simulation at the validation
+    /// conditions, in percent.
+    pub error_percent: f64,
+    /// Transient simulations this unit *requested* (training + validation).  The shared
+    /// engine may have answered some from the cache; the run-level
+    /// [`RunArtifact::total_simulations`] counts what was actually paid for.
+    pub requested_simulations: u64,
+}
+
+/// The per-arc fitted models distilled from the unit results — the consumable "library"
+/// output of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizedArc {
+    /// The timing arc.
+    pub arc: TimingArc,
+    /// Delay compact-model parameters.
+    pub delay: TimingParams,
+    /// Output-slew compact-model parameters.
+    pub slew: TimingParams,
+    /// Validation error of the delay fit, percent.
+    pub delay_error_percent: f64,
+    /// Validation error of the slew fit, percent.
+    pub slew_error_percent: f64,
+}
+
+/// A characterized library: every arc that obtained both metric fits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizedLibrary {
+    /// Library name.
+    pub library: String,
+    /// Target technology name.
+    pub technology: String,
+    /// The fitted arcs.
+    pub arcs: Vec<CharacterizedArc>,
+}
+
+impl CharacterizedLibrary {
+    /// Assembles the library from unit results, pairing each arc's delay and slew fits.
+    ///
+    /// When several methods produced parameters for the same (arc, metric), the Bayesian
+    /// fit wins; an arc missing either metric is skipped (it cannot fill a Liberty timing
+    /// group).
+    pub fn from_units(library: &str, technology: &str, units: &[UnitResult]) -> Self {
+        let pick = |arc: &TimingArc, metric: TimingMetric| -> Option<(TimingParams, f64)> {
+            units
+                .iter()
+                .filter(|u| u.arc == *arc && u.metric == metric && u.params.is_some())
+                .min_by_key(|u| match u.method {
+                    MethodKind::ProposedBayesian => 0,
+                    MethodKind::ProposedLse => 1,
+                    MethodKind::Lut => 2,
+                })
+                .map(|u| (u.params.expect("filtered on is_some"), u.error_percent))
+        };
+        let mut arcs = Vec::new();
+        let mut seen = Vec::new();
+        for unit in units {
+            if seen.contains(&unit.arc) {
+                continue;
+            }
+            seen.push(unit.arc);
+            let (Some((delay, delay_err)), Some((slew, slew_err))) = (
+                pick(&unit.arc, TimingMetric::Delay),
+                pick(&unit.arc, TimingMetric::OutputSlew),
+            ) else {
+                continue;
+            };
+            arcs.push(CharacterizedArc {
+                arc: unit.arc,
+                delay,
+                slew,
+                delay_error_percent: delay_err,
+                slew_error_percent: slew_err,
+            });
+        }
+        Self {
+            library: library.to_string(),
+            technology: technology.to_string(),
+            arcs,
+        }
+    }
+
+    /// The arcs as liberty-export inputs.
+    pub fn fitted_arcs(&self) -> Vec<FittedArc> {
+        self.arcs
+            .iter()
+            .map(|a| FittedArc {
+                arc: a.arc,
+                delay: a.delay,
+                slew: a.slew,
+            })
+            .collect()
+    }
+
+    /// Renders the Liberty text of the characterized arcs (zero transient simulations;
+    /// see [`export_fitted_library`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no arc was fully characterized.
+    pub fn to_liberty(&self, engine: &CharacterizationEngine, grid: ExportGrid) -> String {
+        export_fitted_library(engine, &self.library, &self.fitted_arcs(), grid)
+    }
+
+    /// Returns `true` when an arc of the given cell name and transition is present.
+    pub fn covers(&self, cell_name: &str, transition: Transition) -> bool {
+        self.arcs
+            .iter()
+            .any(|a| a.arc.cell().name() == cell_name && a.arc.output_transition() == transition)
+    }
+}
+
+/// The complete, persistent record of one characterization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunArtifact {
+    /// Artifact format version (bumped on breaking layout changes).
+    pub schema_version: u32,
+    /// Library name.
+    pub library: String,
+    /// Target technology name.
+    pub technology: String,
+    /// Profile name the run used.
+    pub profile: String,
+    /// RNG seed the run used.
+    pub seed: u64,
+    /// Number of planned units.
+    pub planned_units: usize,
+    /// Per-unit outcomes.
+    pub units: Vec<UnitResult>,
+    /// The distilled library.
+    pub characterized: CharacterizedLibrary,
+    /// Transient simulations actually executed across every stage sharing the run's
+    /// counter (learning + characterization), i.e. the shared `SimulationCounter` total.
+    pub total_simulations: u64,
+    /// Simulation-cache hits across the run.
+    pub cache_hits: u64,
+    /// Simulation-cache misses across the run.
+    pub cache_misses: u64,
+}
+
+/// Current artifact schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+impl RunArtifact {
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (non-finite numbers — not produced by a valid run).
+    pub fn to_json(&self) -> Result<String, PipelineError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses an artifact from JSON, checking the schema version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] on malformed JSON or a schema-version mismatch.
+    pub fn from_json(text: &str) -> Result<Self, PipelineError> {
+        let artifact: Self = serde_json::from_str(text)?;
+        if artifact.schema_version != SCHEMA_VERSION {
+            return Err(PipelineError::config(format!(
+                "run artifact schema version {} is not supported (expected {SCHEMA_VERSION})",
+                artifact.schema_version
+            )));
+        }
+        Ok(artifact)
+    }
+
+    /// Writes the artifact as JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PipelineError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reloads an artifact from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and parse errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PipelineError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// A Markdown summary table of the run (one row per unit) with a cost footer.
+    pub fn summary_markdown(&self) -> String {
+        let headers = vec![
+            "arc".to_string(),
+            "metric".to_string(),
+            "method".to_string(),
+            "error (%)".to_string(),
+            "requested sims".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .units
+            .iter()
+            .map(|u| {
+                vec![
+                    u.arc_id.clone(),
+                    u.metric.to_string(),
+                    u.method.to_string(),
+                    format!("{:.2}", u.error_percent),
+                    u.requested_simulations.to_string(),
+                ]
+            })
+            .collect();
+        let mut out = format!(
+            "# Characterization run: {} on {} ({} profile)\n\n",
+            self.library, self.technology, self.profile
+        );
+        out.push_str(&markdown_table(&headers, &rows));
+        out.push_str(&format!(
+            "\n{} units; {} arcs fully characterized; {} transient simulations paid, {} cache hits ({} misses).\n",
+            self.units.len(),
+            self.characterized.arcs.len(),
+            self.total_simulations,
+            self.cache_hits,
+            self.cache_misses,
+        ));
+        out
+    }
+}

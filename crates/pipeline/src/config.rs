@@ -1,0 +1,423 @@
+//! Run configuration: what to characterize, how hard, and with which filters.
+//!
+//! A [`RunConfig`] is the user-facing, mostly-optional description loaded from a JSON or
+//! flat-TOML file (or built in code); [`RunConfig::resolve`] turns it into a fully
+//! populated [`ResolvedConfig`] with every name looked up and every default applied, which
+//! is what plans and runners consume.
+
+use crate::error::PipelineError;
+use crate::toml;
+use serde::{Deserialize, Serialize};
+use slic::liberty::ExportGrid;
+use slic::nominal::MethodKind;
+use slic_bayes::TimingMetric;
+use slic_cells::{DriveStrength, Library};
+use slic_device::TechnologyNode;
+use slic_spice::TransientConfig;
+use std::path::Path;
+
+/// The accuracy/cost trade-off of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunProfile {
+    /// Small budgets and the fast transient preset — seconds per library, for smoke tests
+    /// and CI.
+    Quick,
+    /// Paper-grade budgets and the accurate transient preset.
+    Accurate,
+}
+
+impl RunProfile {
+    /// Parses a profile name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "quick" => Some(Self::Quick),
+            "accurate" => Some(Self::Accurate),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Quick => "quick",
+            Self::Accurate => "accurate",
+        }
+    }
+
+    /// Training conditions simulated per work unit.
+    pub fn training_count(self) -> usize {
+        match self {
+            Self::Quick => 6,
+            Self::Accurate => 20,
+        }
+    }
+
+    /// Validation conditions per work unit (the per-unit accuracy estimate).
+    pub fn validation_points(self) -> usize {
+        match self {
+            Self::Quick => 12,
+            Self::Accurate => 60,
+        }
+    }
+
+    /// Reference-grid shape for the historical learning stage.
+    pub fn learning_grid(self) -> (usize, usize, usize) {
+        match self {
+            Self::Quick => (3, 3, 2),
+            Self::Accurate => (4, 4, 3),
+        }
+    }
+
+    /// Transient solver settings.
+    pub fn transient(self) -> TransientConfig {
+        match self {
+            Self::Quick => TransientConfig::fast(),
+            Self::Accurate => TransientConfig::accurate(),
+        }
+    }
+
+    /// Liberty table grid.
+    pub fn export_grid(self) -> ExportGrid {
+        match self {
+            Self::Quick => ExportGrid {
+                slew_levels: 3,
+                load_levels: 3,
+            },
+            Self::Accurate => ExportGrid {
+                slew_levels: 5,
+                load_levels: 5,
+            },
+        }
+    }
+}
+
+/// A run configuration as written by the user.  Every field is optional; unset fields take
+/// the defaults documented on [`RunConfig::resolve`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Built-in library name: `"paper-trio"` (default) or `"standard"`.
+    pub library: Option<String>,
+    /// Target technology name (see `TechnologyNode::by_name`); default `"target_14nm"`.
+    pub technology: Option<String>,
+    /// Historical technology names for the learning stage; default
+    /// `["n16_finfet", "n14_finfet"]`.
+    pub historical: Option<Vec<String>>,
+    /// Profile name: `"quick"` (default) or `"accurate"`.
+    pub profile: Option<String>,
+    /// Cell-kind glob filter (`*`/`?`, case-insensitive), e.g. `"NAND*"`.
+    pub cell_pattern: Option<String>,
+    /// Drive-strength filter, e.g. `["X1"]`.
+    pub drives: Option<Vec<String>>,
+    /// Metrics to characterize: `"delay"` and/or `"slew"`; default both.
+    pub metrics: Option<Vec<String>>,
+    /// Extraction methods per unit: `"bayesian"` (default), `"lse"`, `"lut"`.
+    pub methods: Option<Vec<String>>,
+    /// Override of the profile's per-unit training-condition count.
+    pub training_count: Option<usize>,
+    /// Override of the profile's per-unit validation-point count.
+    pub validation_points: Option<usize>,
+    /// RNG seed for training/validation sampling; default `20150313`.
+    pub seed: Option<u64>,
+}
+
+impl RunConfig {
+    /// Parses a configuration from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Serde`] on malformed JSON or mismatched shapes.
+    pub fn from_json(text: &str) -> Result<Self, PipelineError> {
+        Ok(serde_json::from_str(text)?)
+    }
+
+    /// Parses a configuration from flat-TOML text (see [`crate::toml`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Config`] on TOML syntax errors and a
+    /// [`PipelineError::Serde`] on mismatched shapes.
+    pub fn from_toml(text: &str) -> Result<Self, PipelineError> {
+        let value = toml::parse(text)?;
+        Ok(<Self as Deserialize>::from_value(&value)?)
+    }
+
+    /// Loads a configuration file, dispatching on the `.json` / `.toml` extension.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unreadable files, unknown extensions or malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, PipelineError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => Self::from_json(&text),
+            Some("toml") => Self::from_toml(&text),
+            other => Err(PipelineError::config(format!(
+                "cannot infer config format of `{}` (extension {:?}); use .json or .toml",
+                path.display(),
+                other
+            ))),
+        }
+    }
+
+    /// Applies defaults and resolves every name into concrete catalogue objects.
+    ///
+    /// Defaults: `paper-trio` library, `target_14nm` technology, the two FinFET
+    /// historical nodes, the `quick` profile, both metrics, the Bayesian method, seed
+    /// `20150313`, no cell/drive filters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Config`] naming any unknown library, technology, metric,
+    /// method, profile or drive strength, or a filter selection that leaves no cells.
+    pub fn resolve(&self) -> Result<ResolvedConfig, PipelineError> {
+        let library_name = self.library.as_deref().unwrap_or("paper-trio");
+        let mut library = Library::builtin(library_name).ok_or_else(|| {
+            PipelineError::config(format!(
+                "unknown library `{library_name}` (expected `paper-trio` or `standard`)"
+            ))
+        })?;
+        if let Some(pattern) = &self.cell_pattern {
+            library = library.filter_kinds(pattern);
+        }
+        if let Some(drives) = &self.drives {
+            let parsed: Vec<DriveStrength> = drives
+                .iter()
+                .map(|d| {
+                    DriveStrength::from_name(d).ok_or_else(|| {
+                        PipelineError::config(format!("unknown drive strength `{d}`"))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            library = library.filter_drives(&parsed);
+        }
+        if library.is_empty() {
+            return Err(PipelineError::config(format!(
+                "cell selection is empty: library `{library_name}`, pattern {:?}, drives {:?}",
+                self.cell_pattern, self.drives
+            )));
+        }
+
+        let technology_name = self.technology.as_deref().unwrap_or("target_14nm");
+        let technology = TechnologyNode::by_name(technology_name).ok_or_else(|| {
+            PipelineError::config(format!("unknown technology `{technology_name}`"))
+        })?;
+
+        let historical_names: Vec<String> = self
+            .historical
+            .clone()
+            .unwrap_or_else(|| vec!["n16_finfet".to_string(), "n14_finfet".to_string()]);
+        let historical: Vec<TechnologyNode> = historical_names
+            .iter()
+            .map(|name| {
+                TechnologyNode::by_name(name).ok_or_else(|| {
+                    PipelineError::config(format!("unknown historical technology `{name}`"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if historical.is_empty() {
+            return Err(PipelineError::config("historical technology list is empty"));
+        }
+
+        let profile_name = self.profile.as_deref().unwrap_or("quick");
+        let profile = RunProfile::from_name(profile_name).ok_or_else(|| {
+            PipelineError::config(format!(
+                "unknown profile `{profile_name}` (expected `quick` or `accurate`)"
+            ))
+        })?;
+
+        let metrics = match &self.metrics {
+            None => vec![TimingMetric::Delay, TimingMetric::OutputSlew],
+            Some(names) => names
+                .iter()
+                .map(|name| match name.to_ascii_lowercase().as_str() {
+                    "delay" => Ok(TimingMetric::Delay),
+                    "slew" | "output-slew" | "output_slew" => Ok(TimingMetric::OutputSlew),
+                    other => Err(PipelineError::config(format!("unknown metric `{other}`"))),
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        if metrics.is_empty() {
+            return Err(PipelineError::config("metric list is empty"));
+        }
+
+        let methods = match &self.methods {
+            None => vec![MethodKind::ProposedBayesian],
+            Some(names) => names
+                .iter()
+                .map(|name| match name.to_ascii_lowercase().as_str() {
+                    "bayesian" | "map" => Ok(MethodKind::ProposedBayesian),
+                    "lse" | "least-squares" | "least_squares" => Ok(MethodKind::ProposedLse),
+                    "lut" | "table" => Ok(MethodKind::Lut),
+                    other => Err(PipelineError::config(format!("unknown method `{other}`"))),
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        if methods.is_empty() {
+            return Err(PipelineError::config("method list is empty"));
+        }
+
+        Ok(ResolvedConfig {
+            library_name: library_name.to_string(),
+            library,
+            technology,
+            historical,
+            profile,
+            metrics,
+            methods,
+            training_count: self
+                .training_count
+                .unwrap_or_else(|| profile.training_count())
+                .max(1),
+            validation_points: self
+                .validation_points
+                .unwrap_or_else(|| profile.validation_points())
+                .max(2),
+            transient: profile.transient(),
+            export_grid: profile.export_grid(),
+            seed: self.seed.unwrap_or(20150313),
+        })
+    }
+}
+
+/// A fully resolved run description: every name looked up, every default applied.
+#[derive(Debug, Clone)]
+pub struct ResolvedConfig {
+    /// The configured library name (before filtering).
+    pub library_name: String,
+    /// The filtered cell selection.
+    pub library: Library,
+    /// The characterization target.
+    pub technology: TechnologyNode,
+    /// Historical nodes for the learning stage.
+    pub historical: Vec<TechnologyNode>,
+    /// The accuracy/cost profile.
+    pub profile: RunProfile,
+    /// Metrics each arc is characterized for.
+    pub metrics: Vec<TimingMetric>,
+    /// Extraction methods each (arc, metric) runs.
+    pub methods: Vec<MethodKind>,
+    /// Training conditions per work unit.
+    pub training_count: usize,
+    /// Validation conditions per work unit.
+    pub validation_points: usize,
+    /// Transient solver settings for every stage.
+    pub transient: TransientConfig,
+    /// Liberty table grid.
+    pub export_grid: ExportGrid,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve_to_the_paper_setup() {
+        let resolved = RunConfig::default().resolve().unwrap();
+        assert_eq!(resolved.library.len(), 3);
+        assert_eq!(resolved.technology.name(), "target-14nm-finfet");
+        assert_eq!(resolved.historical.len(), 2);
+        assert_eq!(resolved.profile, RunProfile::Quick);
+        assert_eq!(resolved.metrics.len(), 2);
+        assert_eq!(resolved.methods, vec![MethodKind::ProposedBayesian]);
+        assert_eq!(resolved.seed, 20150313);
+        assert!(resolved.training_count >= 1);
+    }
+
+    #[test]
+    fn json_and_toml_configs_agree() {
+        let json = r#"{
+            "library": "standard",
+            "profile": "quick",
+            "cell_pattern": "NAND*",
+            "drives": ["X1"],
+            "metrics": ["delay"],
+            "methods": ["bayesian", "lse"],
+            "seed": 7
+        }"#;
+        let toml_text = r#"
+            library = "standard"
+            profile = "quick"
+            cell_pattern = "NAND*"
+            drives = ["X1"]
+            metrics = ["delay"]
+            methods = ["bayesian", "lse"]
+            seed = 7
+        "#;
+        let a = RunConfig::from_json(json).unwrap();
+        let b = RunConfig::from_toml(toml_text).unwrap();
+        assert_eq!(a, b);
+        let resolved = a.resolve().unwrap();
+        assert_eq!(resolved.library.len(), 2, "NAND2_X1 and NAND3_X1");
+        assert_eq!(resolved.metrics, vec![TimingMetric::Delay]);
+        assert_eq!(resolved.methods.len(), 2);
+        assert_eq!(resolved.seed, 7);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let config = RunConfig {
+            library: Some("standard".into()),
+            cell_pattern: Some("NOR*".into()),
+            seed: Some(11),
+            ..RunConfig::default()
+        };
+        let text = serde_json::to_string_pretty(&config).unwrap();
+        let back = RunConfig::from_json(&text).unwrap();
+        assert_eq!(config, back);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_context() {
+        let bad = |cfg: RunConfig| cfg.resolve().unwrap_err().to_string();
+        assert!(bad(RunConfig {
+            library: Some("nope".into()),
+            ..Default::default()
+        })
+        .contains("unknown library"));
+        assert!(bad(RunConfig {
+            technology: Some("n3".into()),
+            ..Default::default()
+        })
+        .contains("unknown technology"));
+        assert!(bad(RunConfig {
+            profile: Some("turbo".into()),
+            ..Default::default()
+        })
+        .contains("unknown profile"));
+        assert!(bad(RunConfig {
+            metrics: Some(vec!["power".into()]),
+            ..Default::default()
+        })
+        .contains("unknown metric"));
+        assert!(bad(RunConfig {
+            methods: Some(vec!["oracle".into()]),
+            ..Default::default()
+        })
+        .contains("unknown method"));
+        assert!(bad(RunConfig {
+            drives: Some(vec!["X8".into()]),
+            ..Default::default()
+        })
+        .contains("unknown drive"));
+        assert!(bad(RunConfig {
+            cell_pattern: Some("XYZ*".into()),
+            ..Default::default()
+        })
+        .contains("selection is empty"));
+    }
+
+    #[test]
+    fn profile_budgets_are_ordered() {
+        assert!(RunProfile::Quick.training_count() < RunProfile::Accurate.training_count());
+        assert!(RunProfile::Quick.validation_points() < RunProfile::Accurate.validation_points());
+        assert_eq!(RunProfile::from_name("QUICK"), Some(RunProfile::Quick));
+        assert_eq!(
+            RunProfile::from_name("accurate").unwrap().name(),
+            "accurate"
+        );
+        assert!(RunProfile::from_name("warp").is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! Pipeline error type.
+
+use std::fmt;
+
+/// Anything that can go wrong preparing or running a characterization pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// An invalid or inconsistent run configuration (unknown names, empty selections,
+    /// malformed config text).
+    Config(String),
+    /// An invalid transient-solver configuration, surfaced from the engine.
+    Engine(slic_spice::ConfigError),
+    /// A filesystem failure while loading or persisting artifacts.
+    Io(std::io::Error),
+    /// A JSON (de)serialization failure on an artifact or database file.
+    Serde(serde_json::Error),
+}
+
+impl PipelineError {
+    /// Convenience constructor for configuration errors.
+    pub fn config(message: impl Into<String>) -> Self {
+        Self::Config(message.into())
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Config(msg) => write!(f, "configuration error: {msg}"),
+            PipelineError::Engine(err) => write!(f, "engine error: {err}"),
+            PipelineError::Io(err) => write!(f, "io error: {err}"),
+            PipelineError::Serde(err) => write!(f, "serialization error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<slic_spice::ConfigError> for PipelineError {
+    fn from(err: slic_spice::ConfigError) -> Self {
+        Self::Engine(err)
+    }
+}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+impl From<serde_json::Error> for PipelineError {
+    fn from(err: serde_json::Error) -> Self {
+        Self::Serde(err)
+    }
+}

@@ -1,0 +1,58 @@
+//! `slic-pipeline` — the library-scale characterization pipeline.
+//!
+//! The per-arc studies in `slic` answer "how accurate is method X on this arc?"; this crate
+//! answers the production question: *characterize the whole library*.  The flow mirrors the
+//! batch drivers used by production characterization tools:
+//!
+//! 1. **Configure** — a [`RunConfig`] (JSON or flat TOML, every field optional) selects the
+//!    library, target and historical technologies, `quick`/`accurate` profile, cell-kind
+//!    glob and drive-strength filters, metrics and extraction methods;
+//! 2. **Plan** — a [`CharacterizationPlan`] enumerates the work units
+//!    `cells × primary arcs × metrics × methods`;
+//! 3. **Learn** — [`PipelineRunner::learn`] archives compact-model fits of the historical
+//!    nodes (reusing `slic::historical` with the run's shared counter and cache);
+//! 4. **Characterize** — [`PipelineRunner::characterize`] executes the units in parallel
+//!    (rayon) against one shared engine: every transient goes through one
+//!    [`SimulationCounter`](slic_spice::SimulationCounter) and one
+//!    [`InMemorySimCache`](slic_spice::InMemorySimCache), so delay/slew unit pairs and
+//!    repeated runs pay for each coordinate once;
+//! 5. **Persist / export** — the [`RunArtifact`] (per-unit results, fitted
+//!    [`CharacterizedLibrary`], cost totals, cache statistics) saves and reloads as JSON,
+//!    and renders Liberty text through
+//!    [`slic::liberty::export_fitted_library`] at zero additional simulation cost.
+//!
+//! The `slic` CLI (`crates/cli`) wraps these stages as the `learn`, `characterize`,
+//! `export` and `report` subcommands.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use slic_pipeline::{CharacterizationPlan, PipelineRunner, RunConfig};
+//!
+//! let config = RunConfig::default().resolve().expect("default config resolves");
+//! let runner = PipelineRunner::new(config).expect("quick profile is valid");
+//! let (learning, artifact) = runner.run().expect("pipeline runs");
+//! println!("{}", artifact.summary_markdown());
+//! let liberty = artifact
+//!     .characterized
+//!     .to_liberty(runner.engine(), runner.config().export_grid);
+//! std::fs::write("library.lib", liberty).expect("write .lib");
+//! let _ = learning.database.to_json();
+//! let _ = CharacterizationPlan::from_config(runner.config());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod config;
+pub mod error;
+pub mod plan;
+pub mod runner;
+pub mod toml;
+
+pub use artifact::{CharacterizedArc, CharacterizedLibrary, RunArtifact, UnitResult};
+pub use config::{ResolvedConfig, RunConfig, RunProfile};
+pub use error::PipelineError;
+pub use plan::{CharacterizationPlan, WorkUnit};
+pub use runner::PipelineRunner;

@@ -1,0 +1,291 @@
+//! The parallel pipeline runner: one shared engine, counter and cache; work units executed
+//! with rayon; results streamed into a [`RunArtifact`].
+
+use crate::artifact::{CharacterizedLibrary, RunArtifact, UnitResult, SCHEMA_VERSION};
+use crate::config::ResolvedConfig;
+use crate::error::PipelineError;
+use crate::plan::{CharacterizationPlan, WorkUnit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use slic::historical::{HistoricalLearner, HistoricalLearningConfig, HistoricalLearningResult};
+use slic::nominal::MethodKind;
+use slic_bayes::{
+    HistoricalDatabase, MapExtractor, PrecisionConfig, PrecisionModel, PriorBuilder, TimingMetric,
+};
+use slic_cells::CellKind;
+use slic_lut::LutBuilder;
+use slic_spice::{CharacterizationEngine, InMemorySimCache, SimulationCounter};
+use slic_stats::distance::mean_relative_error_percent;
+use slic_timing_model::{LeastSquaresFitter, TimingSample};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Executes characterization plans against one target technology.
+///
+/// All stages — historical learning, per-unit characterization, validation — run through a
+/// single [`CharacterizationEngine`] clone family sharing one [`SimulationCounter`] and one
+/// [`InMemorySimCache`], so the artifact reports one true cost total and repeated
+/// coordinates are simulated once.
+pub struct PipelineRunner {
+    config: ResolvedConfig,
+    engine: CharacterizationEngine,
+    counter: SimulationCounter,
+    cache: Arc<InMemorySimCache>,
+}
+
+impl PipelineRunner {
+    /// Creates a runner with a fresh counter and cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Engine`] when the profile's transient configuration is
+    /// invalid.
+    pub fn new(config: ResolvedConfig) -> Result<Self, PipelineError> {
+        Self::with_cache(config, Arc::new(InMemorySimCache::new()))
+    }
+
+    /// Creates a runner reusing an existing (possibly warm) simulation cache — the
+    /// repeated-run entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Engine`] when the profile's transient configuration is
+    /// invalid.
+    pub fn with_cache(
+        config: ResolvedConfig,
+        cache: Arc<InMemorySimCache>,
+    ) -> Result<Self, PipelineError> {
+        let counter = SimulationCounter::new();
+        let engine =
+            CharacterizationEngine::with_config(config.technology.clone(), config.transient)?
+                .with_shared_counter(counter.clone())
+                .with_cache(cache.clone());
+        Ok(Self {
+            config,
+            engine,
+            counter,
+            cache,
+        })
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> &ResolvedConfig {
+        &self.config
+    }
+
+    /// The shared engine (bound to the target technology).
+    pub fn engine(&self) -> &CharacterizationEngine {
+        &self.engine
+    }
+
+    /// The shared simulation counter.
+    pub fn counter(&self) -> &SimulationCounter {
+        &self.counter
+    }
+
+    /// The shared simulation cache.
+    pub fn cache(&self) -> &Arc<InMemorySimCache> {
+        &self.cache
+    }
+
+    /// Runs the historical learning stage over the configured historical nodes, through
+    /// the shared counter and cache.
+    pub fn learn(&self) -> HistoricalLearningResult {
+        let learner = HistoricalLearner::new(HistoricalLearningConfig {
+            grid_levels: self.config.profile.learning_grid(),
+            transient: self.config.transient,
+        });
+        learner.learn_shared(
+            &self.config.historical,
+            &self.config.library,
+            &self.counter,
+            Some(self.cache.clone()),
+        )
+    }
+
+    /// Executes every unit of `plan` in parallel against `database` and assembles the run
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Config`] when a Bayesian unit is planned but the
+    /// database lacks records for its metric.
+    pub fn characterize(
+        &self,
+        plan: &CharacterizationPlan,
+        database: &HistoricalDatabase,
+    ) -> Result<RunArtifact, PipelineError> {
+        let extractors = self.build_extractors(plan, database)?;
+        let units: Vec<UnitResult> = plan
+            .units()
+            .par_iter()
+            .map(|unit| self.run_unit(unit, &extractors))
+            .collect();
+        let characterized = CharacterizedLibrary::from_units(
+            &self.config.library_name,
+            self.config.technology.name(),
+            &units,
+        );
+        Ok(RunArtifact {
+            schema_version: SCHEMA_VERSION,
+            library: self.config.library_name.clone(),
+            technology: self.config.technology.name().to_string(),
+            profile: self.config.profile.name().to_string(),
+            seed: self.config.seed,
+            planned_units: plan.len(),
+            units,
+            characterized,
+            total_simulations: self.counter.count(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        })
+    }
+
+    /// The whole resumable flow in one call: learn, characterize, return both artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan and characterization errors.
+    pub fn run(&self) -> Result<(HistoricalLearningResult, RunArtifact), PipelineError> {
+        let plan = CharacterizationPlan::from_config(&self.config)?;
+        let learning = self.learn();
+        let artifact = self.characterize(&plan, &learning.database)?;
+        Ok((learning, artifact))
+    }
+
+    /// Builds one MAP extractor per `(cell kind, metric)` pair the plan needs, so the
+    /// prior/precision learning cost is paid once instead of per unit.
+    fn build_extractors(
+        &self,
+        plan: &CharacterizationPlan,
+        database: &HistoricalDatabase,
+    ) -> Result<HashMap<(CellKind, TimingMetric), MapExtractor>, PipelineError> {
+        let mut extractors = HashMap::new();
+        for unit in plan.units() {
+            if unit.method != MethodKind::ProposedBayesian {
+                continue;
+            }
+            let key = (unit.cell.kind(), unit.metric);
+            if extractors.contains_key(&key) {
+                continue;
+            }
+            let prior = PriorBuilder::new()
+                .build(database, unit.metric, Some(unit.cell.kind().name()))
+                .or_else(|_| PriorBuilder::new().build(database, unit.metric, None))
+                .map_err(|err| {
+                    PipelineError::config(format!(
+                        "cannot build a prior for {} / {}: {err} (run the learn stage first?)",
+                        unit.cell.kind().name(),
+                        unit.metric
+                    ))
+                })?;
+            let precision = PrecisionModel::learn(
+                database,
+                unit.metric,
+                &self.engine.input_space(),
+                PrecisionConfig::default(),
+            );
+            extractors.insert(key, MapExtractor::new(prior, precision));
+        }
+        Ok(extractors)
+    }
+
+    /// Executes one work unit: sample, simulate (through the shared cache), fit, validate.
+    fn run_unit(
+        &self,
+        unit: &WorkUnit,
+        extractors: &HashMap<(CellKind, TimingMetric), MapExtractor>,
+    ) -> UnitResult {
+        let k = self.config.training_count;
+        let v = self.config.validation_points;
+        let space = self.engine.input_space();
+        let mut rng = StdRng::seed_from_u64(unit.sampling_seed(self.config.seed));
+        let training_points = space.sample_latin_hypercube(&mut rng, k);
+        let validation_points = space.sample_uniform(&mut rng, v);
+        let nominal = slic_device::ProcessSample::nominal();
+
+        let reference: Vec<f64> = self
+            .engine
+            .sweep_nominal(unit.cell, &unit.arc, &validation_points)
+            .iter()
+            .map(|m| unit.metric.pick(m))
+            .collect();
+
+        let (params, predictions) = match unit.method {
+            MethodKind::ProposedBayesian | MethodKind::ProposedLse => {
+                let measurements =
+                    self.engine
+                        .sweep_nominal(unit.cell, &unit.arc, &training_points);
+                let samples: Vec<TimingSample> = training_points
+                    .iter()
+                    .zip(&measurements)
+                    .map(|(p, m)| {
+                        TimingSample::new(
+                            *p,
+                            self.engine.ieff(&unit.arc, p, &nominal),
+                            slic_units::Seconds(unit.metric.pick(m)),
+                        )
+                    })
+                    .collect();
+                let params = if unit.method == MethodKind::ProposedBayesian {
+                    extractors
+                        .get(&(unit.cell.kind(), unit.metric))
+                        .expect("extractor prebuilt for every Bayesian unit")
+                        .extract(&samples)
+                        .params
+                } else {
+                    LeastSquaresFitter::new().fit(&samples).params
+                };
+                let predictions: Vec<f64> = validation_points
+                    .iter()
+                    .map(|p| {
+                        params
+                            .evaluate(p, self.engine.ieff(&unit.arc, p, &nominal))
+                            .value()
+                    })
+                    .collect();
+                (Some(params), predictions)
+            }
+            MethodKind::Lut => {
+                let lut = LutBuilder::new(&self.engine)
+                    .build_nominal_with_budget(unit.cell, &unit.arc, k);
+                let predictions: Vec<f64> = validation_points
+                    .iter()
+                    .map(|p| {
+                        let m = lut.predict(p);
+                        unit.metric.pick(&m)
+                    })
+                    .collect();
+                (None, predictions)
+            }
+        };
+
+        UnitResult {
+            arc_id: unit.arc.id(),
+            arc: unit.arc,
+            metric: unit.metric,
+            method: unit.method,
+            params,
+            training_count: k,
+            validation_points: v,
+            error_percent: mean_relative_error_percent(&predictions, &reference),
+            requested_simulations: (k + v) as u64,
+        }
+    }
+}
+
+/// Metric-selection helper shared by the runner stages.
+trait MetricPick {
+    /// The metric's value out of a measurement, in seconds.
+    fn pick(&self, m: &slic_spice::TimingMeasurement) -> f64;
+}
+
+impl MetricPick for TimingMetric {
+    fn pick(&self, m: &slic_spice::TimingMeasurement) -> f64 {
+        match self {
+            TimingMetric::Delay => m.delay.value(),
+            TimingMetric::OutputSlew => m.output_slew.value(),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! A minimal flat-TOML reader for run configurations.
+//!
+//! The full TOML data model is far more than a run config needs, and no TOML crate is
+//! available offline, so this module accepts the practical subset: `key = value` lines with
+//! string, integer, float, boolean and homogeneous-array values, plus `#` comments and
+//! blank lines.  Tables/section headers are rejected with a pointed error so nobody
+//! discovers a silently ignored `[section]` the hard way.
+
+use crate::error::PipelineError;
+use serde::Value;
+
+/// Parses flat-TOML text into the same [`Value::Object`] shape `serde_json` produces, so
+/// config deserialization is format-independent.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError::Config`] naming the offending line on any syntax error.
+pub fn parse(text: &str) -> Result<Value, PipelineError> {
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    for (index, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = index + 1;
+        if line.starts_with('[') {
+            return Err(PipelineError::config(format!(
+                "line {lineno}: table headers are not supported by the flat-TOML run-config reader; use top-level keys"
+            )));
+        }
+        let (key, value_text) = line.split_once('=').ok_or_else(|| {
+            PipelineError::config(format!("line {lineno}: expected `key = value`"))
+        })?;
+        let key = key.trim().trim_matches('"');
+        if key.is_empty() {
+            return Err(PipelineError::config(format!("line {lineno}: empty key")));
+        }
+        if entries.iter().any(|(k, _)| k == key) {
+            return Err(PipelineError::config(format!(
+                "line {lineno}: duplicate key `{key}`"
+            )));
+        }
+        let value = parse_value(value_text.trim(), lineno)?;
+        entries.push((key.to_string(), value));
+    }
+    Ok(Value::Object(entries))
+}
+
+/// Strips a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, PipelineError> {
+    if text.is_empty() {
+        return Err(PipelineError::config(format!(
+            "line {lineno}: missing value"
+        )));
+    }
+    if let Some(stripped) = text.strip_prefix('[') {
+        let inner = stripped
+            .strip_suffix(']')
+            .ok_or_else(|| PipelineError::config(format!("line {lineno}: unterminated array")))?;
+        let mut items = Vec::new();
+        for part in split_array_items(inner) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part, lineno)?);
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(stripped) = text.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| PipelineError::config(format!("line {lineno}: unterminated string")))?;
+        return Ok(Value::String(inner.to_string()));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    text.parse::<f64>().map(Value::Number).map_err(|_| {
+        PipelineError::config(format!(
+            "line {lineno}: `{text}` is not a string (quote it), number, boolean or array"
+        ))
+    })
+}
+
+/// Splits array contents on commas outside quoted strings (arrays do not nest in the
+/// supported subset).
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&inner[start..]);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_supported_subset() {
+        let value = parse(
+            r#"
+            # characterization run
+            library = "paper-trio"
+            profile = "quick"   # fast settings
+            seed = 42
+            scale = 1.5
+            resume = true
+            metrics = ["delay", "slew"]
+            counts = [1, 2, 3]
+            empty = []
+            "#,
+        )
+        .unwrap();
+        assert_eq!(value.get("library").unwrap().as_str(), Some("paper-trio"));
+        assert_eq!(value.get("seed").unwrap().as_f64(), Some(42.0));
+        assert_eq!(value.get("scale").unwrap().as_f64(), Some(1.5));
+        assert_eq!(value.get("resume").unwrap().as_bool(), Some(true));
+        assert_eq!(value.get("metrics").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(value.get("counts").unwrap().as_array().unwrap().len(), 3);
+        assert!(value.get("empty").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_sections_duplicates_and_syntax_errors() {
+        assert!(parse("[run]\nkey = 1")
+            .unwrap_err()
+            .to_string()
+            .contains("table headers"));
+        assert!(parse("a = 1\na = 2")
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
+        assert!(parse("just a line")
+            .unwrap_err()
+            .to_string()
+            .contains("key = value"));
+        assert!(parse("a = ")
+            .unwrap_err()
+            .to_string()
+            .contains("missing value"));
+        assert!(parse("a = \"unterminated")
+            .unwrap_err()
+            .to_string()
+            .contains("unterminated"));
+        assert!(parse("a = [1, 2")
+            .unwrap_err()
+            .to_string()
+            .contains("unterminated array"));
+        assert!(parse("a = nope")
+            .unwrap_err()
+            .to_string()
+            .contains("not a string"));
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let value = parse("note = \"keep # this\"").unwrap();
+        assert_eq!(value.get("note").unwrap().as_str(), Some("keep # this"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Transient-simulation caching.
+//!
+//! A library-scale characterization run hits the same `(technology, arc, input point,
+//! process seed)` coordinates repeatedly: the LUT baseline and the model-training stages
+//! share grid corners, repeated runs of a resumable pipeline re-request identical sweeps,
+//! and multi-metric work units re-simulate the same arc (one transient yields both delay
+//! and slew).  A [`SimulationCache`] attached to a [`CharacterizationEngine`] short-circuits
+//! those repeats: cache hits return the archived [`TimingMeasurement`] without running the
+//! solver and **without incrementing the simulation counter**, so the counter keeps its
+//! meaning of "transient simulations actually paid for".
+//!
+//! [`CharacterizationEngine`]: crate::engine::CharacterizationEngine
+
+use crate::input::InputPoint;
+use crate::measure::TimingMeasurement;
+use crate::transient::TransientConfig;
+use slic_cells::TimingArc;
+use slic_device::ProcessSample;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The exact coordinates of one transient simulation.
+///
+/// Floating-point components are keyed by their bit patterns: two points are "the same"
+/// only when they are bitwise identical, which is the right notion for caching replayed
+/// deterministic campaigns (nearby-but-different points must not alias).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SimKey {
+    tech: String,
+    arc: TimingArc,
+    point: [u64; 3],
+    seed: [u64; 7],
+    config: [u64; 4],
+}
+
+impl SimKey {
+    /// Builds the key for simulating `arc` at `point` under `seed` with `config` in the
+    /// technology named `tech`.
+    pub fn new(
+        tech: &str,
+        arc: &TimingArc,
+        point: &InputPoint,
+        seed: &ProcessSample,
+        config: &TransientConfig,
+    ) -> Self {
+        Self {
+            tech: tech.to_string(),
+            arc: *arc,
+            point: [
+                point.sin.value().to_bits(),
+                point.cload.value().to_bits(),
+                point.vdd.value().to_bits(),
+            ],
+            seed: [
+                seed.delta_vth_n.to_bits(),
+                seed.delta_vth_p.to_bits(),
+                seed.vx0_scale_n.to_bits(),
+                seed.vx0_scale_p.to_bits(),
+                seed.cinv_scale.to_bits(),
+                seed.dibl_scale_n.to_bits(),
+                seed.dibl_scale_p.to_bits(),
+            ],
+            config: [
+                config.dv_max_fraction.to_bits(),
+                config.min_steps_per_ramp as u64,
+                config.max_time_factor.to_bits(),
+                config.miller_fraction.to_bits(),
+            ],
+        }
+    }
+}
+
+/// A concurrent store of completed transient simulations.
+///
+/// Implementations must be thread-safe: the engine consults the cache from rayon worker
+/// threads.  `lookup` and `store` are intentionally split (no `or_insert_with`) so a miss
+/// never holds a lock across the milliseconds-long transient solve.
+pub trait SimulationCache: Send + Sync {
+    /// The archived measurement for `key`, if present.
+    fn lookup(&self, key: &SimKey) -> Option<TimingMeasurement>;
+
+    /// Archives a completed measurement.
+    fn store(&self, key: SimKey, measurement: TimingMeasurement);
+}
+
+const SHARDS: usize = 16;
+
+/// A sharded in-memory [`SimulationCache`] with hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct InMemorySimCache {
+    shards: [Mutex<HashMap<SimKey, TimingMeasurement>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl InMemorySimCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that fell through to the solver so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of archived measurements.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Returns `true` when nothing is archived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &SimKey) -> &Mutex<HashMap<SimKey, TimingMeasurement>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+}
+
+impl SimulationCache for InMemorySimCache {
+    fn lookup(&self, key: &SimKey) -> Option<TimingMeasurement> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .copied();
+        match found {
+            Some(m) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(m)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: SimKey, measurement: TimingMeasurement) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, measurement);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slic_cells::{Cell, CellKind, DriveStrength, Transition};
+    use slic_units::{Farads, Seconds, Volts};
+
+    fn key(sin_ps: f64) -> SimKey {
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let arc = TimingArc::new(cell, 0, Transition::Fall);
+        let point = InputPoint::new(
+            Seconds::from_picoseconds(sin_ps),
+            Farads::from_femtofarads(2.0),
+            Volts(0.8),
+        );
+        SimKey::new(
+            "n14",
+            &arc,
+            &point,
+            &ProcessSample::nominal(),
+            &TransientConfig::fast(),
+        )
+    }
+
+    #[test]
+    fn lookup_store_and_accounting() {
+        let cache = InMemorySimCache::new();
+        let m = TimingMeasurement::new(Seconds(1e-12), Seconds(2e-12));
+        assert!(cache.lookup(&key(5.0)).is_none());
+        cache.store(key(5.0), m);
+        assert_eq!(cache.lookup(&key(5.0)), Some(m));
+        assert!(cache.lookup(&key(6.0)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn distinct_coordinates_do_not_alias() {
+        let a = key(5.0);
+        let b = key(5.000000001);
+        assert_ne!(a, b, "bitwise-different points must have different keys");
+    }
+}

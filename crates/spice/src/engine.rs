@@ -11,6 +11,7 @@
 //! reported speedups are ratios of simulation counts at equal accuracy, so the counter is
 //! the basis of all cost accounting in `slic-core` and the benches.
 
+use crate::cache::{SimKey, SimulationCache};
 use crate::input::{InputPoint, InputSpace};
 use crate::measure::TimingMeasurement;
 use crate::transient::{simulate_switching, TransientConfig};
@@ -18,8 +19,29 @@ use rayon::prelude::*;
 use slic_cells::{Cell, EquivalentInverter, TimingArc};
 use slic_device::{ProcessSample, TechnologyNode};
 use slic_units::Amperes;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// An invalid [`TransientConfig`] was supplied to an engine constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: String) -> Self {
+        Self { message }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid transient configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// A cloneable handle onto a shared count of transient simulations.
 #[derive(Debug, Clone, Default)]
@@ -50,33 +72,67 @@ impl SimulationCounter {
 }
 
 /// A simulator front-end bound to one technology node.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CharacterizationEngine {
     tech: TechnologyNode,
     config: TransientConfig,
     counter: SimulationCounter,
+    cache: Option<Arc<dyn SimulationCache>>,
+}
+
+impl fmt::Debug for CharacterizationEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CharacterizationEngine")
+            .field("tech", &self.tech)
+            .field("config", &self.config)
+            .field("counter", &self.counter)
+            .field("cache", &self.cache.as_ref().map(|_| "..."))
+            .finish()
+    }
 }
 
 impl CharacterizationEngine {
     /// Creates an engine with the accurate (baseline-grade) transient settings.
     pub fn new(tech: TechnologyNode) -> Self {
         Self::with_config(tech, TransientConfig::accurate())
+            .expect("the accurate preset always validates")
     }
 
     /// Creates an engine with an explicit transient configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails validation.
-    pub fn with_config(tech: TechnologyNode, config: TransientConfig) -> Self {
-        if let Err(msg) = config.validate() {
-            panic!("invalid transient configuration: {msg}");
-        }
-        Self {
+    /// Returns a [`ConfigError`] describing the first field that fails validation.
+    pub fn with_config(tech: TechnologyNode, config: TransientConfig) -> Result<Self, ConfigError> {
+        config.validate().map_err(ConfigError::new)?;
+        Ok(Self {
             tech,
             config,
             counter: SimulationCounter::new(),
-        }
+            cache: None,
+        })
+    }
+
+    /// Replaces this engine's counter with a shared one, so simulation costs from several
+    /// engines (one per technology, or one per pipeline stage) aggregate into one total.
+    #[must_use]
+    pub fn with_shared_counter(mut self, counter: SimulationCounter) -> Self {
+        self.counter = counter;
+        self
+    }
+
+    /// Attaches a simulation cache.  Subsequent [`simulate`](Self::simulate) calls answer
+    /// repeated coordinates from the cache without running the solver and without
+    /// incrementing the simulation counter.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<dyn SimulationCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached simulation cache, if any.
+    pub fn cache(&self) -> Option<&Arc<dyn SimulationCache>> {
+        self.cache.as_ref()
     }
 
     /// The technology this engine simulates.
@@ -116,7 +172,8 @@ impl CharacterizationEngine {
     /// does not increment the simulation counter — matching the paper's assumption that
     /// `Ieff` per input vector is available from performance modelling.
     pub fn ieff(&self, arc: &TimingArc, point: &InputPoint, seed: &ProcessSample) -> Amperes {
-        self.equivalent_inverter(arc.cell(), seed).ieff(arc, point.vdd)
+        self.equivalent_inverter(arc.cell(), seed)
+            .ieff(arc, point.vdd)
     }
 
     /// Runs one transient simulation of `arc` at `point` under process seed `seed`.
@@ -133,18 +190,36 @@ impl CharacterizationEngine {
         point: &InputPoint,
         seed: &ProcessSample,
     ) -> TimingMeasurement {
+        let key = self.cache.as_ref().map(|cache| {
+            let key = SimKey::new(self.tech.name(), arc, point, seed, &self.config);
+            (cache, key)
+        });
+        if let Some((cache, key)) = &key {
+            if let Some(measurement) = cache.lookup(key) {
+                return measurement;
+            }
+        }
         let eq = EquivalentInverter::build(&self.tech, cell, seed);
         self.counter.add(1);
-        simulate_switching(&eq, arc, point, &self.config).unwrap_or_else(|err| {
+        let measurement = simulate_switching(&eq, arc, point, &self.config).unwrap_or_else(|err| {
             panic!(
                 "transient simulation failed for {} at {point}: {err}",
                 arc.id()
             )
-        })
+        });
+        if let Some((cache, key)) = key {
+            cache.store(key, measurement);
+        }
+        measurement
     }
 
     /// Runs one transient simulation at the nominal process corner.
-    pub fn simulate_nominal(&self, cell: Cell, arc: &TimingArc, point: &InputPoint) -> TimingMeasurement {
+    pub fn simulate_nominal(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        point: &InputPoint,
+    ) -> TimingMeasurement {
         self.simulate(cell, arc, point, &ProcessSample::nominal())
     }
 
@@ -164,7 +239,12 @@ impl CharacterizationEngine {
     }
 
     /// Simulates `arc` at every input point at the nominal corner, in parallel.
-    pub fn sweep_nominal(&self, cell: Cell, arc: &TimingArc, points: &[InputPoint]) -> Vec<TimingMeasurement> {
+    pub fn sweep_nominal(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        points: &[InputPoint],
+    ) -> Vec<TimingMeasurement> {
         self.sweep(cell, arc, points, &ProcessSample::nominal())
     }
 
@@ -215,6 +295,7 @@ mod tests {
 
     fn engine() -> CharacterizationEngine {
         CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+            .expect("fast preset validates")
     }
 
     fn inv_fall() -> (Cell, TimingArc) {
@@ -284,10 +365,15 @@ mod tests {
         assert_eq!(ms.len(), 48);
         let delays: Vec<f64> = ms.iter().map(|m| m.delay.value()).collect();
         let mean = delays.iter().sum::<f64>() / delays.len() as f64;
-        let sd = (delays.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (delays.len() - 1) as f64)
+        let sd = (delays.iter().map(|d| (d - mean).powi(2)).sum::<f64>()
+            / (delays.len() - 1) as f64)
             .sqrt();
         assert!(sd > 0.0, "process variation must spread the delays");
-        assert!(sd / mean < 0.5, "spread should stay moderate (cv = {})", sd / mean);
+        assert!(
+            sd / mean < 0.5,
+            "spread should stay moderate (cv = {})",
+            sd / mean
+        );
     }
 
     #[test]
@@ -312,12 +398,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid transient configuration")]
     fn invalid_config_rejected_at_construction() {
         let bad = TransientConfig {
             dv_max_fraction: 0.5,
             ..TransientConfig::fast()
         };
-        let _ = CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), bad);
+        let err = CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), bad)
+            .expect_err("out-of-range dv_max_fraction must be rejected");
+        assert!(err.to_string().contains("invalid transient configuration"));
+        assert!(err.to_string().contains("dv_max_fraction"));
+    }
+
+    #[test]
+    fn cache_short_circuits_repeat_simulations() {
+        use crate::cache::InMemorySimCache;
+        let cache = Arc::new(InMemorySimCache::new());
+        let eng = engine().with_cache(cache.clone());
+        let (cell, arc) = inv_fall();
+        let point = pt(5.0, 2.0, 0.8);
+        let first = eng.simulate_nominal(cell, &arc, &point);
+        assert_eq!(eng.simulation_count(), 1);
+        assert_eq!(cache.hits(), 0);
+        let second = eng.simulate_nominal(cell, &arc, &point);
+        assert_eq!(second, first, "cache must replay the archived measurement");
+        assert_eq!(
+            eng.simulation_count(),
+            1,
+            "cache hits must not count as simulations"
+        );
+        assert_eq!(cache.hits(), 1);
+        // A different coordinate still simulates.
+        let _ = eng.simulate_nominal(cell, &arc, &pt(6.0, 2.0, 0.8));
+        assert_eq!(eng.simulation_count(), 2);
+    }
+
+    #[test]
+    fn shared_counter_aggregates_across_engines() {
+        let counter = SimulationCounter::new();
+        let a = engine().with_shared_counter(counter.clone());
+        let b = CharacterizationEngine::with_config(
+            TechnologyNode::n16_finfet(),
+            TransientConfig::fast(),
+        )
+        .expect("fast preset validates")
+        .with_shared_counter(counter.clone());
+        let (cell, arc) = inv_fall();
+        let _ = a.simulate_nominal(cell, &arc, &pt(5.0, 2.0, 0.8));
+        let _ = b.simulate_nominal(cell, &arc, &pt(5.0, 2.0, 0.8));
+        assert_eq!(counter.count(), 2);
     }
 }

@@ -115,7 +115,10 @@ impl InputSpace {
     /// 0.3–6 fF and the supply range of the given technology's operating window.
     pub fn paper_space(vdd_range: (Volts, Volts)) -> Self {
         Self::new(
-            (Seconds::from_picoseconds(1.0), Seconds::from_picoseconds(15.0)),
+            (
+                Seconds::from_picoseconds(1.0),
+                Seconds::from_picoseconds(15.0),
+            ),
             (Farads::from_femtofarads(0.3), Farads::from_femtofarads(6.0)),
             vdd_range,
         )
@@ -191,7 +194,12 @@ impl InputSpace {
 
     /// Builds the classical LUT characterization grid with the given number of levels per
     /// axis (slew × load × supply full factorial).
-    pub fn lut_grid(&self, sin_levels: usize, cload_levels: usize, vdd_levels: usize) -> Vec<InputPoint> {
+    pub fn lut_grid(
+        &self,
+        sin_levels: usize,
+        cload_levels: usize,
+        vdd_levels: usize,
+    ) -> Vec<InputPoint> {
         sampling::full_factorial(&self.bounds(), &[sin_levels, cload_levels, vdd_levels])
             .iter()
             .map(|c| Self::from_coords(c))
@@ -271,9 +279,9 @@ mod tests {
         assert_eq!(grid.len(), 60);
         assert!(grid.iter().all(|p| s.contains(p)));
         // Corners are included.
-        assert!(grid
-            .iter()
-            .any(|p| p.sin == s.sin_range().0 && p.cload == s.cload_range().0 && p.vdd == s.vdd_range().0));
+        assert!(grid.iter().any(|p| p.sin == s.sin_range().0
+            && p.cload == s.cload_range().0
+            && p.vdd == s.vdd_range().0));
     }
 
     #[test]
@@ -286,6 +294,11 @@ mod tests {
     fn serde_json_like(p: &InputPoint) -> String {
         // Serialization itself is exercised via serde's derive; here we only confirm the
         // Serialize impl is usable through a concrete format-independent check.
-        format!("{{\"sin\":{},\"cload\":{},\"vdd\":{}}}", p.sin.value(), p.cload.value(), p.vdd.value())
+        format!(
+            "{{\"sin\":{},\"cload\":{},\"vdd\":{}}}",
+            p.sin.value(),
+            p.cload.value(),
+            p.vdd.value()
+        )
     }
 }

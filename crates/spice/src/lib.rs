@@ -40,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod input;
 pub mod measure;
 pub mod transient;
 
-pub use engine::{CharacterizationEngine, SimulationCounter};
+pub use cache::{InMemorySimCache, SimKey, SimulationCache};
+pub use engine::{CharacterizationEngine, ConfigError, SimulationCounter};
 pub use input::{InputPoint, InputSpace};
 pub use measure::TimingMeasurement;
 pub use transient::{simulate_switching, TransientConfig};

@@ -66,7 +66,11 @@ pub fn ensemble_means(measurements: &[TimingMeasurement]) -> (f64, f64) {
     }
     let n = measurements.len() as f64;
     let d = measurements.iter().map(|m| m.delay.value()).sum::<f64>() / n;
-    let s = measurements.iter().map(|m| m.output_slew.value()).sum::<f64>() / n;
+    let s = measurements
+        .iter()
+        .map(|m| m.output_slew.value())
+        .sum::<f64>()
+        / n;
     (d, s)
 }
 
@@ -96,6 +100,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn thresholds_are_consistent() {
         assert!(SLEW_LOW_THRESHOLD < DELAY_THRESHOLD);
         assert!(DELAY_THRESHOLD < SLEW_HIGH_THRESHOLD);
@@ -104,7 +109,10 @@ mod tests {
 
     #[test]
     fn measurement_construction_and_conversion() {
-        let m = TimingMeasurement::new(Seconds::from_picoseconds(12.5), Seconds::from_picoseconds(8.0));
+        let m = TimingMeasurement::new(
+            Seconds::from_picoseconds(12.5),
+            Seconds::from_picoseconds(8.0),
+        );
         assert!((m.delay_ps() - 12.5).abs() < 1e-9);
         assert!((m.output_slew_ps() - 8.0).abs() < 1e-9);
     }

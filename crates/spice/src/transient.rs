@@ -141,9 +141,7 @@ pub fn simulate_switching(
     point: &InputPoint,
     config: &TransientConfig,
 ) -> Result<TimingMeasurement, TransientError> {
-    config
-        .validate()
-        .map_err(TransientError::InvalidConfig)?;
+    config.validate().map_err(TransientError::InvalidConfig)?;
 
     let vdd = point.vdd.value();
     let ramp_time = point.sin.value();
@@ -308,7 +306,11 @@ mod tests {
         };
         let err = simulate_switching(
             &setup(CellKind::Inv).1,
-            &TimingArc::new(Cell::new(CellKind::Inv, DriveStrength::X1), 0, Transition::Fall),
+            &TimingArc::new(
+                Cell::new(CellKind::Inv, DriveStrength::X1),
+                0,
+                Transition::Fall,
+            ),
             &point(5.0, 2.0, 0.8),
             &bad,
         )
@@ -322,8 +324,13 @@ mod tests {
         let (_, eq, cell) = setup(CellKind::Inv);
         for transition in Transition::BOTH {
             let arc = TimingArc::new(cell, 0, transition);
-            let m = simulate_switching(&eq, &arc, &point(5.0, 2.0, 0.8), &TransientConfig::accurate())
-                .unwrap();
+            let m = simulate_switching(
+                &eq,
+                &arc,
+                &point(5.0, 2.0, 0.8),
+                &TransientConfig::accurate(),
+            )
+            .unwrap();
             assert!(
                 m.delay_ps() > 0.5 && m.delay_ps() < 200.0,
                 "{transition}: delay = {} ps",

@@ -70,7 +70,10 @@ pub fn mean_absolute_error(predicted: &[f64], reference: &[f64]) -> f64 {
 ///
 /// Panics if either sample is empty or contains NaN.
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "KS statistic of empty sample");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "KS statistic of empty sample"
+    );
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
     sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));

@@ -18,7 +18,8 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -39,7 +40,7 @@ pub fn standard_normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -394,9 +395,8 @@ mod tests {
     fn mvn_construction_checks_dimensions() {
         let err = MultivariateGaussian::new(Vector::zeros(2), Matrix::identity(3)).unwrap_err();
         assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
-        let err =
-            MultivariateGaussian::new(Vector::zeros(2), Matrix::from_diagonal(&[1.0, -1.0]))
-                .unwrap_err();
+        let err = MultivariateGaussian::new(Vector::zeros(2), Matrix::from_diagonal(&[1.0, -1.0]))
+            .unwrap_err();
         assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
     }
 

@@ -85,8 +85,12 @@ impl KernelDensity {
             return Vec::new();
         }
         let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
-        let hi =
-            self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        let hi = self
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            + 3.0 * self.bandwidth;
         slic_linspace(lo, hi, n)
             .into_iter()
             .map(|x| (x, self.density(x)))
@@ -111,11 +115,7 @@ pub fn silverman_bandwidth(samples: &[f64]) -> f64 {
     assert!(!samples.is_empty(), "bandwidth of empty sample");
     let sd = moments::std_dev(samples);
     let iqr = moments::quantile(samples, 0.75) - moments::quantile(samples, 0.25);
-    let spread = if iqr > 0.0 {
-        sd.min(iqr / 1.34)
-    } else {
-        sd
-    };
+    let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
     let n = samples.len() as f64;
     let h = 0.9 * spread * n.powf(-0.2);
     if h > 0.0 && h.is_finite() {

@@ -68,7 +68,10 @@ pub fn excess_kurtosis(samples: &[f64]) -> f64 {
 ///
 /// Panics if `p` is outside `[0, 1]` or `samples` is empty.
 pub fn quantile(samples: &[f64], p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "quantile probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "quantile probability must be in [0, 1]"
+    );
     assert!(!samples.is_empty(), "quantile of empty sample");
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));

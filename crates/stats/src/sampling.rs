@@ -28,13 +28,15 @@ pub fn uniform_box<R: Rng + ?Sized>(rng: &mut R, bounds: &[(f64, f64)], n: usize
         .map(|_| {
             bounds
                 .iter()
-                .map(|&(lo, hi)| {
-                    if lo == hi {
-                        lo
-                    } else {
-                        rng.gen_range(lo..hi)
-                    }
-                })
+                .map(
+                    |&(lo, hi)| {
+                        if lo == hi {
+                            lo
+                        } else {
+                            rng.gen_range(lo..hi)
+                        }
+                    },
+                )
                 .collect()
         })
         .collect()
@@ -95,7 +97,10 @@ pub fn full_factorial(bounds: &[(f64, f64)], levels: &[usize]) -> Vec<Vec<f64>> 
         levels.len(),
         "levels must be specified per dimension"
     );
-    assert!(levels.iter().all(|&l| l > 0), "every dimension needs at least one level");
+    assert!(
+        levels.iter().all(|&l| l > 0),
+        "every dimension needs at least one level"
+    );
     let axes: Vec<Vec<f64>> = bounds
         .iter()
         .zip(levels)

@@ -55,7 +55,11 @@ impl ExtendedTimingParams {
     ///
     /// Panics if the vector does not have exactly five entries.
     pub fn from_vector(v: &Vector) -> Self {
-        assert_eq!(v.len(), EXTENDED_PARAM_COUNT, "parameter vector must have 5 entries");
+        assert_eq!(
+            v.len(),
+            EXTENDED_PARAM_COUNT,
+            "parameter vector must have 5 entries"
+        );
         Self::new(TimingParams::new(v[0], v[1], v[2], v[3]), v[4])
     }
 
@@ -178,8 +182,12 @@ mod tests {
             plus[j] += h;
             let mut minus = base_vec.clone();
             minus[j] -= h;
-            let fd = (ExtendedTimingParams::from_vector(&plus).evaluate(&pt, ieff).value()
-                - ExtendedTimingParams::from_vector(&minus).evaluate(&pt, ieff).value())
+            let fd = (ExtendedTimingParams::from_vector(&plus)
+                .evaluate(&pt, ieff)
+                .value()
+                - ExtendedTimingParams::from_vector(&minus)
+                    .evaluate(&pt, ieff)
+                    .value())
                 / (2.0 * h);
             let denom = analytic[j].abs().max(1e-30);
             assert!(

@@ -106,6 +106,9 @@ impl FitConfig {
     /// # Errors
     ///
     /// Returns a description of the first invalid field.
+    // The negated comparison forms are deliberate: `!(x > 0.0)` also rejects NaN, which
+    // the positive `x <= 0.0` would let through.
+    #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::nonminimal_bool)]
     pub fn validate(&self) -> Result<(), String> {
         if self.max_iterations == 0 {
             return Err("max_iterations must be positive".to_string());
@@ -153,7 +156,8 @@ pub struct FitResult {
 ///
 /// Bounds are expressed in model units (`kd`, fF, V, fF/ps).  `V'` is bounded above −0.64 V
 /// so that `Vdd + V'` stays positive over every supported supply range.
-const PARAM_BOUNDS: [(f64, f64); PARAM_COUNT] = [(1e-3, 10.0), (-2.0, 50.0), (-0.6, 0.6), (-1.0, 5.0)];
+const PARAM_BOUNDS: [(f64, f64); PARAM_COUNT] =
+    [(1e-3, 10.0), (-2.0, 50.0), (-0.6, 0.6), (-1.0, 5.0)];
 
 /// Levenberg–Marquardt extractor for the four-parameter compact model.
 #[derive(Debug, Clone, Default)]
@@ -213,7 +217,11 @@ impl LeastSquaresFitter {
         start: TimingParams,
     ) -> FitResult {
         assert!(!samples.is_empty(), "cannot fit to an empty sample set");
-        assert_eq!(samples.len(), weights.len(), "one weight per sample required");
+        assert_eq!(
+            samples.len(),
+            weights.len(),
+            "one weight per sample required"
+        );
         assert!(
             weights.iter().all(|w| *w >= 0.0 && w.is_finite()),
             "weights must be non-negative and finite"
@@ -358,7 +366,12 @@ mod tests {
 
     /// Generates synthetic samples from known parameters over a small grid, with optional
     /// multiplicative noise.
-    fn synthetic_samples(truth: &TimingParams, noise: f64, seed: u64, n: usize) -> Vec<TimingSample> {
+    fn synthetic_samples(
+        truth: &TimingParams,
+        noise: f64,
+        seed: u64,
+        n: usize,
+    ) -> Vec<TimingSample> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|i| {
@@ -411,7 +424,10 @@ mod tests {
         assert!(result.cost.is_finite());
         let train_err = result.params.mean_relative_error_percent(&train);
         let test_err = result.params.mean_relative_error_percent(&test);
-        assert!(train_err < 1.0, "training error should be tiny ({train_err}%)");
+        assert!(
+            train_err < 1.0,
+            "training error should be tiny ({train_err}%)"
+        );
         assert!(test_err.is_finite());
     }
 

@@ -59,7 +59,9 @@ fn coefficient_of_variation(values: &[f64]) -> f64 {
 /// `v_prime` is the supply-correction parameter extracted for this arc (delay and slew use
 /// different values, as in the paper).
 pub fn vdd_collapse(samples: &[TimingSample], v_prime: f64) -> Vec<CollapseSeries> {
-    let mut groups: Vec<((i64, i64), Vec<(f64, f64)>)> = Vec::new();
+    // Quantized (load, slew) group key paired with the group's collapsed (x, y) points.
+    type Group = ((i64, i64), Vec<(f64, f64)>);
+    let mut groups: Vec<Group> = Vec::new();
     for s in samples {
         // Group key: load and slew quantized to 1 aF / 1 fs so float jitter does not split
         // groups.

@@ -66,7 +66,11 @@ impl TimingParams {
 
     /// The charge-like factor `Cload + Cpar + α·Sin` in farads.
     pub fn effective_capacitance(&self, point: &InputPoint) -> Farads {
-        Farads(point.cload.value() + self.cpar * CPAR_TO_SI + self.alpha * ALPHA_TO_SI * point.sin.value())
+        Farads(
+            point.cload.value()
+                + self.cpar * CPAR_TO_SI
+                + self.alpha * ALPHA_TO_SI * point.sin.value(),
+        )
     }
 
     /// The switched charge `ΔQ = (Vdd + V')·(Cload + Cpar + α·Sin)` in coulombs.
@@ -210,7 +214,10 @@ mod tests {
         // t = 0.4 * 1.925 fC / 40 uA = 19.25 ps.
         let expected_ps = 0.4 * 0.55 * 3.5e-15 / 40e-6 * 1e12;
         let got = p.evaluate(&pt, ieff).picoseconds();
-        assert!((got - expected_ps).abs() < 1e-9, "got {got}, expected {expected_ps}");
+        assert!(
+            (got - expected_ps).abs() < 1e-9,
+            "got {got}, expected {expected_ps}"
+        );
         assert!((p.effective_capacitance(&pt).femtofarads() - 3.5).abs() < 1e-9);
     }
 
@@ -241,7 +248,10 @@ mod tests {
         // A 10 % larger observation gives a 10 %-ish relative error.
         let inflated = TimingSample::new(pt, ieff, Seconds(truth.value() * 1.1));
         assert!((p.relative_error(&inflated) - 0.1 / 1.1).abs() < 1e-9);
-        assert!((p.mean_relative_error_percent(&[sample, inflated]) - 100.0 * (0.1 / 1.1) / 2.0).abs() < 1e-6);
+        assert!(
+            (p.mean_relative_error_percent(&[sample, inflated]) - 100.0 * (0.1 / 1.1) / 2.0).abs()
+                < 1e-6
+        );
     }
 
     #[test]
@@ -258,7 +268,9 @@ mod tests {
             let mut minus = base_vec.clone();
             minus[j] -= h[j];
             let fd = (TimingParams::from_vector(&plus).evaluate(&pt, ieff).value()
-                - TimingParams::from_vector(&minus).evaluate(&pt, ieff).value())
+                - TimingParams::from_vector(&minus)
+                    .evaluate(&pt, ieff)
+                    .value())
                 / (2.0 * h[j]);
             let denom = analytic[j].abs().max(1e-30);
             assert!(

@@ -127,7 +127,10 @@ mod tests {
         assert!((v[2] - 1e-14).abs() / 1e-14 < 1e-9);
         let r1 = v[1] / v[0];
         let r2 = v[2] / v[1];
-        assert!((r1 - r2).abs() / r1 < 1e-9, "geometric ratio should be constant");
+        assert!(
+            (r1 - r2).abs() / r1 < 1e-9,
+            "geometric ratio should be constant"
+        );
     }
 
     #[test]

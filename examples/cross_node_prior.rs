@@ -60,7 +60,8 @@ fn main() {
     let db = &learning.database;
 
     let target = TechnologyNode::target_14nm();
-    let engine = CharacterizationEngine::with_config(target, TransientConfig::fast());
+    let engine = CharacterizationEngine::with_config(target, TransientConfig::fast())
+        .expect("valid transient configuration");
     let cell = Cell::new(CellKind::Nor2, DriveStrength::X1);
     let arc = TimingArc::new(cell, 0, Transition::Fall);
 
@@ -85,7 +86,12 @@ fn main() {
         }
         .build(subset, TimingMetric::Delay, Some("NOR2"))
         .expect("NOR2 delay records present");
-        let precision = PrecisionModel::learn(subset, TimingMetric::Delay, &space, PrecisionConfig::default());
+        let precision = PrecisionModel::learn(
+            subset,
+            TimingMetric::Delay,
+            &space,
+            PrecisionConfig::default(),
+        );
         MapExtractor::new(prior, precision)
     };
 
@@ -103,8 +109,19 @@ fn main() {
         ("mismatched planar nodes", &mismatched),
         ("all six nodes", db),
     ] {
-        let err = score(&engine, cell, &arc, &build_extractor(subset, 1.5), k, &validation);
-        rows.push(vec![label.to_string(), subset.len().to_string(), format!("{err:.2}")]);
+        let err = score(
+            &engine,
+            cell,
+            &arc,
+            &build_extractor(subset, 1.5),
+            k,
+            &validation,
+        );
+        rows.push(vec![
+            label.to_string(),
+            subset.len().to_string(),
+            format!("{err:.2}"),
+        ]);
     }
     println!("\nAblation A2 — prior source selection (bias–variance trade-off):");
     println!("{}", markdown_table(&headers, &rows));
@@ -126,7 +143,14 @@ fn main() {
     for n in 1..=order.len() {
         let names: Vec<&str> = order[..n].to_vec();
         let subset = db.select_technologies(&names);
-        let err = score(&engine, cell, &arc, &build_extractor(&subset, 1.5), k, &validation);
+        let err = score(
+            &engine,
+            cell,
+            &arc,
+            &build_extractor(&subset, 1.5),
+            k,
+            &validation,
+        );
         rows.push(vec![n.to_string(), names.join(", "), format!("{err:.2}")]);
     }
     println!("Ablation A3 — growing the historical suite (Ntech sweep):");
@@ -139,7 +163,14 @@ fn main() {
         .collect();
     let mut rows = Vec::new();
     for inflation in [0.25, 1.0, 1.5, 4.0, 16.0] {
-        let err = score(&engine, cell, &arc, &build_extractor(db, inflation), k, &validation);
+        let err = score(
+            &engine,
+            cell,
+            &arc,
+            &build_extractor(db, inflation),
+            k,
+            &validation,
+        );
         rows.push(vec![format!("{inflation:.2}x"), format!("{err:.2}")]);
     }
     println!("Prior-strength ablation (covariance inflation):");

@@ -13,7 +13,8 @@ use std::path::Path;
 
 fn main() {
     let tech = TechnologyNode::target_14nm();
-    let engine = CharacterizationEngine::with_config(tech.clone(), TransientConfig::fast());
+    let engine = CharacterizationEngine::with_config(tech.clone(), TransientConfig::fast())
+        .expect("valid transient configuration");
     let library = Library::new(
         "shipping-subset",
         [
@@ -41,7 +42,10 @@ fn main() {
     let out_path = Path::new("target").join("slic_target14_example.lib");
     match fs::write(&out_path, &text) {
         Ok(()) => println!("written to {}", out_path.display()),
-        Err(err) => println!("could not write {} ({err}); printing instead", out_path.display()),
+        Err(err) => println!(
+            "could not write {} ({err}); printing instead",
+            out_path.display()
+        ),
     }
 
     // Show the head of the file so the run is useful even without opening the output.

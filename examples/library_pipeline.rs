@@ -1,0 +1,38 @@
+//! Library-scale characterization in ~20 lines: configure, plan, learn, characterize,
+//! export — the programmatic equivalent of
+//! `slic characterize --liberty library.lib`.
+//!
+//! Run with `cargo run --release --example library_pipeline`.
+
+use slic_pipeline::{CharacterizationPlan, PipelineRunner, RunConfig};
+
+fn main() {
+    // Defaults: paper trio, target 14-nm node, two historical FinFET nodes, quick profile.
+    let config = RunConfig::default()
+        .resolve()
+        .expect("default config resolves");
+    let runner = PipelineRunner::new(config).expect("quick profile is valid");
+
+    let plan = CharacterizationPlan::from_config(runner.config()).expect("non-empty plan");
+    println!(
+        "plan: {} work units over {} arcs\n",
+        plan.len(),
+        plan.arcs().len()
+    );
+
+    let (learning, artifact) = runner.run().expect("pipeline completes");
+    println!(
+        "historical learning: {} records in {} simulations",
+        learning.database.len(),
+        learning.simulation_cost
+    );
+    println!("{}", artifact.summary_markdown());
+
+    let liberty = artifact
+        .characterized
+        .to_liberty(runner.engine(), runner.config().export_grid);
+    println!(
+        "liberty export: {} lines, zero additional simulations",
+        liberty.lines().count()
+    );
+}

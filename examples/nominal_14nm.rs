@@ -13,8 +13,8 @@ use slic::prelude::*;
 fn main() {
     let library = Library::paper_trio();
     println!("learning priors from the historical technology suite...");
-    let learning =
-        HistoricalLearner::new(HistoricalLearningConfig::default()).learn(&TechnologyNode::historical_suite(), &library);
+    let learning = HistoricalLearner::new(HistoricalLearningConfig::default())
+        .learn(&TechnologyNode::historical_suite(), &library);
     println!(
         "  {} records, {} simulations spent on historical nodes\n",
         learning.database.len(),
@@ -37,13 +37,19 @@ fn main() {
 
         let bayes_final = result.curve(MethodKind::ProposedBayesian).final_error();
         let target = bayes_final.max(result.curve(MethodKind::Lut).final_error());
-        if let Some(speedup) = result.speedup_at(target, MethodKind::ProposedBayesian, MethodKind::Lut) {
+        if let Some(speedup) =
+            result.speedup_at(target, MethodKind::ProposedBayesian, MethodKind::Lut)
+        {
             println!("speedup vs LUT at {target:.2}% accuracy: {speedup:.1}x");
         }
         if let Some(speedup) = result.speedup_at(target, MethodKind::ProposedLse, MethodKind::Lut) {
             println!("  of which the compact model alone contributes: {speedup:.1}x");
         }
-        if let Some(speedup) = result.speedup_at(target, MethodKind::ProposedBayesian, MethodKind::ProposedLse) {
+        if let Some(speedup) = result.speedup_at(
+            target,
+            MethodKind::ProposedBayesian,
+            MethodKind::ProposedLse,
+        ) {
             println!("  and the Bayesian prior contributes another: {speedup:.1}x");
         }
         println!(

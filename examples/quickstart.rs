@@ -33,10 +33,18 @@ fn main() {
     );
 
     // Print the Table I analogue for the delay metric.
-    let headers: Vec<String> = ["tech", "cell", "kd", "Cpar (fF)", "V' (V)", "alpha (fF/ps)", "fit error (%)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "tech",
+        "cell",
+        "kd",
+        "Cpar (fF)",
+        "V' (V)",
+        "alpha (fF/ps)",
+        "fit error (%)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let rows: Vec<Vec<String>> = learning
         .database
         .records()
@@ -54,12 +62,16 @@ fn main() {
             ]
         })
         .collect();
-    println!("Extracted delay-model parameters (Table I analogue):\n{}", markdown_table(&headers, &rows));
+    println!(
+        "Extracted delay-model parameters (Table I analogue):\n{}",
+        markdown_table(&headers, &rows)
+    );
 
     // 2 + 3. Learn the prior/precisions and MAP-extract the target technology's NOR2 delay
     // from three fresh simulations.
     let target = TechnologyNode::target_14nm();
-    let engine = CharacterizationEngine::with_config(target.clone(), TransientConfig::fast());
+    let engine = CharacterizationEngine::with_config(target.clone(), TransientConfig::fast())
+        .expect("valid transient configuration");
     let cell = Cell::new(CellKind::Nor2, DriveStrength::X1);
     let arc = TimingArc::new(cell, 0, Transition::Fall);
 
@@ -99,7 +111,10 @@ fn main() {
     let mut errors = Vec::new();
     for p in &validation {
         let reference = engine.simulate_nominal(cell, &arc, p).delay.value();
-        let predicted = fit.params.evaluate(p, engine.ieff(&arc, p, &nominal)).value();
+        let predicted = fit
+            .params
+            .evaluate(p, engine.ieff(&arc, p, &nominal))
+            .value();
         errors.push(100.0 * (predicted - reference).abs() / reference);
     }
     let mean_error = errors.iter().sum::<f64>() / errors.len() as f64;

@@ -9,8 +9,8 @@
 
 use slic::historical::{HistoricalLearner, HistoricalLearningConfig};
 use slic::nominal::MethodKind;
-use slic::statistical::{StatMetric, StatisticalStudy, StatisticalStudyConfig};
 use slic::prelude::*;
+use slic::statistical::{StatMetric, StatisticalStudy, StatisticalStudyConfig};
 
 fn main() {
     let library = Library::paper_trio();
@@ -45,7 +45,12 @@ fn main() {
             .final_error();
         let lut_curve = result.curves_for(MethodKind::Lut).as_method_curve(metric);
         let target = bayes.max(lut_curve.final_error());
-        if let Some(speedup) = result.speedup_at(metric, target, MethodKind::ProposedBayesian, MethodKind::Lut) {
+        if let Some(speedup) = result.speedup_at(
+            metric,
+            target,
+            MethodKind::ProposedBayesian,
+            MethodKind::Lut,
+        ) {
             println!("speedup vs LUT at {target:.2}%: {speedup:.1}x\n");
         } else {
             println!();
@@ -72,7 +77,11 @@ fn main() {
         baseline.mean * 1e12,
         baseline.std_dev * 1e12,
         baseline.skewness,
-        if baseline.is_clearly_non_gaussian() { "  (non-Gaussian)" } else { "" }
+        if baseline.is_clearly_non_gaussian() {
+            "  (non-Gaussian)"
+        } else {
+            ""
+        }
     );
     println!(
         "  proposed ({} fitting conditions): mean = {:.2} ps, sigma = {:.2} ps, skewness = {:.2}, per-seed error = {:.2}%",
@@ -93,7 +102,11 @@ fn main() {
 
     // Density curves on a common grid, printable for plotting.
     let kde_baseline = KernelDensity::from_samples(&pdf.baseline);
-    let grid: Vec<f64> = kde_baseline.evaluate_grid(9).iter().map(|&(x, _)| x).collect();
+    let grid: Vec<f64> = kde_baseline
+        .evaluate_grid(9)
+        .iter()
+        .map(|&(x, _)| x)
+        .collect();
     println!("\n  delay (ps) | baseline density | proposed density | LUT density");
     let kde_proposed = KernelDensity::from_samples(&pdf.proposed);
     let kde_lut = KernelDensity::from_samples(&pdf.lut);

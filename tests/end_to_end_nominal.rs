@@ -38,7 +38,11 @@ fn bayesian_flow_beats_lut_at_small_sample_counts() {
 
     // At two training simulations the Bayesian method is already usable and far better than
     // a two-point LUT (the paper's central claim).
-    assert!(bayes.errors_percent[0] < 10.0, "k=2 Bayesian error = {}", bayes.errors_percent[0]);
+    assert!(
+        bayes.errors_percent[0] < 10.0,
+        "k=2 Bayesian error = {}",
+        bayes.errors_percent[0]
+    );
     assert!(
         bayes.errors_percent[0] < lut.errors_percent[0],
         "Bayesian ({}) must beat LUT ({}) at k=2",
@@ -53,8 +57,12 @@ fn bayesian_flow_beats_lut_at_small_sample_counts() {
     // Speedup accounting: the Bayesian flow reaches LUT-final accuracy with fewer
     // simulations than the LUT itself spent.
     let target = lut.final_error();
-    let sims_bayes = bayes.simulations_to_reach(target).expect("bayesian reaches LUT accuracy");
-    let sims_lut = lut.simulations_to_reach(target).expect("lut reaches its own accuracy");
+    let sims_bayes = bayes
+        .simulations_to_reach(target)
+        .expect("bayesian reaches LUT accuracy");
+    let sims_lut = lut
+        .simulations_to_reach(target)
+        .expect("lut reaches its own accuracy");
     assert!(
         sims_bayes < sims_lut,
         "bayesian needs {sims_bayes} sims vs {sims_lut} for the LUT"
@@ -110,8 +118,12 @@ fn database_survives_serialization_between_flow_stages() {
 
     // A prior learned from the restored database matches one from the original to the same
     // tolerance.
-    let a = PriorBuilder::new().build(&db, TimingMetric::Delay, None).unwrap();
-    let b = PriorBuilder::new().build(&restored, TimingMetric::Delay, None).unwrap();
+    let a = PriorBuilder::new()
+        .build(&db, TimingMetric::Delay, None)
+        .unwrap();
+    let b = PriorBuilder::new()
+        .build(&restored, TimingMetric::Delay, None)
+        .unwrap();
     assert!(close(a.mean_params().kd, b.mean_params().kd));
     assert!(close(a.mean_params().cpar, b.mean_params().cpar));
 }

@@ -4,8 +4,8 @@
 
 use slic::historical::{HistoricalLearner, HistoricalLearningConfig};
 use slic::nominal::MethodKind;
-use slic::statistical::{StatMetric, StatisticalStudy, StatisticalStudyConfig};
 use slic::prelude::*;
+use slic::statistical::{StatMetric, StatisticalStudy, StatisticalStudyConfig};
 
 fn learned_database() -> HistoricalDatabase {
     let config = HistoricalLearningConfig {
@@ -38,8 +38,16 @@ fn statistical_moments_are_reconstructed_from_few_conditions() {
     let lut = result.curves_for(MethodKind::Lut);
 
     // Mean reconstruction is accurate already at 3 conditions per seed.
-    assert!(bayes.mean_delay_error[0] < 10.0, "mean delay err = {}", bayes.mean_delay_error[0]);
-    assert!(bayes.mean_slew_error[0] < 12.0, "mean slew err = {}", bayes.mean_slew_error[0]);
+    assert!(
+        bayes.mean_delay_error[0] < 10.0,
+        "mean delay err = {}",
+        bayes.mean_delay_error[0]
+    );
+    assert!(
+        bayes.mean_slew_error[0] < 12.0,
+        "mean slew err = {}",
+        bayes.mean_slew_error[0]
+    );
     // Sigma reconstruction is harder but must stay bounded and improve (or hold) with more
     // conditions.
     assert!(bayes.std_delay_error[0] < 60.0);
@@ -53,9 +61,17 @@ fn statistical_moments_are_reconstructed_from_few_conditions() {
 
     // Speedup helper produces a finite ratio for the mean-delay metric.
     let target = lut.as_method_curve(StatMetric::MeanDelay).final_error();
-    let speedup = result.speedup_at(StatMetric::MeanDelay, target, MethodKind::ProposedBayesian, MethodKind::Lut);
+    let speedup = result.speedup_at(
+        StatMetric::MeanDelay,
+        target,
+        MethodKind::ProposedBayesian,
+        MethodKind::Lut,
+    );
     if let Some(s) = speedup {
-        assert!(s >= 1.0, "speedup should favour the proposed method, got {s}");
+        assert!(
+            s >= 1.0,
+            "speedup should favour the proposed method, got {s}"
+        );
     }
 }
 
@@ -110,7 +126,10 @@ fn low_vdd_delay_pdf_is_right_skewed_and_reconstructed() {
     };
     let low_vdd_asymmetry = asymmetry(0.734);
     let nominal_vdd_asymmetry = asymmetry(1.05);
-    assert!(low_vdd_asymmetry > 0.0, "delay must be convex in Vth near threshold");
+    assert!(
+        low_vdd_asymmetry > 0.0,
+        "delay must be convex in Vth near threshold"
+    );
     assert!(
         low_vdd_asymmetry > nominal_vdd_asymmetry,
         "non-Gaussianity must grow as Vdd drops ({low_vdd_asymmetry} vs {nominal_vdd_asymmetry})"

@@ -8,7 +8,9 @@ use slic::CostModel;
 
 #[test]
 fn liberty_export_is_complete_and_costed() {
-    let engine = CharacterizationEngine::with_config(TechnologyNode::target_14nm(), TransientConfig::fast());
+    let engine =
+        CharacterizationEngine::with_config(TechnologyNode::target_14nm(), TransientConfig::fast())
+            .expect("valid transient configuration");
     let library = Library::new(
         "ship",
         [
@@ -17,7 +19,10 @@ fn liberty_export_is_complete_and_costed() {
             Cell::new(CellKind::Nor2, DriveStrength::X1),
         ],
     );
-    let grid = ExportGrid { slew_levels: 3, load_levels: 3 };
+    let grid = ExportGrid {
+        slew_levels: 3,
+        load_levels: 3,
+    };
     let text = export_library(&engine, &library, grid);
 
     // Structure: one library group, three cells, both transitions per cell.
@@ -32,7 +37,9 @@ fn liberty_export_is_complete_and_costed() {
 
 #[test]
 fn lut_baseline_converges_through_public_facade() {
-    let engine = CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast());
+    let engine =
+        CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+            .expect("valid transient configuration");
     let cell = Cell::new(CellKind::Nand2, DriveStrength::X1);
     let arc = TimingArc::new(cell, 0, Transition::Fall);
     let builder = LutBuilder::new(&engine);
@@ -45,11 +52,14 @@ fn lut_baseline_converges_through_public_facade() {
         Volts(0.82),
     );
     let reference = engine.simulate_nominal(cell, &arc, &probe);
-    let coarse_err =
-        (coarse.predict(&probe).delay.value() - reference.delay.value()).abs() / reference.delay.value();
-    let fine_err =
-        (fine.predict(&probe).delay.value() - reference.delay.value()).abs() / reference.delay.value();
-    assert!(fine_err < coarse_err, "finer LUT must be closer ({fine_err} vs {coarse_err})");
+    let coarse_err = (coarse.predict(&probe).delay.value() - reference.delay.value()).abs()
+        / reference.delay.value();
+    let fine_err = (fine.predict(&probe).delay.value() - reference.delay.value()).abs()
+        / reference.delay.value();
+    assert!(
+        fine_err < coarse_err,
+        "finer LUT must be closer ({fine_err} vs {coarse_err})"
+    );
     assert!(fine_err < 0.05);
     assert!(coarse.simulation_cost <= 8);
     assert!(fine.simulation_cost <= 48);
@@ -71,8 +81,12 @@ fn cost_model_matches_the_papers_complexity_claims() {
 fn simulation_counters_isolate_per_engine_campaigns() {
     // Two engines over different technologies keep independent counts, so per-experiment
     // cost attribution in the studies is trustworthy.
-    let a = CharacterizationEngine::with_config(TechnologyNode::n45_bulk(), TransientConfig::fast());
-    let b = CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast());
+    let a =
+        CharacterizationEngine::with_config(TechnologyNode::n45_bulk(), TransientConfig::fast())
+            .expect("valid transient configuration");
+    let b =
+        CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+            .expect("valid transient configuration");
     let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
     let arc = TimingArc::new(cell, 0, Transition::Fall);
     let point = InputPoint::new(

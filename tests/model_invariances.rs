@@ -11,7 +11,8 @@ use rand::SeedableRng;
 /// and returns delay and slew samples with their effective currents.
 fn nor2_grid_samples() -> (Vec<TimingSample>, Vec<TimingSample>) {
     let tech = TechnologyNode::n14_finfet();
-    let engine = CharacterizationEngine::with_config(tech, TransientConfig::fast());
+    let engine = CharacterizationEngine::with_config(tech, TransientConfig::fast())
+        .expect("valid transient configuration");
     let cell = Cell::new(CellKind::Nor2, DriveStrength::X1);
     let arc = TimingArc::new(cell, 0, Transition::Fall);
     let nominal = ProcessSample::nominal();
@@ -36,7 +37,8 @@ fn nor2_grid_samples() -> (Vec<TimingSample>, Vec<TimingSample>) {
 #[test]
 fn table1_analogue_four_parameter_fit_is_accurate_for_simulated_cells() {
     let tech = TechnologyNode::n14_finfet();
-    let engine = CharacterizationEngine::with_config(tech, TransientConfig::fast());
+    let engine = CharacterizationEngine::with_config(tech, TransientConfig::fast())
+        .expect("valid transient configuration");
     let mut rng = StdRng::seed_from_u64(4);
     let points = engine.input_space().sample_uniform(&mut rng, 60);
     let nominal = ProcessSample::nominal();
@@ -56,8 +58,16 @@ fn table1_analogue_four_parameter_fit_is_accurate_for_simulated_cells() {
         // Table I reports 0.9-2.1 % fitting error; our oracle is a different simulator, so
         // allow a looser but still tight bound.
         assert!(error < 5.0, "{kind:?}: fit error = {error}%");
-        assert!(fit.params.kd > 0.05 && fit.params.kd < 2.0, "{kind:?}: kd = {}", fit.params.kd);
-        assert!(fit.params.v_prime < 0.2, "{kind:?}: V' = {}", fit.params.v_prime);
+        assert!(
+            fit.params.kd > 0.05 && fit.params.kd < 2.0,
+            "{kind:?}: kd = {}",
+            fit.params.kd
+        );
+        assert!(
+            fit.params.v_prime < 0.2,
+            "{kind:?}: V' = {}",
+            fit.params.v_prime
+        );
     }
 }
 
@@ -68,9 +78,16 @@ fn fig2_analogue_vdd_collapse_holds_on_simulated_data() {
     let delay_params = fitter.fit(&delay).params;
     let slew_params = fitter.fit(&slew).params;
 
-    for (samples, params, label) in [(&delay, &delay_params, "delay"), (&slew, &slew_params, "slew")] {
+    for (samples, params, label) in [
+        (&delay, &delay_params, "delay"),
+        (&slew, &slew_params, "slew"),
+    ] {
         let series = vdd_collapse(samples, params.v_prime);
-        assert_eq!(series.len(), 4, "{label}: one series per (Cload, Sin) group");
+        assert_eq!(
+            series.len(),
+            4,
+            "{label}: one series per (Cload, Sin) group"
+        );
         for s in &series {
             assert!(
                 s.coefficient_of_variation < 0.08,
