@@ -5,6 +5,8 @@
 //! ```text
 //! slic learn        # historical nodes -> historical-database JSON
 //! slic characterize # plan + run -> run-artifact JSON (+ optional Liberty)
+//!                   # --shard i/n runs one shard; --cache shares warm state on disk
+//! slic merge        # shard artifacts -> the whole-run artifact
 //! slic export       # run artifact -> Liberty text
 //! slic report       # run artifact -> Markdown summary
 //! ```
@@ -24,7 +26,7 @@ use std::process::ExitCode;
 const USAGE: &str = "slic — statistical library characterization pipeline
 
 USAGE:
-    slic <learn|characterize|export|report|help> [--flag value]...
+    slic <learn|characterize|merge|export|report|help> [--flag value]...
 
 SUBCOMMANDS:
     learn         Characterize the historical technologies and archive the
@@ -33,9 +35,10 @@ SUBCOMMANDS:
                                             (default n16_finfet,n14_finfet)
                     --library <name>        paper-trio (default) | standard
                     --profile <name>        quick (default) | accurate
+                    --cache <file>          persistent simulation cache (JSON lines)
                     --out <file>            output database JSON (default history.json)
 
-    characterize  Run a library-scale characterization plan.
+    characterize  Run a library-scale characterization plan (or one shard of it).
                     --config <file>         run config (.json or .toml); CLI flags
                                             below override its fields
                     --history <file>        database JSON from `slic learn`;
@@ -48,8 +51,16 @@ SUBCOMMANDS:
                     --metrics <a,b,...>     delay,slew
                     --methods <a,b,...>     bayesian,lse,lut
                     --seed <n>              sampling seed
+                    --shard <i/n>           run shard i of n (1-based), e.g. 2/4;
+                                            merge the artifacts with `slic merge`
+                    --cache <file>          persistent simulation cache shared by
+                                            shard workers and reruns
                     --out <file>            run artifact JSON (default run.json)
                     --liberty <file>        also write the Liberty text here
+
+    merge         Join shard artifacts into the whole-run artifact.
+                    --inputs <a,b,...>      shard artifact JSON files (required)
+                    --out <file>            merged artifact JSON (default merged.json)
 
     export        Render the Liberty text of a finished run.
                     --run <file>            run artifact JSON (default run.json)
@@ -80,15 +91,17 @@ fn main() -> ExitCode {
         "metrics",
         "methods",
         "seed",
+        "cache",
         "out",
     ];
     let allowed: Vec<&str> = match command {
         "learn" => CONFIG_FLAGS.to_vec(),
         "characterize" => {
             let mut flags = CONFIG_FLAGS.to_vec();
-            flags.extend(["history", "liberty"]);
+            flags.extend(["history", "liberty", "shard"]);
             flags
         }
+        "merge" => vec!["inputs", "out"],
         "export" => vec!["run", "out"],
         "report" => vec!["run"],
         other => {
@@ -107,6 +120,7 @@ fn main() -> ExitCode {
     let outcome = match command {
         "learn" => cmd_learn(&flags),
         "characterize" => cmd_characterize(&flags),
+        "merge" => cmd_merge(&flags),
         "export" => cmd_export(&flags),
         "report" => cmd_report(&flags),
         _ => unreachable!("unknown subcommands rejected above"),
@@ -193,7 +207,27 @@ fn build_config(flags: &HashMap<String, String>) -> Result<RunConfig, PipelineEr
             .map_err(|_| PipelineError::config(format!("`--seed {v}` is not an integer")))?;
         config.seed = Some(seed);
     }
+    if let Some(v) = flags.get("cache") {
+        config.cache = Some(v.clone());
+    }
     Ok(config)
+}
+
+/// Parses a 1-based `--shard i/n` specification into `(index, count)`.
+fn parse_shard_spec(text: &str) -> Result<(usize, usize), PipelineError> {
+    let bad = || {
+        PipelineError::config(format!(
+            "`--shard {text}` is not a shard specification; expected `i/n` with 1 <= i <= n, \
+             e.g. `2/4`"
+        ))
+    };
+    let (index, count) = text.split_once('/').ok_or_else(bad)?;
+    let index: usize = index.trim().parse().map_err(|_| bad())?;
+    let count: usize = count.trim().parse().map_err(|_| bad())?;
+    if index == 0 || count == 0 || index > count {
+        return Err(bad());
+    }
+    Ok((index, count))
 }
 
 fn cmd_learn(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
@@ -205,6 +239,9 @@ fn cmd_learn(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
         .map(String::as_str)
         .unwrap_or("history.json");
     std::fs::write(out, learning.database.to_json()?)?;
+    // A failed cache write must fail the command, not just warn from a destructor:
+    // later shard workers rely on the warm state being on disk.
+    runner.cache().persist()?;
     println!(
         "learned {} records from {} technologies in {} simulations -> {out}",
         learning.database.len(),
@@ -215,17 +252,41 @@ fn cmd_learn(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
 }
 
 fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+    if flags.contains_key("shard") && flags.contains_key("liberty") {
+        return Err(PipelineError::config(
+            "`--liberty` with `--shard` would silently export a partial library; run the \
+             shards, join them with `slic merge`, then render with `slic export`",
+        ));
+    }
     let config = build_config(flags)?.resolve()?;
     let export_grid = config.export_grid;
     let runner = PipelineRunner::new(config)?;
-    let plan = CharacterizationPlan::from_config(runner.config())?;
-    println!(
-        "plan: {} units over {} arcs of `{}` on {}",
-        plan.len(),
-        plan.arcs().len(),
-        plan.library_name(),
-        runner.config().technology.name(),
-    );
+    let full_plan = CharacterizationPlan::from_config(runner.config())?;
+    let plan = match flags.get("shard") {
+        Some(spec) => {
+            let (index, count) = parse_shard_spec(spec)?;
+            let shard = full_plan.split(count)?.swap_remove(index - 1);
+            println!(
+                "shard {index}/{count}: {} of {} units over {} arcs of `{}` on {}",
+                shard.len(),
+                full_plan.len(),
+                shard.arcs().len(),
+                shard.library_name(),
+                runner.config().technology.name(),
+            );
+            shard
+        }
+        None => {
+            println!(
+                "plan: {} units over {} arcs of `{}` on {}",
+                full_plan.len(),
+                full_plan.arcs().len(),
+                full_plan.library_name(),
+                runner.config().technology.name(),
+            );
+            full_plan
+        }
+    };
 
     let database = match flags.get("history") {
         Some(path) => HistoricalDatabase::from_json(&std::fs::read_to_string(path)?)
@@ -237,6 +298,9 @@ fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError
     };
 
     let artifact = runner.characterize(&plan, &database)?;
+    // Persist the (possibly disk-backed) cache before reporting success: shard workers
+    // and reruns depend on it, and the drop-time flush can only warn.
+    runner.cache().persist()?;
     let out = flags.get("out").map(String::as_str).unwrap_or("run.json");
     artifact.save(out)?;
     println!(
@@ -256,10 +320,44 @@ fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError
         }
         let text = artifact
             .characterized
-            .to_liberty(runner.engine(), export_grid);
+            .to_liberty(runner.engine(), export_grid)?;
         std::fs::write(liberty_path, text)?;
         println!("liberty -> {liberty_path}");
     }
+    Ok(())
+}
+
+fn cmd_merge(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+    let inputs = flags
+        .get("inputs")
+        .ok_or_else(|| PipelineError::config("`slic merge` needs `--inputs a.json,b.json,...`"))?;
+    let paths = comma_list(inputs);
+    if paths.is_empty() {
+        return Err(PipelineError::config("`--inputs` lists no artifact files"));
+    }
+    let mut shards = Vec::with_capacity(paths.len());
+    for path in &paths {
+        shards.push(RunArtifact::load(path).map_err(|err| {
+            PipelineError::config(format!("cannot load shard artifact `{path}`: {err}"))
+        })?);
+    }
+    let merged = RunArtifact::merge(&shards)?;
+    let out = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("merged.json");
+    merged.save(out)?;
+    println!(
+        "merged {} shards: {} of {} planned units, {} arcs characterized, {} simulations \
+         ({} cache hits, {} misses) -> {out}",
+        shards.len(),
+        merged.units.len(),
+        merged.planned_units,
+        merged.characterized.arcs.len(),
+        merged.total_simulations,
+        merged.cache_hits,
+        merged.cache_misses,
+    );
     Ok(())
 }
 
@@ -286,6 +384,15 @@ fn engine_for(
 fn cmd_export(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
     let run_path = flags.get("run").map(String::as_str).unwrap_or("run.json");
     let artifact = RunArtifact::load(run_path)?;
+    if artifact.units.len() < artifact.planned_units {
+        return Err(PipelineError::config(format!(
+            "`{run_path}` is a shard artifact covering {} of {} planned units; exporting \
+             it would silently produce a partial library — join the shards with `slic \
+             merge` first",
+            artifact.units.len(),
+            artifact.planned_units
+        )));
+    }
     if artifact.characterized.arcs.is_empty() {
         return Err(PipelineError::config(format!(
             "`{run_path}` contains no fully characterized arcs to export"
@@ -294,7 +401,7 @@ fn cmd_export(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
     let (engine, profile) = engine_for(&artifact)?;
     let text = artifact
         .characterized
-        .to_liberty(&engine, profile.export_grid());
+        .to_liberty(&engine, profile.export_grid())?;
     match flags.get("out") {
         Some(path) => {
             std::fs::write(path, text)?;

@@ -20,6 +20,42 @@ use slic_device::ProcessSample;
 use slic_spice::{CharacterizationEngine, InputPoint};
 use slic_timing_model::TimingParams;
 use slic_units::{Farads, Seconds, Volts};
+use std::fmt;
+
+/// An export request that cannot produce a valid Liberty file.
+///
+/// These used to be assertion panics; they are errors because an export configuration
+/// typically arrives from a run artifact or CLI flags, and a bad one should surface as a
+/// diagnosable message, not a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportError {
+    /// No cells/arcs were given — an empty `.lib` has no meaning downstream.
+    EmptyLibrary,
+    /// A table axis with fewer than two indices cannot describe a lookup table.
+    DegenerateGrid {
+        /// Requested input-slew indices.
+        slew_levels: usize,
+        /// Requested load-capacitance indices.
+        load_levels: usize,
+    },
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::EmptyLibrary => f.write_str("cannot export an empty library"),
+            ExportError::DegenerateGrid {
+                slew_levels,
+                load_levels,
+            } => write!(
+                f,
+                "export grid needs at least 2x2 indices (got {slew_levels}x{load_levels})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
 
 /// Grid used for the exported tables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,25 +75,36 @@ impl Default for ExportGrid {
     }
 }
 
+/// Validates the grid shape shared by both export paths.
+fn check_grid(grid: ExportGrid) -> Result<(), ExportError> {
+    if grid.slew_levels < 2 || grid.load_levels < 2 {
+        return Err(ExportError::DegenerateGrid {
+            slew_levels: grid.slew_levels,
+            load_levels: grid.load_levels,
+        });
+    }
+    Ok(())
+}
+
 /// Characterizes `library` at the technology's nominal supply and renders a Liberty-like
 /// description.
 ///
 /// Every value is simulated with the engine's transient solver; the returned string is the
 /// complete `.lib` text.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the library is empty or the grid has fewer than two levels on either axis.
+/// Returns an [`ExportError`] when the library is empty or the grid has fewer than two
+/// levels on either axis.
 pub fn export_library(
     engine: &CharacterizationEngine,
     library: &Library,
     grid: ExportGrid,
-) -> String {
-    assert!(!library.is_empty(), "cannot export an empty library");
-    assert!(
-        grid.slew_levels >= 2 && grid.load_levels >= 2,
-        "export grid needs at least 2x2 indices"
-    );
+) -> Result<String, ExportError> {
+    if library.is_empty() {
+        return Err(ExportError::EmptyLibrary);
+    }
+    check_grid(grid)?;
     let tech = engine.tech();
     let vdd = tech.vdd_nominal();
     let space = engine.input_space();
@@ -87,7 +134,7 @@ pub fn export_library(
         out.push_str(&render_cell(engine, cell, vdd, &slew_axis, &load_axis));
     }
     out.push_str("}\n");
-    out
+    Ok(out)
 }
 
 /// The fitted compact models of one timing arc — what a pipeline run archives per arc.
@@ -110,20 +157,20 @@ pub struct FittedArc {
 /// Cells are emitted in first-appearance order of `arcs`; a cell's timing group for a
 /// transition is omitted when no fitted arc covers it.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `arcs` is empty or the grid has fewer than two levels on either axis.
+/// Returns an [`ExportError`] when `arcs` is empty or the grid has fewer than two levels
+/// on either axis.
 pub fn export_fitted_library(
     engine: &CharacterizationEngine,
     library_name: &str,
     arcs: &[FittedArc],
     grid: ExportGrid,
-) -> String {
-    assert!(!arcs.is_empty(), "cannot export an empty library");
-    assert!(
-        grid.slew_levels >= 2 && grid.load_levels >= 2,
-        "export grid needs at least 2x2 indices"
-    );
+) -> Result<String, ExportError> {
+    if arcs.is_empty() {
+        return Err(ExportError::EmptyLibrary);
+    }
+    check_grid(grid)?;
     let tech = engine.tech();
     let vdd = tech.vdd_nominal();
     let space = engine.input_space();
@@ -161,7 +208,7 @@ pub fn export_fitted_library(
         ));
     }
     out.push_str("}\n");
-    out
+    Ok(out)
 }
 
 fn render_fitted_cell(
@@ -333,7 +380,7 @@ mod tests {
             slew_levels: 2,
             load_levels: 2,
         };
-        let text = export_library(&eng, &lib, grid);
+        let text = export_library(&eng, &lib, grid).expect("export succeeds");
         assert!(text.starts_with("library ("));
         assert!(text.contains("cell (INV_X1)"));
         assert!(text.contains("cell (NAND2_X1)"));
@@ -356,7 +403,7 @@ mod tests {
             slew_levels: 2,
             load_levels: 3,
         };
-        let text = export_library(&eng, &lib, grid);
+        let text = export_library(&eng, &lib, grid).expect("export succeeds");
         // Extract the first values row and check it is increasing (delay vs load).
         let row = text
             .lines()
@@ -415,7 +462,8 @@ mod tests {
                 slew_levels: 3,
                 load_levels: 3,
             },
-        );
+        )
+        .expect("export succeeds");
         assert_eq!(
             eng.simulation_count(),
             before,
@@ -453,7 +501,8 @@ mod tests {
             delay: slic_timing_model::TimingParams::initial_guess(),
             slew: slic_timing_model::TimingParams::initial_guess(),
         }];
-        let text = export_fitted_library(&eng, "partial", &arcs, ExportGrid::default());
+        let text = export_fitted_library(&eng, "partial", &arcs, ExportGrid::default())
+            .expect("export succeeds");
         assert!(text.contains("cell_fall"));
         assert!(
             !text.contains("cell_rise"),
@@ -462,28 +511,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty library")]
     fn empty_library_rejected() {
-        let _ = export_library(&engine(), &Library::new("none", []), ExportGrid::default());
+        let err = export_library(&engine(), &Library::new("none", []), ExportGrid::default())
+            .expect_err("empty library must be rejected");
+        assert_eq!(err, ExportError::EmptyLibrary);
+        assert!(err.to_string().contains("empty library"));
     }
 
     #[test]
-    #[should_panic(expected = "empty library")]
     fn empty_fitted_export_rejected() {
-        let _ = export_fitted_library(&engine(), "none", &[], ExportGrid::default());
+        let err = export_fitted_library(&engine(), "none", &[], ExportGrid::default())
+            .expect_err("empty fitted export must be rejected");
+        assert_eq!(err, ExportError::EmptyLibrary);
     }
 
     #[test]
-    #[should_panic(expected = "at least 2x2")]
     fn degenerate_grid_rejected() {
         let lib = Library::new("inv", [Cell::new(CellKind::Inv, DriveStrength::X1)]);
-        let _ = export_library(
+        let err = export_library(
             &engine(),
             &lib,
             ExportGrid {
                 slew_levels: 1,
                 load_levels: 4,
             },
+        )
+        .expect_err("degenerate grid must be rejected");
+        assert_eq!(
+            err,
+            ExportError::DegenerateGrid {
+                slew_levels: 1,
+                load_levels: 4
+            }
         );
+        assert!(err.to_string().contains("at least 2x2"));
     }
 }

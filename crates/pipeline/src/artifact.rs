@@ -37,6 +37,14 @@ pub struct UnitResult {
     pub requested_simulations: u64,
 }
 
+impl UnitResult {
+    /// The stable identity of the work unit this result came from — the merge key used to
+    /// detect overlapping shards and to order merged artifacts deterministically.
+    pub fn unit_id(&self) -> String {
+        format!("{}#{}#{:?}", self.arc_id, self.metric, self.method)
+    }
+}
+
 /// The per-arc fitted models distilled from the unit results — the consumable "library"
 /// output of a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -125,11 +133,21 @@ impl CharacterizedLibrary {
     /// Renders the Liberty text of the characterized arcs (zero transient simulations;
     /// see [`export_fitted_library`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no arc was fully characterized.
-    pub fn to_liberty(&self, engine: &CharacterizationEngine, grid: ExportGrid) -> String {
-        export_fitted_library(engine, &self.library, &self.fitted_arcs(), grid)
+    /// Returns a [`PipelineError::Export`] when no arc was fully characterized or the
+    /// grid is degenerate.
+    pub fn to_liberty(
+        &self,
+        engine: &CharacterizationEngine,
+        grid: ExportGrid,
+    ) -> Result<String, PipelineError> {
+        Ok(export_fitted_library(
+            engine,
+            &self.library,
+            &self.fitted_arcs(),
+            grid,
+        )?)
     }
 
     /// Returns `true` when an arc of the given cell name and transition is present.
@@ -153,7 +171,8 @@ pub struct RunArtifact {
     pub profile: String,
     /// RNG seed the run used.
     pub seed: u64,
-    /// Number of planned units.
+    /// Number of units the *full* run plans.  A shard artifact reports the whole plan's
+    /// size (its own unit count is `units.len()`), so a merge can detect missing shards.
     pub planned_units: usize,
     /// Per-unit outcomes.
     pub units: Vec<UnitResult>,
@@ -214,6 +233,92 @@ impl RunArtifact {
     /// Propagates filesystem and parse errors.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, PipelineError> {
         Self::from_json(&std::fs::read_to_string(path)?)
+    }
+
+    /// Joins the artifacts of disjoint plan shards into the artifact of the whole run.
+    ///
+    /// Counter totals and cache statistics are summed; unit results are concatenated and
+    /// re-ordered by their stable unit identity, so the merged artifact is independent of
+    /// shard order and the fitted [`CharacterizedLibrary`] is rebuilt from the full unit
+    /// set.  When the shards executed sequentially against one shared (disk-backed)
+    /// simulation cache, the merged totals equal a single-process run of the unsharded
+    /// plan: each unique coordinate was paid for exactly once somewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Config`] when no artifacts are given, when two shards
+    /// disagree on library/technology/profile/seed/planned-unit-count
+    /// (differently-configured shards cannot describe one run), when two shards contain
+    /// the same work unit (overlap means the split was not disjoint), or when the merged
+    /// units do not cover the full plan (a shard artifact is missing — silently exporting
+    /// an incomplete library would be worse than failing).
+    pub fn merge(shards: &[RunArtifact]) -> Result<RunArtifact, PipelineError> {
+        let first = shards
+            .first()
+            .ok_or_else(|| PipelineError::config("cannot merge zero run artifacts"))?;
+        for (index, shard) in shards.iter().enumerate().skip(1) {
+            let mismatch = |field: &str, a: &str, b: &str| {
+                PipelineError::config(format!(
+                    "cannot merge differently-configured shards: artifact {index} has \
+                     {field} `{b}` but artifact 0 has `{a}`"
+                ))
+            };
+            if shard.library != first.library {
+                return Err(mismatch("library", &first.library, &shard.library));
+            }
+            if shard.technology != first.technology {
+                return Err(mismatch("technology", &first.technology, &shard.technology));
+            }
+            if shard.profile != first.profile {
+                return Err(mismatch("profile", &first.profile, &shard.profile));
+            }
+            if shard.seed != first.seed {
+                return Err(mismatch(
+                    "seed",
+                    &first.seed.to_string(),
+                    &shard.seed.to_string(),
+                ));
+            }
+            if shard.planned_units != first.planned_units {
+                return Err(mismatch(
+                    "planned-unit count",
+                    &first.planned_units.to_string(),
+                    &shard.planned_units.to_string(),
+                ));
+            }
+        }
+        let mut units: Vec<UnitResult> = shards.iter().flat_map(|s| s.units.clone()).collect();
+        units.sort_by_cached_key(UnitResult::unit_id);
+        let ids: Vec<String> = units.iter().map(UnitResult::unit_id).collect();
+        if let Some(pair) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(PipelineError::config(format!(
+                "cannot merge overlapping shards: unit `{}` appears more than once",
+                pair[0]
+            )));
+        }
+        if units.len() != first.planned_units {
+            return Err(PipelineError::config(format!(
+                "incomplete merge: the shards cover {} of {} planned units — a shard \
+                 artifact is missing",
+                units.len(),
+                first.planned_units
+            )));
+        }
+        let characterized =
+            CharacterizedLibrary::from_units(&first.library, &first.technology, &units);
+        Ok(RunArtifact {
+            schema_version: SCHEMA_VERSION,
+            library: first.library.clone(),
+            technology: first.technology.clone(),
+            profile: first.profile.clone(),
+            seed: first.seed,
+            planned_units: first.planned_units,
+            units,
+            characterized,
+            total_simulations: shards.iter().map(|s| s.total_simulations).sum(),
+            cache_hits: shards.iter().map(|s| s.cache_hits).sum(),
+            cache_misses: shards.iter().map(|s| s.cache_misses).sum(),
+        })
     }
 
     /// A Markdown summary table of the run (one row per unit) with a cost footer.

@@ -118,6 +118,9 @@ pub struct RunConfig {
     pub validation_points: Option<usize>,
     /// RNG seed for training/validation sampling; default `20150313`.
     pub seed: Option<u64>,
+    /// Path of a persistent (JSON-lines) simulation cache shared by shard workers and
+    /// reruns; created on first use.  Unset = a fresh in-memory cache per run.
+    pub cache: Option<String>,
 }
 
 impl RunConfig {
@@ -276,6 +279,7 @@ impl RunConfig {
             transient: profile.transient(),
             export_grid: profile.export_grid(),
             seed: self.seed.unwrap_or(20150313),
+            cache_path: self.cache.clone().map(std::path::PathBuf::from),
         })
     }
 }
@@ -307,6 +311,8 @@ pub struct ResolvedConfig {
     pub export_grid: ExportGrid,
     /// RNG seed.
     pub seed: u64,
+    /// Persistent simulation-cache file, when configured.
+    pub cache_path: Option<std::path::PathBuf>,
 }
 
 #[cfg(test)]

@@ -10,6 +10,10 @@ pub enum PipelineError {
     Config(String),
     /// An invalid transient-solver configuration, surfaced from the engine.
     Engine(slic_spice::ConfigError),
+    /// A Liberty export that cannot produce a valid file (empty selection, bad grid).
+    Export(slic::liberty::ExportError),
+    /// A persistent simulation cache that cannot be opened or flushed.
+    Cache(slic_spice::CacheError),
     /// A filesystem failure while loading or persisting artifacts.
     Io(std::io::Error),
     /// A JSON (de)serialization failure on an artifact or database file.
@@ -28,6 +32,8 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Config(msg) => write!(f, "configuration error: {msg}"),
             PipelineError::Engine(err) => write!(f, "engine error: {err}"),
+            PipelineError::Export(err) => write!(f, "export error: {err}"),
+            PipelineError::Cache(err) => write!(f, "simulation cache error: {err}"),
             PipelineError::Io(err) => write!(f, "io error: {err}"),
             PipelineError::Serde(err) => write!(f, "serialization error: {err}"),
         }
@@ -39,6 +45,18 @@ impl std::error::Error for PipelineError {}
 impl From<slic_spice::ConfigError> for PipelineError {
     fn from(err: slic_spice::ConfigError) -> Self {
         Self::Engine(err)
+    }
+}
+
+impl From<slic::liberty::ExportError> for PipelineError {
+    fn from(err: slic::liberty::ExportError) -> Self {
+        Self::Export(err)
+    }
+}
+
+impl From<slic_spice::CacheError> for PipelineError {
+    fn from(err: slic_spice::CacheError) -> Self {
+        Self::Cache(err)
     }
 }
 

@@ -8,21 +8,26 @@
 //!    library, target and historical technologies, `quick`/`accurate` profile, cell-kind
 //!    glob and drive-strength filters, metrics and extraction methods;
 //! 2. **Plan** — a [`CharacterizationPlan`] enumerates the work units
-//!    `cells × primary arcs × metrics × methods`;
+//!    `cells × primary arcs × metrics × methods`, and [`CharacterizationPlan::split`]
+//!    partitions them into disjoint shards (stable by `(arc, metric, method)`) for
+//!    distributed execution;
 //! 3. **Learn** — [`PipelineRunner::learn`] archives compact-model fits of the historical
 //!    nodes (reusing `slic::historical` with the run's shared counter and cache);
 //! 4. **Characterize** — [`PipelineRunner::characterize`] executes the units in parallel
 //!    (rayon) against one shared engine: every transient goes through one
 //!    [`SimulationCounter`](slic_spice::SimulationCounter) and one
-//!    [`InMemorySimCache`](slic_spice::InMemorySimCache), so delay/slew unit pairs and
-//!    repeated runs pay for each coordinate once;
-//! 5. **Persist / export** — the [`RunArtifact`] (per-unit results, fitted
+//!    [`SimulationCache`](slic_spice::SimulationCache) — in-memory by default, or a
+//!    [`DiskSimCache`](slic_spice::DiskSimCache) (`cache` config key) whose warm state
+//!    survives process restarts — so delay/slew unit pairs, repeated runs and shard
+//!    workers pay for each coordinate once;
+//! 5. **Persist / export / merge** — the [`RunArtifact`] (per-unit results, fitted
 //!    [`CharacterizedLibrary`], cost totals, cache statistics) saves and reloads as JSON,
-//!    and renders Liberty text through
-//!    [`slic::liberty::export_fitted_library`] at zero additional simulation cost.
+//!    renders Liberty text through [`slic::liberty::export_fitted_library`] at zero
+//!    additional simulation cost, and [`RunArtifact::merge`] joins shard artifacts back
+//!    into the artifact of the whole run.
 //!
-//! The `slic` CLI (`crates/cli`) wraps these stages as the `learn`, `characterize`,
-//! `export` and `report` subcommands.
+//! The `slic` CLI (`crates/cli`) wraps these stages as the `learn`, `characterize`
+//! (`--shard i/n`, `--cache file`), `merge`, `export` and `report` subcommands.
 //!
 //! # Example
 //!
@@ -35,7 +40,8 @@
 //! println!("{}", artifact.summary_markdown());
 //! let liberty = artifact
 //!     .characterized
-//!     .to_liberty(runner.engine(), runner.config().export_grid);
+//!     .to_liberty(runner.engine(), runner.config().export_grid)
+//!     .expect("fitted arcs exist");
 //! std::fs::write("library.lib", liberty).expect("write .lib");
 //! let _ = learning.database.to_json();
 //! let _ = CharacterizationPlan::from_config(runner.config());

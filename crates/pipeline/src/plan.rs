@@ -42,12 +42,44 @@ impl WorkUnit {
         }
         hash ^ run_seed
     }
+
+    /// The shard (out of `shards`) this unit belongs to.
+    ///
+    /// The assignment is a pure function of the unit's `(arc, metric, method)` identity —
+    /// never of its position in a plan — so any worker that enumerates any plan containing
+    /// this unit agrees on who owns it, and re-filtered or re-ordered plans still split
+    /// into disjoint, stable shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn shard_of(&self, shards: usize) -> usize {
+        assert!(shards > 0, "a plan cannot be split into zero shards");
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.id().bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Avalanche finalizer (splitmix64): FNV-1a's low bit is a plain parity of the
+        // input bytes, so `hash % shards` alone can collapse whole plans onto one shard
+        // (every unit id of a default plan has equal byte parity). Mixing spreads every
+        // input bit over the low bits the modulo actually consumes.
+        hash ^= hash >> 30;
+        hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        hash ^= hash >> 27;
+        hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
+        hash ^= hash >> 31;
+        (hash % shards as u64) as usize
+    }
 }
 
-/// The full enumeration of work units for one run.
+/// The full enumeration of work units for one run — or one shard of it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CharacterizationPlan {
     library_name: String,
+    /// Size of the *full* run this plan belongs to: `units.len()` for an enumerated plan,
+    /// the parent's total for a shard.  Lets a merge detect missing shards.
+    planned_units: usize,
     units: Vec<WorkUnit>,
 }
 
@@ -93,8 +125,40 @@ impl CharacterizationPlan {
         }
         Ok(Self {
             library_name: library.name().to_string(),
+            planned_units: units.len(),
             units,
         })
+    }
+
+    /// Splits the plan into `shards` disjoint sub-plans for distributed execution.
+    ///
+    /// Every unit lands in exactly one shard, chosen by [`WorkUnit::shard_of`] — a stable
+    /// hash of the unit's `(arc, metric, method)` identity — so shard membership survives
+    /// re-enumeration and does not depend on unit order.  Shards may be empty when
+    /// `shards` exceeds the number of units; running an empty shard is a no-op and merging
+    /// it is harmless.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Config`] when `shards` is zero.
+    pub fn split(&self, shards: usize) -> Result<Vec<CharacterizationPlan>, PipelineError> {
+        if shards == 0 {
+            return Err(PipelineError::config(
+                "cannot split a plan into zero shards",
+            ));
+        }
+        let mut parts: Vec<Vec<WorkUnit>> = vec![Vec::new(); shards];
+        for unit in &self.units {
+            parts[unit.shard_of(shards)].push(*unit);
+        }
+        Ok(parts
+            .into_iter()
+            .map(|units| Self {
+                library_name: self.library_name.clone(),
+                planned_units: self.planned_units,
+                units,
+            })
+            .collect())
     }
 
     /// The units in execution order.
@@ -102,12 +166,21 @@ impl CharacterizationPlan {
         &self.units
     }
 
-    /// Number of units.
+    /// Number of units in this plan (for a shard: in this shard).
     pub fn len(&self) -> usize {
         self.units.len()
     }
 
-    /// Returns `true` when the plan holds no units (never, for a constructed plan).
+    /// Number of units in the full run this plan belongs to: [`len`](Self::len) for an
+    /// enumerated plan, the parent plan's total for a shard.  Shard artifacts carry this
+    /// so [`RunArtifact::merge`](crate::artifact::RunArtifact::merge) can detect a
+    /// missing shard.
+    pub fn planned_units(&self) -> usize {
+        self.planned_units
+    }
+
+    /// Returns `true` when the plan holds no units — possible only for a shard of a
+    /// [`split`](Self::split) with more shards than units; enumeration rejects emptiness.
     pub fn is_empty(&self) -> bool {
         self.units.is_empty()
     }
@@ -193,6 +266,80 @@ mod tests {
         let other = units.iter().find(|u| u.arc != delay.arc).unwrap();
         assert_ne!(delay.sampling_seed(1), other.sampling_seed(1));
         assert_ne!(delay.sampling_seed(1), delay.sampling_seed(2));
+    }
+
+    #[test]
+    fn split_covers_every_unit_exactly_once() {
+        let config = RunConfig::default().resolve().unwrap();
+        let plan = CharacterizationPlan::from_config(&config).unwrap();
+        for shards in [1usize, 2, 3, 4, 7, 20] {
+            let parts = plan.split(shards).unwrap();
+            assert_eq!(parts.len(), shards);
+            let mut ids: Vec<String> = parts
+                .iter()
+                .flat_map(|p| p.units().iter().map(WorkUnit::id))
+                .collect();
+            ids.sort();
+            let mut expected: Vec<String> = plan.units().iter().map(WorkUnit::id).collect();
+            expected.sort();
+            assert_eq!(ids, expected, "split({shards}) must partition the plan");
+            for (index, part) in parts.iter().enumerate() {
+                assert_eq!(part.library_name(), plan.library_name());
+                assert!(part.units().iter().all(|u| u.shard_of(shards) == index));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_across_plans() {
+        let full = RunConfig::default().resolve().unwrap();
+        let filtered = RunConfig {
+            cell_pattern: Some("INV".into()),
+            ..Default::default()
+        }
+        .resolve()
+        .unwrap();
+        let full_plan = CharacterizationPlan::from_config(&full).unwrap();
+        let inv_plan = CharacterizationPlan::from_config(&filtered).unwrap();
+        for unit in inv_plan.units() {
+            let twin = full_plan
+                .units()
+                .iter()
+                .find(|u| u.id() == unit.id())
+                .expect("filtered plan is a subset");
+            assert_eq!(unit.shard_of(4), twin.shard_of(4));
+        }
+    }
+
+    #[test]
+    fn default_plan_actually_distributes() {
+        // Guards the avalanche finalizer in `shard_of`: with a plain FNV hash the default
+        // plan's unit ids all share byte parity and `split(2)` put all 12 units in one
+        // shard. Every shard of the small splits must receive work.
+        let config = RunConfig::default().resolve().unwrap();
+        let plan = CharacterizationPlan::from_config(&config).unwrap();
+        for shards in [2usize, 4] {
+            let parts = plan.split(shards).unwrap();
+            assert!(
+                parts.iter().all(|p| !p.is_empty()),
+                "split({shards}) sizes: {:?}",
+                parts
+                    .iter()
+                    .map(CharacterizationPlan::len)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let config = RunConfig::default().resolve().unwrap();
+        let plan = CharacterizationPlan::from_config(&config).unwrap();
+        assert!(plan
+            .split(0)
+            .unwrap_err()
+            .to_string()
+            .contains("zero shards"));
     }
 
     #[test]

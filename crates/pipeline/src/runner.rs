@@ -15,7 +15,9 @@ use slic_bayes::{
 };
 use slic_cells::CellKind;
 use slic_lut::LutBuilder;
-use slic_spice::{CharacterizationEngine, InMemorySimCache, SimulationCounter};
+use slic_spice::{
+    CharacterizationEngine, DiskSimCache, InMemorySimCache, SimulationCache, SimulationCounter,
+};
 use slic_stats::distance::mean_relative_error_percent;
 use slic_timing_model::{LeastSquaresFitter, TimingSample};
 use std::collections::HashMap;
@@ -25,28 +27,37 @@ use std::sync::Arc;
 ///
 /// All stages — historical learning, per-unit characterization, validation — run through a
 /// single [`CharacterizationEngine`] clone family sharing one [`SimulationCounter`] and one
-/// [`InMemorySimCache`], so the artifact reports one true cost total and repeated
+/// [`SimulationCache`], so the artifact reports one true cost total and repeated
 /// coordinates are simulated once.
 pub struct PipelineRunner {
     config: ResolvedConfig,
     engine: CharacterizationEngine,
     counter: SimulationCounter,
-    cache: Arc<InMemorySimCache>,
+    cache: Arc<dyn SimulationCache>,
 }
 
 impl PipelineRunner {
     /// Creates a runner with a fresh counter and cache.
     ///
+    /// With a `cache_path` in the configuration the cache is a [`DiskSimCache`] opened
+    /// (warm) from that file and flushed when the runner is dropped; otherwise it is a
+    /// fresh [`InMemorySimCache`].
+    ///
     /// # Errors
     ///
     /// Returns a [`PipelineError::Engine`] when the profile's transient configuration is
-    /// invalid.
+    /// invalid, or a [`PipelineError::Cache`] when the configured cache file cannot be
+    /// opened.
     pub fn new(config: ResolvedConfig) -> Result<Self, PipelineError> {
-        Self::with_cache(config, Arc::new(InMemorySimCache::new()))
+        let cache: Arc<dyn SimulationCache> = match &config.cache_path {
+            Some(path) => Arc::new(DiskSimCache::open(path)?),
+            None => Arc::new(InMemorySimCache::new()),
+        };
+        Self::with_cache(config, cache)
     }
 
     /// Creates a runner reusing an existing (possibly warm) simulation cache — the
-    /// repeated-run entry point.
+    /// repeated-run and shard-worker entry point.
     ///
     /// # Errors
     ///
@@ -54,7 +65,7 @@ impl PipelineRunner {
     /// invalid.
     pub fn with_cache(
         config: ResolvedConfig,
-        cache: Arc<InMemorySimCache>,
+        cache: Arc<dyn SimulationCache>,
     ) -> Result<Self, PipelineError> {
         let counter = SimulationCounter::new();
         let engine =
@@ -85,7 +96,7 @@ impl PipelineRunner {
     }
 
     /// The shared simulation cache.
-    pub fn cache(&self) -> &Arc<InMemorySimCache> {
+    pub fn cache(&self) -> &Arc<dyn SimulationCache> {
         &self.cache
     }
 
@@ -133,7 +144,7 @@ impl PipelineRunner {
             technology: self.config.technology.name().to_string(),
             profile: self.config.profile.name().to_string(),
             seed: self.config.seed,
-            planned_units: plan.len(),
+            planned_units: plan.planned_units(),
             units,
             characterized,
             total_simulations: self.counter.count(),

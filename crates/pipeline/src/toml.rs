@@ -31,7 +31,7 @@ pub fn parse(text: &str) -> Result<Value, PipelineError> {
         let (key, value_text) = line.split_once('=').ok_or_else(|| {
             PipelineError::config(format!("line {lineno}: expected `key = value`"))
         })?;
-        let key = key.trim().trim_matches('"');
+        let key = parse_key(key.trim(), lineno)?;
         if key.is_empty() {
             return Err(PipelineError::config(format!("line {lineno}: empty key")));
         }
@@ -46,17 +46,61 @@ pub fn parse(text: &str) -> Result<Value, PipelineError> {
     Ok(Value::Object(entries))
 }
 
-/// Strips a `#` comment, respecting `#` inside quoted strings.
-fn strip_comment(line: &str) -> &str {
+/// Visits every character of `text` that sits *outside* quoted strings, tracking the
+/// in-string state with `\"`-escape awareness.  The one scanner shared by comment
+/// stripping and array splitting, so the two can never disagree about where a string
+/// ends.
+fn for_each_unquoted(text: &str, mut visit: impl FnMut(usize, char)) {
     let mut in_string = false;
-    for (i, c) in line.char_indices() {
-        match c {
-            '"' => in_string = !in_string,
-            '#' if !in_string => return &line[..i],
-            _ => {}
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+        } else if c == '"' {
+            in_string = true;
+        } else {
+            visit(i, c);
         }
     }
-    line
+}
+
+/// Strips a `#` comment, respecting `#` inside quoted strings — including strings that
+/// contain escaped quotes (`\"`), which must not toggle the in-string state.
+fn strip_comment(line: &str) -> &str {
+    let mut cut = None;
+    for_each_unquoted(line, |i, c| {
+        if c == '#' && cut.is_none() {
+            cut = Some(i);
+        }
+    });
+    match cut {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Validates a key: either a bare key without quotes, or a fully quoted `"key"`.  A stray
+/// or unbalanced quote (`"key`, `key"`, `ke"y`) is rejected instead of being silently
+/// trimmed into a different key than the author wrote.
+fn parse_key(raw: &str, lineno: usize) -> Result<&str, PipelineError> {
+    if let Some(stripped) = raw.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"').filter(|k| !k.contains('"'));
+        return inner.ok_or_else(|| {
+            PipelineError::config(format!("line {lineno}: unbalanced quotes in key `{raw}`"))
+        });
+    }
+    if raw.contains('"') {
+        return Err(PipelineError::config(format!(
+            "line {lineno}: unbalanced quotes in key `{raw}`"
+        )));
+    }
+    Ok(raw)
 }
 
 fn parse_value(text: &str, lineno: usize) -> Result<Value, PipelineError> {
@@ -82,7 +126,7 @@ fn parse_value(text: &str, lineno: usize) -> Result<Value, PipelineError> {
         let inner = stripped
             .strip_suffix('"')
             .ok_or_else(|| PipelineError::config(format!("line {lineno}: unterminated string")))?;
-        return Ok(Value::String(inner.to_string()));
+        return Ok(Value::String(unescape_string(inner, lineno)?));
     }
     match text {
         "true" => return Ok(Value::Bool(true)),
@@ -96,22 +140,47 @@ fn parse_value(text: &str, lineno: usize) -> Result<Value, PipelineError> {
     })
 }
 
+/// Decodes the supported escapes (`\"`, `\\`, `\n`, `\t`) of a string body; a raw quote
+/// or unknown escape is an error rather than a silently mangled value.
+fn unescape_string(inner: &str, lineno: usize) -> Result<String, PipelineError> {
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                return Err(PipelineError::config(format!(
+                    "line {lineno}: unescaped quote inside a string (use \\\")"
+                )));
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(PipelineError::config(format!(
+                        "line {lineno}: unsupported escape `\\{}` in string",
+                        other.map(String::from).unwrap_or_default()
+                    )));
+                }
+            },
+            other => out.push(other),
+        }
+    }
+    Ok(out)
+}
+
 /// Splits array contents on commas outside quoted strings (arrays do not nest in the
-/// supported subset).
+/// supported subset); escaped quotes inside strings do not end the string.
 fn split_array_items(inner: &str) -> Vec<&str> {
     let mut items = Vec::new();
     let mut start = 0;
-    let mut in_string = false;
-    for (i, c) in inner.char_indices() {
-        match c {
-            '"' => in_string = !in_string,
-            ',' if !in_string => {
-                items.push(&inner[start..i]);
-                start = i + 1;
-            }
-            _ => {}
+    for_each_unquoted(inner, |i, c| {
+        if c == ',' {
+            items.push(&inner[start..i]);
+            start = i + 1;
         }
-    }
+    });
     items.push(&inner[start..]);
     items
 }
@@ -181,5 +250,56 @@ mod tests {
     fn comments_inside_strings_survive() {
         let value = parse("note = \"keep # this\"").unwrap();
         assert_eq!(value.get("note").unwrap().as_str(), Some("keep # this"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_confuse_comment_stripping() {
+        // The escaped quote must not flip the in-string state: the `#` after it is still
+        // inside the string, and the trailing comment is still a comment.
+        let value = parse(r#"note = "say \"hi\" # keep" # strip this"#).unwrap();
+        assert_eq!(
+            value.get("note").unwrap().as_str(),
+            Some("say \"hi\" # keep")
+        );
+        let arr = parse(r#"notes = ["a \"b\", c # keep", "d"] # strip"#).unwrap();
+        let items = arr.get("notes").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 2, "the escaped quote must not split the array");
+        assert_eq!(items[0].as_str(), Some("a \"b\", c # keep"));
+    }
+
+    #[test]
+    fn string_escapes_are_decoded() {
+        let value = parse(r#"text = "tab\tnewline\nback\\slash""#).unwrap();
+        assert_eq!(
+            value.get("text").unwrap().as_str(),
+            Some("tab\tnewline\nback\\slash")
+        );
+        assert!(parse(r#"text = "bad \q escape""#)
+            .unwrap_err()
+            .to_string()
+            .contains("unsupported escape"));
+        assert!(parse(r#"text = "raw " quote""#)
+            .unwrap_err()
+            .to_string()
+            .contains("unescaped quote"));
+    }
+
+    #[test]
+    fn unbalanced_key_quotes_are_rejected() {
+        for bad in [r#""key = 1"#, r#"key" = 1"#, r#"ke"y = 1"#] {
+            assert!(
+                parse(bad)
+                    .unwrap_err()
+                    .to_string()
+                    .contains("unbalanced quotes in key"),
+                "`{bad}` must be rejected"
+            );
+        }
+        let value = parse(r#""quoted" = 3"#).unwrap();
+        assert_eq!(value.get("quoted").unwrap().as_f64(), Some(3.0));
+        assert!(parse(r#""" = 1"#)
+            .unwrap_err()
+            .to_string()
+            .contains("empty key"));
     }
 }

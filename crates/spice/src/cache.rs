@@ -9,11 +9,22 @@
 //! solver and **without incrementing the simulation counter**, so the counter keeps its
 //! meaning of "transient simulations actually paid for".
 //!
+//! # Hit/miss accounting
+//!
+//! A **hit** is counted by every [`lookup`](SimulationCache::lookup) answered from the
+//! cache; a **miss** is counted by every [`store`](SimulationCache::store), i.e. every
+//! solve that was actually paid and archived.  A lookup that falls through is *not*
+//! counted on its own: under the engine's single-flight coordination a request that
+//! arrives while the same coordinate is already being solved waits and is then answered
+//! from the cache (one hit), so every `simulate` request contributes exactly one hit or
+//! one miss and the totals are deterministic regardless of thread interleaving.
+//!
 //! [`CharacterizationEngine`]: crate::engine::CharacterizationEngine
 
 use crate::input::InputPoint;
 use crate::measure::TimingMeasurement;
 use crate::transient::TransientConfig;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use slic_cells::TimingArc;
 use slic_device::ProcessSample;
 use std::collections::HashMap;
@@ -25,7 +36,11 @@ use std::sync::Mutex;
 ///
 /// Floating-point components are keyed by their bit patterns: two points are "the same"
 /// only when they are bitwise identical, which is the right notion for caching replayed
-/// deterministic campaigns (nearby-but-different points must not alias).
+/// deterministic campaigns (nearby-but-different points must not alias).  The one
+/// exception is zero: `-0.0` is normalized to `+0.0` at construction, because the two
+/// compare equal, simulate identically, and are produced by different code paths (e.g. a
+/// nominal [`ProcessSample`] delta written as `0.0` here and computed as `-0.0` there) —
+/// keying them apart would silently miss the cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SimKey {
     tech: String,
@@ -35,9 +50,32 @@ pub struct SimKey {
     config: [u64; 4],
 }
 
+/// The bit pattern of `value` with negative zero folded onto positive zero.
+///
+/// # Panics
+///
+/// Panics on NaN: a NaN coordinate never equals itself, so it could never be answered
+/// from the cache, and it indicates an unphysical input upstream — failing loudly beats
+/// silently archiving garbage.
+fn key_bits(value: f64) -> u64 {
+    assert!(
+        !value.is_nan(),
+        "NaN is not a valid simulation-cache coordinate"
+    );
+    if value == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        value.to_bits()
+    }
+}
+
 impl SimKey {
     /// Builds the key for simulating `arc` at `point` under `seed` with `config` in the
     /// technology named `tech`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any floating-point coordinate is NaN (see [`key_bits`]).
     pub fn new(
         tech: &str,
         arc: &TimingArc,
@@ -49,26 +87,139 @@ impl SimKey {
             tech: tech.to_string(),
             arc: *arc,
             point: [
-                point.sin.value().to_bits(),
-                point.cload.value().to_bits(),
-                point.vdd.value().to_bits(),
+                key_bits(point.sin.value()),
+                key_bits(point.cload.value()),
+                key_bits(point.vdd.value()),
             ],
             seed: [
-                seed.delta_vth_n.to_bits(),
-                seed.delta_vth_p.to_bits(),
-                seed.vx0_scale_n.to_bits(),
-                seed.vx0_scale_p.to_bits(),
-                seed.cinv_scale.to_bits(),
-                seed.dibl_scale_n.to_bits(),
-                seed.dibl_scale_p.to_bits(),
+                key_bits(seed.delta_vth_n),
+                key_bits(seed.delta_vth_p),
+                key_bits(seed.vx0_scale_n),
+                key_bits(seed.vx0_scale_p),
+                key_bits(seed.cinv_scale),
+                key_bits(seed.dibl_scale_n),
+                key_bits(seed.dibl_scale_p),
             ],
             config: [
-                config.dv_max_fraction.to_bits(),
+                key_bits(config.dv_max_fraction),
                 config.min_steps_per_ramp as u64,
-                config.max_time_factor.to_bits(),
-                config.miller_fraction.to_bits(),
+                key_bits(config.max_time_factor),
+                key_bits(config.miller_fraction),
             ],
         }
+    }
+}
+
+/// Renders a bit-pattern array as fixed-width hexadecimal strings.
+///
+/// The serde stand-in stores numbers as `f64`, which cannot represent every `u64` bit
+/// pattern exactly — hex strings round-trip losslessly and keep the on-disk cache
+/// diffable.
+fn bits_to_value(bits: &[u64]) -> Value {
+    Value::Array(
+        bits.iter()
+            .map(|b| Value::String(format!("{b:016x}")))
+            .collect(),
+    )
+}
+
+fn bits_from_value<const N: usize>(value: &Value, field: &str) -> Result<[u64; N], SerdeError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| SerdeError::expected("array of hex strings", value))?;
+    if items.len() != N {
+        return Err(SerdeError::custom(format!(
+            "field `{field}`: expected {N} hex strings, found {}",
+            items.len()
+        )));
+    }
+    let mut bits = [0u64; N];
+    for (slot, item) in bits.iter_mut().zip(items) {
+        let text = item
+            .as_str()
+            .ok_or_else(|| SerdeError::expected("hex string", item))?;
+        *slot = u64::from_str_radix(text, 16).map_err(|_| {
+            SerdeError::custom(format!(
+                "field `{field}`: `{text}` is not a hex bit pattern"
+            ))
+        })?;
+    }
+    Ok(bits)
+}
+
+impl Serialize for SimKey {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("tech".to_string(), self.tech.to_value()),
+            ("arc".to_string(), self.arc.to_value()),
+            ("point".to_string(), bits_to_value(&self.point)),
+            ("seed".to_string(), bits_to_value(&self.seed)),
+            ("config".to_string(), bits_to_value(&self.config)),
+        ])
+    }
+}
+
+impl Deserialize for SimKey {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| SerdeError::expected("object", value))?;
+        Ok(Self {
+            tech: serde::field(entries, "tech")?,
+            arc: serde::field(entries, "arc")?,
+            point: bits_from_value(
+                value
+                    .get("point")
+                    .ok_or_else(|| SerdeError::missing_field("point"))?,
+                "point",
+            )?,
+            seed: bits_from_value(
+                value
+                    .get("seed")
+                    .ok_or_else(|| SerdeError::missing_field("seed"))?,
+                "seed",
+            )?,
+            config: bits_from_value(
+                value
+                    .get("config")
+                    .ok_or_else(|| SerdeError::missing_field("config"))?,
+                "config",
+            )?,
+        })
+    }
+}
+
+/// Anything that can go wrong opening or persisting a durable simulation cache (see
+/// [`DiskSimCache`](crate::disk::DiskSimCache)).
+#[derive(Debug)]
+pub enum CacheError {
+    /// A filesystem failure reading or appending the backing store.
+    Io(std::io::Error),
+    /// A stored record that is not a valid cache entry.
+    Corrupt {
+        /// 1-based line number in the log file.
+        line: usize,
+        /// What failed to parse.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io(err) => write!(f, "cache io error: {err}"),
+            CacheError::Corrupt { line, message } => {
+                write!(f, "corrupt cache record at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<std::io::Error> for CacheError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Io(err)
     }
 }
 
@@ -76,13 +227,34 @@ impl SimKey {
 ///
 /// Implementations must be thread-safe: the engine consults the cache from rayon worker
 /// threads.  `lookup` and `store` are intentionally split (no `or_insert_with`) so a miss
-/// never holds a lock across the milliseconds-long transient solve.
+/// never holds a lock across the milliseconds-long transient solve; the engine's
+/// single-flight coordination prevents duplicate solves of one coordinate instead.
 pub trait SimulationCache: Send + Sync {
-    /// The archived measurement for `key`, if present.
+    /// The archived measurement for `key`, if present.  Counts a hit when it answers.
     fn lookup(&self, key: &SimKey) -> Option<TimingMeasurement>;
 
-    /// Archives a completed measurement.
+    /// Archives a completed measurement.  Counts a miss: a store is exactly one solve
+    /// that the cache could not answer.
     fn store(&self, key: SimKey, measurement: TimingMeasurement);
+
+    /// Number of lookups answered from the cache so far.
+    fn hits(&self) -> u64;
+
+    /// Number of archived solves so far (simulations paid because the cache missed).
+    fn misses(&self) -> u64;
+
+    /// Makes the archived state durable, for implementations that persist anything.
+    ///
+    /// Callers that share warm state across processes must call this (and propagate the
+    /// error) before handing off — a destructor can only warn, not fail the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError`] when durable state cannot be written; purely in-memory
+    /// caches never fail (the default is a no-op).
+    fn persist(&self) -> Result<(), CacheError> {
+        Ok(())
+    }
 }
 
 const SHARDS: usize = 16;
@@ -101,16 +273,6 @@ impl InMemorySimCache {
         Self::default()
     }
 
-    /// Number of lookups answered from the cache so far.
-    pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
-    }
-
-    /// Number of lookups that fell through to the solver so far.
-    pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
-    }
-
     /// Number of archived measurements.
     pub fn len(&self) -> usize {
         self.shards
@@ -122,6 +284,30 @@ impl InMemorySimCache {
     /// Returns `true` when nothing is archived.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Archives a paid solve (counting the miss) and returns the previously archived
+    /// measurement, if any — the building block [`store`](SimulationCache::store) and
+    /// persistent wrappers share.
+    pub fn archive(
+        &self,
+        key: SimKey,
+        measurement: TimingMeasurement,
+    ) -> Option<TimingMeasurement> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, measurement)
+    }
+
+    /// Inserts warm state **without** touching the hit/miss accounting — for loading
+    /// records that were paid for by an earlier process (e.g. a persistent cache's log).
+    pub fn insert_warm(&self, key: SimKey, measurement: TimingMeasurement) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, measurement);
     }
 
     fn shard(&self, key: &SimKey) -> &Mutex<HashMap<SimKey, TimingMeasurement>> {
@@ -139,23 +325,22 @@ impl SimulationCache for InMemorySimCache {
             .expect("cache shard poisoned")
             .get(key)
             .copied();
-        match found {
-            Some(m) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(m)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
+        found
     }
 
     fn store(&self, key: SimKey, measurement: TimingMeasurement) {
-        self.shard(&key)
-            .lock()
-            .expect("cache shard poisoned")
-            .insert(key, measurement);
+        let _ = self.archive(key, measurement);
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -190,8 +375,8 @@ mod tests {
         cache.store(key(5.0), m);
         assert_eq!(cache.lookup(&key(5.0)), Some(m));
         assert!(cache.lookup(&key(6.0)).is_none());
-        assert_eq!(cache.hits(), 1);
-        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 1, "one lookup was answered");
+        assert_eq!(cache.misses(), 1, "one solve was archived");
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
     }
@@ -201,5 +386,68 @@ mod tests {
         let a = key(5.0);
         let b = key(5.000000001);
         assert_ne!(a, b, "bitwise-different points must have different keys");
+    }
+
+    #[test]
+    fn negative_zero_aliases_positive_zero() {
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let arc = TimingArc::new(cell, 0, Transition::Fall);
+        let point = InputPoint::new(
+            Seconds::from_picoseconds(5.0),
+            Farads::from_femtofarads(2.0),
+            Volts(0.8),
+        );
+        let plus = ProcessSample {
+            delta_vth_n: 0.0,
+            ..ProcessSample::nominal()
+        };
+        let minus = ProcessSample {
+            delta_vth_n: -0.0,
+            ..ProcessSample::nominal()
+        };
+        let config = TransientConfig::fast();
+        assert_eq!(
+            SimKey::new("n14", &arc, &point, &plus, &config),
+            SimKey::new("n14", &arc, &point, &minus, &config),
+            "-0.0 and 0.0 compare equal and must share one cache slot"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_coordinates_are_rejected() {
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let arc = TimingArc::new(cell, 0, Transition::Fall);
+        let point = InputPoint::new(
+            Seconds::from_picoseconds(5.0),
+            Farads::from_femtofarads(2.0),
+            Volts(0.8),
+        );
+        let bad = ProcessSample {
+            delta_vth_n: f64::NAN,
+            ..ProcessSample::nominal()
+        };
+        let _ = SimKey::new("n14", &arc, &point, &bad, &TransientConfig::fast());
+    }
+
+    #[test]
+    fn sim_key_round_trips_through_json() {
+        let original = key(5.000000001);
+        let text = serde_json::to_string(&original).expect("key serializes");
+        let back: SimKey = serde_json::from_str(&text).expect("key parses");
+        assert_eq!(back, original, "bit patterns must survive the round trip");
+    }
+
+    #[test]
+    fn sim_key_rejects_malformed_bit_patterns() {
+        let text = serde_json::to_string(&key(5.0)).unwrap();
+        let broken = text.replace("\"point\":[\"", "\"point\":[\"zz");
+        assert!(
+            serde_json::from_str::<SimKey>(&broken)
+                .unwrap_err()
+                .to_string()
+                .contains("hex"),
+            "corrupt hex must be reported"
+        );
     }
 }

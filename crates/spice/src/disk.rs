@@ -1,0 +1,517 @@
+//! A disk-backed simulation cache: warm state that survives process restarts.
+//!
+//! [`DiskSimCache`] persists `SimKey → TimingMeasurement` pairs as a JSON-lines append
+//! log.  Opening a cache loads every archived record into memory; `store` archives new
+//! records in memory and queues one JSON line each; [`flush`](DiskSimCache::flush) appends
+//! the queued lines to the log (and runs automatically on drop).  Append-only persistence
+//! means shard workers of a split [`CharacterizationPlan`] and later reruns all
+//! warm-start from the same file: a rerun of an already-characterized shard pays zero
+//! transient simulations.
+//!
+//! Reads and appends take an advisory file lock (shared for load, exclusive for flush),
+//! so same-host workers pointed at one cache file never interleave partial lines; each
+//! worker still only *sees* records flushed before it opened the file, so sequential
+//! workers share everything while concurrent workers merely deduplicate what was on disk
+//! when they started.  The in-memory side mirrors [`InMemorySimCache`]'s 16-way sharding,
+//! keeping warm-replay lookups contention-free under rayon.
+//!
+//! The log is human-readable and diffable: one record per line, floating-point cache
+//! coordinates hex-encoded so every bit pattern round-trips exactly.
+//!
+//! [`CharacterizationPlan`]: ../../slic_pipeline/plan/struct.CharacterizationPlan.html
+//! [`InMemorySimCache`]: crate::cache::InMemorySimCache
+
+use crate::cache::{CacheError, InMemorySimCache, SimKey, SimulationCache};
+use crate::measure::TimingMeasurement;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One archived simulation, as written to the log.
+#[derive(Serialize, Deserialize)]
+struct DiskRecord {
+    key: SimKey,
+    measurement: TimingMeasurement,
+}
+
+/// A persistent [`SimulationCache`] backed by a JSON-lines append log.
+///
+/// The in-memory tier (sharded map, hit/miss accounting) *is* an [`InMemorySimCache`];
+/// this type adds the load-on-open / flush-on-drop persistence around it.  Hit/miss
+/// accounting covers this process only (records loaded from disk are warm state, not
+/// misses); see the [`cache`](crate::cache) module docs for the counting rules.
+pub struct DiskSimCache {
+    path: PathBuf,
+    memory: InMemorySimCache,
+    /// JSON lines archived since the last flush, in store order.
+    pending: Mutex<Vec<String>>,
+}
+
+impl fmt::Debug for DiskSimCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiskSimCache")
+            .field("path", &self.path)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl DiskSimCache {
+    /// Opens (or creates) the cache log at `path`, loading every archived record.
+    ///
+    /// A missing file is an empty cache; missing parent directories are created.  The
+    /// read holds a shared advisory lock, so a concurrent worker's flush never tears a
+    /// record mid-read.  A malformed final line **without a trailing newline** is
+    /// tolerated and ignored — it is the signature of a process killed mid-append, and
+    /// the next flush truncates it away — but corruption anywhere else (including a
+    /// newline-terminated final record) is an error: silently dropping archived
+    /// simulations would quietly re-pay for them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError`] on filesystem failures or a corrupt non-final record.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, CacheError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let cache = Self {
+            path,
+            memory: InMemorySimCache::new(),
+            pending: Mutex::new(Vec::new()),
+        };
+        let text = match std::fs::File::open(&cache.path) {
+            Ok(file) => {
+                file.lock_shared()?;
+                std::io::read_to_string(&file)?
+                // Closing the handle releases the lock.
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(err) => return Err(err.into()),
+        };
+        let lines: Vec<&str> = text.lines().collect();
+        for (index, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<DiskRecord>(line) {
+                Ok(record) => {
+                    if index + 1 == lines.len() && !text.ends_with('\n') {
+                        // A complete record whose trailing newline was lost in a crash:
+                        // the next flush truncates every un-terminated byte, so queue the
+                        // record for re-append or it would vanish from the log.
+                        cache
+                            .pending
+                            .lock()
+                            .expect("disk cache pending poisoned")
+                            .push((*line).to_string());
+                    }
+                    cache.memory.insert_warm(record.key, record.measurement);
+                }
+                Err(err) if index + 1 == lines.len() && !text.ends_with('\n') => {
+                    // A truncated final record from an interrupted append — recognizable
+                    // by the missing trailing newline; the next flush truncates it away
+                    // before appending. A *complete* (newline-terminated) corrupt line is
+                    // real corruption and falls through to the error below.
+                    let _ = err;
+                }
+                Err(err) => {
+                    return Err(CacheError::Corrupt {
+                        line: index + 1,
+                        message: err.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(cache)
+    }
+
+    /// The log file this cache persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of archived measurements (loaded plus stored).
+    pub fn len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Returns `true` when nothing is archived.
+    pub fn is_empty(&self) -> bool {
+        self.memory.is_empty()
+    }
+
+    /// Appends every record stored since the last flush to the log file, under an
+    /// exclusive advisory lock so concurrent same-host workers append whole lines.
+    ///
+    /// A torn final line left by a crashed writer is truncated away first — appending
+    /// after it would weld the partial bytes and the first new record into one
+    /// unparseable interior line and brick the log for every later `open`.
+    ///
+    /// Called automatically on drop; call it explicitly when the cache must be durable at
+    /// a known point (e.g. before handing the file to the next shard worker).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError::Io`] when the log cannot be appended; the pending records
+    /// are kept for a retry.
+    pub fn flush(&self) -> Result<(), CacheError> {
+        let mut pending = self.pending.lock().expect("disk cache pending poisoned");
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        file.lock()?;
+        truncate_torn_tail(&mut file)?;
+        let mut text = String::new();
+        for line in pending.iter() {
+            text.push_str(line);
+            text.push('\n');
+        }
+        file.write_all(text.as_bytes())?;
+        file.flush()?;
+        pending.clear();
+        // Closing the handle releases the lock.
+        Ok(())
+    }
+}
+
+/// Truncates a torn final line (no trailing newline) off the log.
+///
+/// Called under the exclusive flush lock: any live writer finishes its whole batch —
+/// trailing newline included — before releasing the lock, so a non-newline tail can only
+/// be the leftover of a crashed writer and is safe to drop (its record was never
+/// observable as complete).
+fn truncate_torn_tail(file: &mut std::fs::File) -> std::io::Result<()> {
+    const CHUNK: u64 = 64 * 1024;
+    let len = file.metadata()?.len();
+    let mut scanned = 0u64;
+    // Scan backwards for the last newline; keep everything up to and including it.
+    while scanned < len {
+        let chunk = CHUNK.min(len - scanned);
+        file.seek(SeekFrom::Start(len - scanned - chunk))?;
+        let mut buf = vec![0u8; chunk as usize];
+        file.read_exact(&mut buf)?;
+        if scanned == 0 && buf.last() == Some(&b'\n') {
+            return Ok(());
+        }
+        if let Some(pos) = buf.iter().rposition(|&b| b == b'\n') {
+            file.set_len(len - scanned - chunk + pos as u64 + 1)?;
+            return Ok(());
+        }
+        scanned += chunk;
+    }
+    // No newline anywhere: the whole file is one torn line (or empty).
+    file.set_len(0)?;
+    Ok(())
+}
+
+impl SimulationCache for DiskSimCache {
+    fn lookup(&self, key: &SimKey) -> Option<TimingMeasurement> {
+        self.memory.lookup(key)
+    }
+
+    fn store(&self, key: SimKey, measurement: TimingMeasurement) {
+        let line = serde_json::to_string(&DiskRecord {
+            key: key.clone(),
+            measurement,
+        })
+        .expect("cache records contain only finite numbers");
+        // Re-storing the identical value (a benign replay) keeps the log clean; a changed
+        // value must be appended because loading is last-record-wins.
+        if self.memory.archive(key, measurement) != Some(measurement) {
+            self.pending
+                .lock()
+                .expect("disk cache pending poisoned")
+                .push(line);
+        }
+    }
+
+    fn hits(&self) -> u64 {
+        self.memory.hits()
+    }
+
+    fn misses(&self) -> u64 {
+        self.memory.misses()
+    }
+
+    fn persist(&self) -> Result<(), CacheError> {
+        self.flush()
+    }
+}
+
+impl Drop for DiskSimCache {
+    fn drop(&mut self) {
+        if let Err(err) = self.flush() {
+            eprintln!(
+                "warning: failed to flush simulation cache `{}`: {err}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::InputPoint;
+    use crate::transient::TransientConfig;
+    use slic_cells::{Cell, CellKind, DriveStrength, TimingArc, Transition};
+    use slic_device::ProcessSample;
+    use slic_units::{Farads, Seconds, Volts};
+
+    fn key(sin_ps: f64, cload_ff: f64) -> SimKey {
+        let cell = Cell::new(CellKind::Nand2, DriveStrength::X2);
+        let arc = TimingArc::new(cell, 0, Transition::Rise);
+        let point = InputPoint::new(
+            Seconds::from_picoseconds(sin_ps),
+            Farads::from_femtofarads(cload_ff),
+            Volts(0.8),
+        );
+        SimKey::new(
+            "n14",
+            &arc,
+            &point,
+            &ProcessSample::nominal(),
+            &TransientConfig::fast(),
+        )
+    }
+
+    fn measurement(delay_ps: f64) -> TimingMeasurement {
+        TimingMeasurement::new(
+            Seconds::from_picoseconds(delay_ps),
+            Seconds::from_picoseconds(delay_ps * 0.6),
+        )
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("slic-disk-cache-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = temp_path("roundtrip.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let cache = DiskSimCache::open(&path).expect("opens fresh");
+            assert!(cache.is_empty());
+            cache.store(key(5.0, 2.0), measurement(12.0));
+            cache.store(key(6.0, 3.0), measurement(15.0));
+            cache.flush().expect("flushes");
+            assert_eq!(cache.misses(), 2);
+        }
+        let reopened = DiskSimCache::open(&path).expect("reopens");
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.lookup(&key(5.0, 2.0)), Some(measurement(12.0)));
+        assert_eq!(reopened.lookup(&key(6.0, 3.0)), Some(measurement(15.0)));
+        assert_eq!(reopened.hits(), 2);
+        assert_eq!(reopened.misses(), 0, "loaded records are not misses");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_on_drop_without_explicit_flush() {
+        let path = temp_path("drop.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let cache = DiskSimCache::open(&path).expect("opens");
+            cache.store(key(7.0, 1.0), measurement(9.0));
+        }
+        let reopened = DiskSimCache::open(&path).expect("reopens");
+        assert_eq!(reopened.lookup(&key(7.0, 1.0)), Some(measurement(9.0)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_stores_append_once() {
+        let path = temp_path("dedup.jsonl");
+        std::fs::remove_file(&path).ok();
+        let cache = DiskSimCache::open(&path).expect("opens");
+        cache.store(key(5.0, 2.0), measurement(12.0));
+        cache.store(key(5.0, 2.0), measurement(12.0));
+        cache.flush().expect("flushes");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 2, "both solves were paid");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "the log stays deduplicated");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated() {
+        let path = temp_path("truncated.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let cache = DiskSimCache::open(&path).expect("opens");
+            cache.store(key(5.0, 2.0), measurement(12.0));
+            cache.store(key(6.0, 3.0), measurement(15.0));
+        }
+        // Simulate a crash mid-append: chop the last record in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep = text.len() - 25;
+        std::fs::write(&path, &text[..keep]).unwrap();
+        let reopened = DiskSimCache::open(&path).expect("tolerates a torn tail");
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.lookup(&key(5.0, 2.0)), Some(measurement(12.0)));
+
+        // Appending through the survivor must first truncate the torn bytes — otherwise
+        // they would weld onto the new record and corrupt an interior line for good.
+        reopened.store(key(9.0, 4.0), measurement(20.0));
+        reopened.flush().expect("flush repairs the torn tail");
+        let repaired = DiskSimCache::open(&path).expect("log is clean again");
+        assert_eq!(repaired.len(), 2);
+        assert_eq!(repaired.lookup(&key(5.0, 2.0)), Some(measurement(12.0)));
+        assert_eq!(repaired.lookup(&key(9.0, 4.0)), Some(measurement(20.0)));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines()
+                .all(|l| serde_json::from_str::<serde::Value>(l).is_ok()),
+            "every physical line must be valid JSON after the repairing flush"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn complete_record_missing_its_newline_survives_the_repairing_flush() {
+        let path = temp_path("no-newline.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let cache = DiskSimCache::open(&path).expect("opens");
+            cache.store(key(5.0, 2.0), measurement(12.0));
+            cache.store(key(6.0, 3.0), measurement(15.0));
+        }
+        // Crash lost only the final newline: the last record's bytes are complete.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        {
+            let survivor = DiskSimCache::open(&path).expect("opens");
+            assert_eq!(survivor.len(), 2, "the newline-less record still loads");
+            survivor.store(key(9.0, 4.0), measurement(20.0));
+            // Drop flushes: truncation removes the un-terminated bytes, and the queued
+            // re-append keeps the record durable.
+        }
+        let reopened = DiskSimCache::open(&path).expect("clean log");
+        assert_eq!(reopened.len(), 3, "no archived record may be lost");
+        assert_eq!(reopened.lookup(&key(6.0, 3.0)), Some(measurement(15.0)));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        assert!(text
+            .lines()
+            .all(|l| serde_json::from_str::<serde::Value>(l).is_ok()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_truncates_a_file_that_is_one_torn_line() {
+        let path = temp_path("all-torn.jsonl");
+        std::fs::remove_file(&path).ok();
+        std::fs::write(&path, "{\"key\":{\"tec").unwrap();
+        let cache = DiskSimCache::open(&path).expect("tolerates");
+        assert!(cache.is_empty());
+        cache.store(key(5.0, 2.0), measurement(12.0));
+        cache.flush().expect("flushes");
+        let reopened = DiskSimCache::open(&path).expect("clean log");
+        assert_eq!(reopened.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn complete_corrupt_final_line_is_an_error() {
+        let path = temp_path("corrupt-final.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let cache = DiskSimCache::open(&path).expect("opens");
+            cache.store(key(5.0, 2.0), measurement(12.0));
+            cache.store(key(6.0, 3.0), measurement(15.0));
+        }
+        // A newline-terminated garbage line is corruption, not a torn append: tolerating
+        // it would let a later flush turn it into unfixable interior corruption.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        *lines.last_mut().unwrap() = "{broken".to_string();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = DiskSimCache::open(&path).expect_err("complete corrupt line rejected");
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn persist_delegates_to_flush() {
+        let path = temp_path("persist.jsonl");
+        std::fs::remove_file(&path).ok();
+        let cache = DiskSimCache::open(&path).expect("opens");
+        cache.store(key(5.0, 2.0), measurement(12.0));
+        SimulationCache::persist(&cache).expect("persists");
+        assert_eq!(DiskSimCache::open(&path).expect("reopens").len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let path = temp_path("corrupt.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let cache = DiskSimCache::open(&path).expect("opens");
+            cache.store(key(5.0, 2.0), measurement(12.0));
+            cache.store(key(6.0, 3.0), measurement(15.0));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[0] = "{not json".to_string();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = DiskSimCache::open(&path).expect_err("must reject interior corruption");
+        assert!(err.to_string().contains("line 1"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(8))]
+        #[test]
+        fn arbitrary_records_round_trip_through_the_log(
+            sins in proptest::collection::vec(0.1f64..40.0, 1..24),
+            delays in proptest::collection::vec(0.5f64..80.0, 24),
+        ) {
+            let path = temp_path(&format!("prop-{}.jsonl", sins.len()));
+            std::fs::remove_file(&path).ok();
+            let records: Vec<(SimKey, TimingMeasurement)> = sins
+                .iter()
+                .zip(&delays)
+                .map(|(&sin, &delay)| (key(sin, 2.0), measurement(delay)))
+                .collect();
+            {
+                let cache = DiskSimCache::open(&path).expect("opens fresh");
+                for (k, m) in &records {
+                    cache.store(k.clone(), *m);
+                }
+                cache.flush().expect("flushes");
+            }
+            let reopened = DiskSimCache::open(&path).expect("reopens");
+            for (k, m) in &records {
+                proptest::prop_assert_eq!(
+                    reopened.lookup(k),
+                    Some(*m),
+                    "coordinate bit patterns and measurements must survive persistence"
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_cache() {
+        let path = temp_path("missing.jsonl");
+        std::fs::remove_file(&path).ok();
+        let cache = DiskSimCache::open(&path).expect("opens a missing file");
+        assert!(cache.is_empty());
+        assert_eq!(cache.path(), path.as_path());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -19,9 +19,10 @@ use rayon::prelude::*;
 use slic_cells::{Cell, EquivalentInverter, TimingArc};
 use slic_device::{ProcessSample, TechnologyNode};
 use slic_units::Amperes;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// An invalid [`TransientConfig`] was supplied to an engine constructor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +72,36 @@ impl SimulationCounter {
     }
 }
 
+/// The set of cache coordinates currently being solved, shared by every clone of one
+/// engine.  It implements single-flight deduplication: when two workers miss on the same
+/// coordinate concurrently, exactly one runs the solver and the others wait for its
+/// result, so a coordinate is never paid for twice within a process and the simulation
+/// totals of a run are deterministic regardless of thread interleaving.
+#[derive(Debug, Default)]
+struct InFlight {
+    keys: Mutex<HashSet<SimKey>>,
+    done: Condvar,
+}
+
+/// Removes an in-flight claim when the owning solve finishes — including by panic, so
+/// sibling workers waiting on the coordinate wake up and retry instead of hanging.
+struct InFlightClaim<'a> {
+    inflight: &'a InFlight,
+    key: &'a SimKey,
+}
+
+impl Drop for InFlightClaim<'_> {
+    fn drop(&mut self) {
+        let mut keys = self
+            .inflight
+            .keys
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        keys.remove(self.key);
+        self.inflight.done.notify_all();
+    }
+}
+
 /// A simulator front-end bound to one technology node.
 #[derive(Clone)]
 pub struct CharacterizationEngine {
@@ -78,6 +109,7 @@ pub struct CharacterizationEngine {
     config: TransientConfig,
     counter: SimulationCounter,
     cache: Option<Arc<dyn SimulationCache>>,
+    inflight: Arc<InFlight>,
 }
 
 impl fmt::Debug for CharacterizationEngine {
@@ -110,6 +142,7 @@ impl CharacterizationEngine {
             config,
             counter: SimulationCounter::new(),
             cache: None,
+            inflight: Arc::new(InFlight::default()),
         })
     }
 
@@ -178,6 +211,11 @@ impl CharacterizationEngine {
 
     /// Runs one transient simulation of `arc` at `point` under process seed `seed`.
     ///
+    /// With a cache attached, concurrent requests for one coordinate are single-flighted:
+    /// the first requester solves while the others wait and are then answered from the
+    /// cache, so each unique coordinate is simulated (and counted) exactly once per
+    /// process and the run's cost totals are deterministic under any thread schedule.
+    ///
     /// # Panics
     ///
     /// Panics if the transient solver cannot complete the transition — with the supported
@@ -190,27 +228,57 @@ impl CharacterizationEngine {
         point: &InputPoint,
         seed: &ProcessSample,
     ) -> TimingMeasurement {
-        let key = self.cache.as_ref().map(|cache| {
-            let key = SimKey::new(self.tech.name(), arc, point, seed, &self.config);
-            (cache, key)
-        });
-        if let Some((cache, key)) = &key {
-            if let Some(measurement) = cache.lookup(key) {
-                return measurement;
+        let Some(cache) = self.cache.as_ref() else {
+            return self.solve(cell, arc, point, seed);
+        };
+        let key = SimKey::new(self.tech.name(), arc, point, seed, &self.config);
+        if let Some(measurement) = cache.lookup(&key) {
+            return measurement;
+        }
+        // Miss: claim the coordinate, or wait for whichever worker already owns it.
+        {
+            let mut keys = self.inflight.keys.lock().expect("in-flight set poisoned");
+            loop {
+                if let Some(measurement) = cache.lookup(&key) {
+                    return measurement;
+                }
+                if !keys.contains(&key) {
+                    keys.insert(key.clone());
+                    break;
+                }
+                keys = self
+                    .inflight
+                    .done
+                    .wait(keys)
+                    .expect("in-flight set poisoned");
             }
         }
+        let claim = InFlightClaim {
+            inflight: &self.inflight,
+            key: &key,
+        };
+        let measurement = self.solve(cell, arc, point, seed);
+        cache.store(key.clone(), measurement);
+        drop(claim);
+        measurement
+    }
+
+    /// Runs the solver unconditionally and counts the simulation.
+    fn solve(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        point: &InputPoint,
+        seed: &ProcessSample,
+    ) -> TimingMeasurement {
         let eq = EquivalentInverter::build(&self.tech, cell, seed);
         self.counter.add(1);
-        let measurement = simulate_switching(&eq, arc, point, &self.config).unwrap_or_else(|err| {
+        simulate_switching(&eq, arc, point, &self.config).unwrap_or_else(|err| {
             panic!(
                 "transient simulation failed for {} at {point}: {err}",
                 arc.id()
             )
-        });
-        if let Some((cache, key)) = key {
-            cache.store(key, measurement);
-        }
-        measurement
+        })
     }
 
     /// Runs one transient simulation at the nominal process corner.
@@ -430,6 +498,22 @@ mod tests {
         // A different coordinate still simulates.
         let _ = eng.simulate_nominal(cell, &arc, &pt(6.0, 2.0, 0.8));
         assert_eq!(eng.simulation_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_solve_once() {
+        use crate::cache::InMemorySimCache;
+        let cache = Arc::new(InMemorySimCache::new());
+        let eng = engine().with_cache(cache.clone());
+        let (cell, arc) = inv_fall();
+        // Sixteen workers racing on one coordinate: single-flight must collapse them to
+        // one paid solve; the other fifteen are answered from the cache (counted hits).
+        let points = vec![pt(5.0, 2.0, 0.8); 16];
+        let measurements = eng.sweep_nominal(cell, &arc, &points);
+        assert!(measurements.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(eng.simulation_count(), 1, "one coordinate, one solve");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 15);
     }
 
     #[test]

@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod disk;
 pub mod engine;
 pub mod input;
 pub mod measure;
 pub mod transient;
 
-pub use cache::{InMemorySimCache, SimKey, SimulationCache};
+pub use cache::{CacheError, InMemorySimCache, SimKey, SimulationCache};
+pub use disk::DiskSimCache;
 pub use engine::{CharacterizationEngine, ConfigError, SimulationCounter};
 pub use input::{InputPoint, InputSpace};
 pub use measure::TimingMeasurement;

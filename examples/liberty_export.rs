@@ -32,7 +32,7 @@ fn main() {
         tech.name(),
         tech.vdd_nominal()
     );
-    let text = export_library(&engine, &library, ExportGrid::default());
+    let text = export_library(&engine, &library, ExportGrid::default()).expect("non-empty library");
     println!(
         "done: {} simulations, {} lines of Liberty output",
         engine.simulation_count(),

@@ -30,7 +30,8 @@ fn main() {
 
     let liberty = artifact
         .characterized
-        .to_liberty(runner.engine(), runner.config().export_grid);
+        .to_liberty(runner.engine(), runner.config().export_grid)
+        .expect("fitted arcs exist");
     println!(
         "liberty export: {} lines, zero additional simulations",
         liberty.lines().count()

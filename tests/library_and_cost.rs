@@ -23,7 +23,7 @@ fn liberty_export_is_complete_and_costed() {
         slew_levels: 3,
         load_levels: 3,
     };
-    let text = export_library(&engine, &library, grid);
+    let text = export_library(&engine, &library, grid).expect("export succeeds");
 
     // Structure: one library group, three cells, both transitions per cell.
     assert_eq!(text.matches("cell (").count(), 3);

@@ -74,7 +74,8 @@ fn quick_profile_characterizes_the_paper_trio_end_to_end() {
     let sims_before = runner.counter().count();
     let liberty = artifact
         .characterized
-        .to_liberty(runner.engine(), runner.config().export_grid);
+        .to_liberty(runner.engine(), runner.config().export_grid)
+        .expect("fitted arcs exist");
     assert_eq!(
         runner.counter().count(),
         sims_before,

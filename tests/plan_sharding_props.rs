@@ -1,0 +1,145 @@
+//! Property tests for plan sharding and artifact merging: `split(n)` covers every work
+//! unit exactly once for arbitrary plan shapes, and merging shard artifacts equals
+//! merging the unsharded artifact.
+
+use proptest::prelude::*;
+use slic::prelude::TimingParams;
+use slic_pipeline::artifact::SCHEMA_VERSION;
+use slic_pipeline::{CharacterizationPlan, RunArtifact, RunConfig, UnitResult, WorkUnit};
+
+/// Builds an arbitrary-but-valid run configuration from a handful of generator draws.
+fn arbitrary_plan(lib: usize, metric_sel: usize, method_mask: usize) -> CharacterizationPlan {
+    let libraries = ["paper-trio", "standard"];
+    let metric_options: [&[&str]; 3] = [&["delay"], &["slew"], &["delay", "slew"]];
+    let all_methods = ["bayesian", "lse", "lut"];
+    let methods: Vec<String> = all_methods
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| method_mask & (1 << i) != 0)
+        .map(|(_, m)| m.to_string())
+        .collect();
+    let config = RunConfig {
+        library: Some(libraries[lib].to_string()),
+        metrics: Some(
+            metric_options[metric_sel]
+                .iter()
+                .map(|m| m.to_string())
+                .collect(),
+        ),
+        methods: Some(methods),
+        ..RunConfig::default()
+    };
+    let resolved = config.resolve().expect("generated configs are valid");
+    CharacterizationPlan::from_config(&resolved).expect("generated plans are non-empty")
+}
+
+/// A synthetic artifact whose per-unit numbers are deterministic functions of the plan,
+/// so shard sums always reproduce the unsharded totals.
+fn synthetic_artifact(plan: &CharacterizationPlan, planned: usize) -> RunArtifact {
+    let units: Vec<UnitResult> = plan
+        .units()
+        .iter()
+        .map(|u| UnitResult {
+            arc_id: u.arc.id(),
+            arc: u.arc,
+            metric: u.metric,
+            method: u.method,
+            params: Some(TimingParams::initial_guess()),
+            training_count: 6,
+            validation_points: 12,
+            error_percent: 1.25,
+            requested_simulations: 18,
+        })
+        .collect();
+    let characterized = slic_pipeline::CharacterizedLibrary::from_units(
+        plan.library_name(),
+        "target-14nm-finfet",
+        &units,
+    );
+    RunArtifact {
+        schema_version: SCHEMA_VERSION,
+        library: plan.library_name().to_string(),
+        technology: "target-14nm-finfet".to_string(),
+        profile: "quick".to_string(),
+        seed: 99,
+        planned_units: planned,
+        units,
+        characterized,
+        total_simulations: 3 * plan.len() as u64,
+        cache_hits: 2 * plan.len() as u64,
+        cache_misses: plan.len() as u64,
+    }
+}
+
+proptest! {
+    #[test]
+    fn split_covers_every_unit_exactly_once(
+        shards in 1usize..9,
+        lib in 0usize..2,
+        metric_sel in 0usize..3,
+        method_mask in 1usize..8,
+    ) {
+        let plan = arbitrary_plan(lib, metric_sel, method_mask);
+        let parts = plan.split(shards).expect("split succeeds");
+        prop_assert_eq!(parts.len(), shards);
+
+        // Every unit appears in exactly one shard (multiset equality of unit ids).
+        let mut sharded_ids: Vec<String> = parts
+            .iter()
+            .flat_map(|p| p.units().iter().map(WorkUnit::id))
+            .collect();
+        sharded_ids.sort();
+        let mut expected_ids: Vec<String> = plan.units().iter().map(WorkUnit::id).collect();
+        expected_ids.sort();
+        prop_assert_eq!(sharded_ids, expected_ids);
+
+        // Shard membership is the stable hash of the unit identity, nothing else.
+        for (index, part) in parts.iter().enumerate() {
+            prop_assert_eq!(part.library_name(), plan.library_name());
+            for unit in part.units() {
+                prop_assert_eq!(unit.shard_of(shards), index);
+            }
+        }
+    }
+
+    #[test]
+    fn merging_shard_artifacts_equals_the_unsharded_artifact(
+        shards in 1usize..9,
+        lib in 0usize..2,
+        metric_sel in 0usize..3,
+        method_mask in 1usize..8,
+    ) {
+        let plan = arbitrary_plan(lib, metric_sel, method_mask);
+        let full = synthetic_artifact(&plan, plan.planned_units());
+
+        let shard_artifacts: Vec<RunArtifact> = plan
+            .split(shards)
+            .expect("split succeeds")
+            .iter()
+            .map(|part| synthetic_artifact(part, part.planned_units()))
+            .collect();
+
+        let merged = RunArtifact::merge(&shard_artifacts).expect("disjoint shards merge");
+        // Merging the complete artifact alone canonicalizes its unit order, giving the
+        // reference the merged artifact must reproduce exactly.
+        let canonical = RunArtifact::merge(std::slice::from_ref(&full)).expect("merges");
+        prop_assert_eq!(merged, canonical);
+    }
+
+    #[test]
+    fn merging_overlapping_shards_is_rejected(
+        lib in 0usize..2,
+        metric_sel in 0usize..3,
+        method_mask in 1usize..8,
+    ) {
+        let plan = arbitrary_plan(lib, metric_sel, method_mask);
+        let full = synthetic_artifact(&plan, plan.planned_units());
+        let parts = plan.split(2).expect("split succeeds");
+        let overlapping = synthetic_artifact(&parts[0], parts[0].planned_units());
+        if !overlapping.units.is_empty() {
+            let err = RunArtifact::merge(&[full, overlapping])
+                .expect_err("a re-submitted shard must be rejected");
+            prop_assert!(err.to_string().contains("overlapping"), "{}", err);
+        }
+    }
+}
