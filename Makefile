@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench lint fmt clippy clean
+.PHONY: build test bench bench-kernel lint fmt clippy clean
 
 build:
 	$(CARGO) build --release
@@ -12,6 +12,10 @@ test:
 
 bench:
 	$(CARGO) bench -p slic-bench
+
+# Transient-kernel throughput bench; rewrites BENCH_transient.json at the repo root.
+bench-kernel:
+	$(CARGO) bench -p slic-bench --bench transient_kernel
 
 fmt:
 	$(CARGO) fmt --all -- --check

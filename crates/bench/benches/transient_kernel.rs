@@ -1,0 +1,291 @@
+//! Transient-kernel throughput bench: the Monte Carlo sweep inner loop, measured three
+//! ways — the pre-PR scalar RK4 kernel, the embedded-pair scalar kernel, and the batched
+//! Monte Carlo kernel — at both configuration presets.
+//!
+//! Beyond the console table, the bench writes the **`BENCH_transient.json`** artifact
+//! (sims/sec, steps/sim, device-evals/sim, accuracy against the golden reference, and the
+//! derived speedup ratios) so the kernel's performance is a committed, CI-gated number.
+//!
+//! Environment:
+//!
+//! * `BENCH_OUT` — artifact path (default `BENCH_transient.json` in the working directory);
+//! * `BENCH_SMOKE=1` — reduced workload for CI smoke runs (also recorded in the artifact).
+//!
+//! Throughput is measured on one thread on purpose: thread fan-out multiplies every
+//! kernel equally, and the single-thread number is the one the ROADMAP's "fast as the
+//! hardware allows" target is about.
+
+use slic::prelude::*;
+use slic_bench::banner;
+use slic_bench::emit::{SpeedupReport, TransientBenchReport, VariantReport};
+use slic_spice::{
+    simulate_switching_batch_with_stats, simulate_switching_rk4_with_stats,
+    simulate_switching_with_stats, TransientStats,
+};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A runnable kernel variant: one full (point × seed) sweep returning the measurements
+/// and the aggregated work counters.
+type KernelRun<'a> = Box<dyn FnMut() -> (Vec<TimingMeasurement>, TransientStats) + 'a>;
+
+struct Workload {
+    tech: TechnologyNode,
+    cell: Cell,
+    arc: TimingArc,
+    points: Vec<InputPoint>,
+    seeds: Vec<ProcessSample>,
+    lanes: Vec<EquivalentInverter>,
+    reduced: bool,
+}
+
+fn workload() -> Workload {
+    let reduced = std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (n_points, n_seeds) = if reduced { (2, 16) } else { (4, 64) };
+    let tech = TechnologyNode::n28_bulk();
+    let cell = Cell::new(CellKind::Nand2, DriveStrength::X1);
+    let arc = TimingArc::new(cell, 0, Transition::Fall);
+    let space = InputSpace::paper_space(tech.vdd_range());
+    let mut rng = StdRng::seed_from_u64(20150313);
+    let points = space.sample_latin_hypercube(&mut rng, n_points);
+    let seeds = tech.variation().sample_n(&mut rng, n_seeds);
+    let lanes = seeds
+        .iter()
+        .map(|s| EquivalentInverter::build(&tech, cell, s))
+        .collect();
+    Workload {
+        tech,
+        cell,
+        arc,
+        points,
+        seeds,
+        lanes,
+        reduced,
+    }
+}
+
+/// Seconds each timed pass must cover so timer granularity and scheduler noise stay well
+/// below the gate thresholds (the reduced CI workload finishes one sweep in well under a
+/// millisecond — far too short to time on a shared runner).
+const MIN_PASS_SECONDS: f64 = 0.05;
+
+/// Times `sweep`, repeated enough times per pass to cover [`MIN_PASS_SECONDS`], over
+/// `reps` passes; returns the fastest per-sweep seconds (least scheduler noise).
+fn best_of(reps: usize, mut sweep: impl FnMut()) -> f64 {
+    // Calibration pass sizes the repetition count.
+    let start = Instant::now();
+    sweep();
+    let once = start.elapsed().as_secs_f64().max(1e-9);
+    let iters = (MIN_PASS_SECONDS / once).ceil().max(1.0) as usize;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            sweep();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+struct Accuracy {
+    max_delay_pct: f64,
+    max_slew_pct: f64,
+}
+
+fn accuracy_vs(golden: &[TimingMeasurement], measured: &[TimingMeasurement]) -> Accuracy {
+    let mut acc = Accuracy {
+        max_delay_pct: 0.0,
+        max_slew_pct: 0.0,
+    };
+    for (g, m) in golden.iter().zip(measured) {
+        let d = 100.0 * (m.delay.value() / g.delay.value() - 1.0).abs();
+        let s = 100.0 * (m.output_slew.value() / g.output_slew.value() - 1.0).abs();
+        acc.max_delay_pct = acc.max_delay_pct.max(d);
+        acc.max_slew_pct = acc.max_slew_pct.max(s);
+    }
+    acc
+}
+
+fn main() {
+    banner(
+        "Transient kernel throughput (BENCH_transient.json)",
+        "Monte Carlo sweep: scalar RK4 (pre-PR) vs embedded-pair scalar vs batched lanes",
+    );
+    let w = workload();
+    let sims = w.points.len() * w.lanes.len();
+    let reps = if w.reduced { 3 } else { 5 };
+    println!(
+        "workload: {} {} arc, {} points x {} seeds = {} sims/variant ({} mode)\n",
+        w.cell,
+        w.arc.output_transition(),
+        w.points.len(),
+        w.lanes.len(),
+        sims,
+        if w.reduced { "reduced" } else { "full" },
+    );
+
+    // Golden reference: seed RK4 at the accurate preset, point-major lane order.
+    let golden_cfg = TransientConfig::accurate();
+    let golden: Vec<TimingMeasurement> = w
+        .points
+        .iter()
+        .flat_map(|p| {
+            w.lanes.iter().map(|eq| {
+                simulate_switching_rk4_with_stats(eq, &w.arc, p, &golden_cfg)
+                    .expect("golden simulation completes")
+                    .0
+            })
+        })
+        .collect();
+
+    let mut variants: Vec<VariantReport> = Vec::new();
+    for (config_name, config) in [
+        ("fast", TransientConfig::fast()),
+        ("accurate", TransientConfig::accurate()),
+    ] {
+        // Each variant runs the identical (point × seed) sweep.  The scalar variants
+        // rebuild the equivalent inverter per simulation — exactly what the pre-PR engine
+        // paid per `solve` — while the batched variant amortizes lane setup across points
+        // the way the batch kernel's callers can.
+        let kernels: [(&str, KernelRun); 3] = [
+            (
+                "rk4_scalar",
+                Box::new(|| {
+                    let mut total = TransientStats::default();
+                    let mut ms = Vec::with_capacity(sims);
+                    for p in &w.points {
+                        for seed in &w.seeds {
+                            let eq = EquivalentInverter::build(&w.tech, w.cell, seed);
+                            let (m, s) = simulate_switching_rk4_with_stats(&eq, &w.arc, p, &config)
+                                .expect("simulation completes");
+                            total.steps += s.steps;
+                            total.rejected_steps += s.rejected_steps;
+                            total.device_evals += s.device_evals;
+                            ms.push(m);
+                        }
+                    }
+                    (ms, total)
+                }),
+            ),
+            (
+                "embedded_scalar",
+                Box::new(|| {
+                    let mut total = TransientStats::default();
+                    let mut ms = Vec::with_capacity(sims);
+                    for p in &w.points {
+                        for seed in &w.seeds {
+                            let eq = EquivalentInverter::build(&w.tech, w.cell, seed);
+                            let (m, s) = simulate_switching_with_stats(&eq, &w.arc, p, &config)
+                                .expect("simulation completes");
+                            total.steps += s.steps;
+                            total.rejected_steps += s.rejected_steps;
+                            total.device_evals += s.device_evals;
+                            ms.push(m);
+                        }
+                    }
+                    (ms, total)
+                }),
+            ),
+            (
+                "embedded_batch",
+                Box::new(|| {
+                    let mut total = TransientStats::default();
+                    let mut ms = Vec::with_capacity(sims);
+                    for p in &w.points {
+                        for result in
+                            simulate_switching_batch_with_stats(&w.lanes, &w.arc, p, &config)
+                                .expect("config is valid")
+                        {
+                            let (m, s) = result.expect("simulation completes");
+                            total.steps += s.steps;
+                            total.rejected_steps += s.rejected_steps;
+                            total.device_evals += s.device_evals;
+                            ms.push(m);
+                        }
+                    }
+                    (ms, total)
+                }),
+            ),
+        ];
+
+        for (name, mut run) in kernels {
+            let (measurements, stats) = run();
+            let accuracy = accuracy_vs(&golden, &measurements);
+            let elapsed = best_of(reps, || {
+                let (ms, _) = run();
+                std::hint::black_box(ms);
+            });
+            let report = VariantReport {
+                name: name.to_string(),
+                config: config_name.to_string(),
+                sims_per_sec: sims as f64 / elapsed,
+                steps_per_sim: stats.steps as f64 / sims as f64,
+                rejected_steps_per_sim: stats.rejected_steps as f64 / sims as f64,
+                device_evals_per_sim: stats.device_evals as f64 / sims as f64,
+                max_delay_err_vs_golden_pct: accuracy.max_delay_pct,
+                max_slew_err_vs_golden_pct: accuracy.max_slew_pct,
+            };
+            println!(
+                "{:<16} {:<9} {:>12.0} sims/s  {:>7.1} steps/sim  {:>8.1} evals/sim  delay err {:.4}%  slew err {:.4}%",
+                report.name,
+                report.config,
+                report.sims_per_sec,
+                report.steps_per_sim,
+                report.device_evals_per_sim,
+                report.max_delay_err_vs_golden_pct,
+                report.max_slew_err_vs_golden_pct,
+            );
+            variants.push(report);
+        }
+    }
+
+    let ratio = |fast: &str, slow: &str, config: &str| -> Option<SpeedupReport> {
+        let fast_v = variants
+            .iter()
+            .find(|v| v.name == fast && v.config == config)?;
+        let slow_v = variants
+            .iter()
+            .find(|v| v.name == slow && v.config == config)?;
+        Some(SpeedupReport {
+            name: format!("{fast}_vs_{slow}_{config}"),
+            ratio: fast_v.sims_per_sec / slow_v.sims_per_sec,
+        })
+    };
+    let speedups: Vec<SpeedupReport> = [
+        ratio("embedded_scalar", "rk4_scalar", "fast"),
+        ratio("embedded_batch", "rk4_scalar", "fast"),
+        ratio("embedded_scalar", "rk4_scalar", "accurate"),
+        ratio("embedded_batch", "rk4_scalar", "accurate"),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+
+    println!();
+    for s in &speedups {
+        println!("{:<44} {:.2}x", s.name, s.ratio);
+    }
+
+    let report = TransientBenchReport {
+        reduced: w.reduced,
+        cell: w.cell.to_string(),
+        arc: w.arc.output_transition().to_string(),
+        tech: w.tech.name().to_string(),
+        points: w.points.len(),
+        seeds: w.lanes.len(),
+        variants,
+        speedups,
+    };
+    let out = std::env::var("BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // Default into the workspace root (the bench's working directory is the crate).
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_transient.json")
+        });
+    report.write(&out).expect("artifact written");
+    println!("\nwrote {}", out.display());
+}

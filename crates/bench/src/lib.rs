@@ -8,6 +8,8 @@
 //! who wins, by roughly what factor, where the crossovers sit — is what the harness
 //! reproduces.
 
+pub mod emit;
+
 use slic::historical::{HistoricalLearner, HistoricalLearningConfig};
 use slic::prelude::*;
 

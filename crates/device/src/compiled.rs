@@ -1,0 +1,242 @@
+//! Pre-compiled device models for the transient hot path.
+//!
+//! [`Mosfet::drain_current`](crate::mosfet::Mosfet::drain_current) is evaluated millions of
+//! times per characterization campaign, and most of what it computes per call is constant
+//! for the lifetime of one simulation: `n·φt` and its reciprocal, `1/Vdsat`, `β` and `1/β`,
+//! and the current prefactor `W·Cinv·v_x0`.  A [`CompiledDevice`] hoists those constants out
+//! of the inner loop once, evaluates on raw `f64` (no unit-wrapper round-trips), and
+//! replaces the two `powf` calls of the saturation function with a single `ln`/`exp` pair:
+//!
+//! ```text
+//! Fsat = r · (1 + r^β)^(−1/β)  with  r = Vds/Vdsat
+//!      = r · exp(−ln(1 + exp(β·ln r)) / β)
+//! ```
+//!
+//! computed stably for both `r → 0` (the inner `exp` underflows to 0 and `Fsat → r`) and
+//! large `r` (for `β·ln r > 30` the log-sum collapses to `β·ln r` and `Fsat → 1`).  The
+//! compiled form is the *definition* of the model: [`Mosfet::drain_current`] delegates here,
+//! so DC evaluations and the transient solver agree bit for bit.
+//!
+//! [`CompiledInverter`] pairs the pull-up and pull-down compiled devices of an equivalent
+//! inverter so the transient solver's derivative callback is a single call.
+
+use crate::mosfet::{DeviceParams, Mosfet, THERMAL_VOLTAGE};
+
+/// A device model with all per-simulation constants hoisted, evaluated on raw `f64` volts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledDevice {
+    /// Current prefactor `W·Cinv·v_x0` (A/V, multiplies the overdrive charge in volts).
+    gain: f64,
+    /// Threshold voltage at `Vds = 0` (V).
+    vth0: f64,
+    /// DIBL coefficient (V/V).
+    dibl: f64,
+    /// Subthreshold swing voltage `n·φt` (V).
+    n_phit: f64,
+    /// Reciprocal of `n·φt` (1/V).
+    inv_n_phit: f64,
+    /// Reciprocal of the saturation voltage (1/V).
+    inv_vdsat: f64,
+    /// Saturation sharpness exponent `β`.
+    beta_sat: f64,
+    /// Reciprocal of `β`.
+    inv_beta_sat: f64,
+}
+
+impl CompiledDevice {
+    /// Compiles raw device parameters.
+    ///
+    /// The parameters are assumed valid (see [`DeviceParams::validate`]); [`Mosfet`]
+    /// guarantees this for any device it hands out.
+    pub fn from_params(p: &DeviceParams) -> Self {
+        let n_phit = p.ss_factor * THERMAL_VOLTAGE;
+        Self {
+            gain: p.width * p.cinv * p.vx0,
+            vth0: p.vth0,
+            dibl: p.dibl,
+            n_phit,
+            inv_n_phit: 1.0 / n_phit,
+            inv_vdsat: 1.0 / p.vdsat,
+            beta_sat: p.beta_sat,
+            inv_beta_sat: 1.0 / p.beta_sat,
+        }
+    }
+
+    /// Compiles a device (polarity is irrelevant: both polarities evaluate on terminal
+    /// magnitudes).
+    pub fn new(device: &Mosfet) -> Self {
+        Self::from_params(device.params())
+    }
+
+    /// Drain current magnitude in amperes for terminal-magnitude voltages in volts.
+    ///
+    /// Semantics match [`Mosfet::drain_current`]: negative inputs clamp to zero (device in
+    /// cut-off), `vds == 0` returns exactly zero.
+    #[inline]
+    pub fn drain_current(&self, vgs: f64, vds: f64) -> f64 {
+        let vgs = vgs.max(0.0);
+        let vds = vds.max(0.0);
+        if vds == 0.0 {
+            return 0.0;
+        }
+        // Smooth overdrive with DIBL: ln(1 + e^x) computed stably for large x.
+        let vth_eff = self.vth0 - self.dibl * vds;
+        let x = (vgs - vth_eff) * self.inv_n_phit;
+        let q_ov = self.n_phit * if x > 30.0 { x } else { x.exp().ln_1p() };
+        // Saturation function via one ln/exp pair; see the module docs for the stability
+        // argument at both ends of the r range.
+        let r = vds * self.inv_vdsat;
+        let t = self.beta_sat * r.ln();
+        let log_denom = if t > 30.0 { t } else { t.exp().ln_1p() };
+        let fsat = r * (-log_denom * self.inv_beta_sat).exp();
+        self.gain * q_ov * fsat
+    }
+}
+
+/// The compiled pull-up/pull-down pair of an equivalent inverter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledInverter {
+    pmos: CompiledDevice,
+    nmos: CompiledDevice,
+}
+
+impl CompiledInverter {
+    /// Compiles the two devices of an equivalent inverter.
+    pub fn new(pmos: &Mosfet, nmos: &Mosfet) -> Self {
+        Self {
+            pmos: CompiledDevice::new(pmos),
+            nmos: CompiledDevice::new(nmos),
+        }
+    }
+
+    /// The compiled pull-up device.
+    pub fn pmos(&self) -> &CompiledDevice {
+        &self.pmos
+    }
+
+    /// The compiled pull-down device.
+    pub fn nmos(&self) -> &CompiledDevice {
+        &self.nmos
+    }
+
+    /// Net current charging the output node: `I_pmos − I_nmos` in amperes, for supply
+    /// `vdd`, input voltage `vin` and output voltage `vout` (all in volts).
+    #[inline]
+    pub fn output_current(&self, vdd: f64, vin: f64, vout: f64) -> f64 {
+        self.pmos.drain_current(vdd - vin, vdd - vout) - self.nmos.drain_current(vin, vout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::Mosfet;
+    use proptest::prelude::*;
+    use slic_units::Volts;
+
+    fn reference_params() -> DeviceParams {
+        DeviceParams {
+            vth0: 0.32,
+            dibl: 0.08,
+            ss_factor: 1.25,
+            vx0: 8.5e4,
+            cinv: 1.6e-2,
+            width: 2.0e-7,
+            vdsat: 0.22,
+            beta_sat: 1.8,
+            gate_cap: 0.35e-15,
+            drain_cap: 0.22e-15,
+        }
+    }
+
+    /// The original (pre-compilation) drain-current expression, kept verbatim as the
+    /// numerical reference for the hoisted form.
+    fn drain_current_reference(p: &DeviceParams, vgs: f64, vds: f64) -> f64 {
+        let vgs = vgs.max(0.0);
+        let vds = vds.max(0.0);
+        if vds == 0.0 {
+            return 0.0;
+        }
+        let n_phit = p.ss_factor * THERMAL_VOLTAGE;
+        let vth_eff = p.vth0 - p.dibl * vds;
+        let x = (vgs - vth_eff) / n_phit;
+        let q_ov = n_phit * if x > 30.0 { x } else { x.exp().ln_1p() };
+        let ratio = vds / p.vdsat;
+        let fsat = ratio / (1.0 + ratio.powf(p.beta_sat)).powf(1.0 / p.beta_sat);
+        p.width * p.cinv * q_ov * p.vx0 * fsat
+    }
+
+    #[test]
+    fn compiled_matches_reference_expression_to_rounding() {
+        let p = reference_params();
+        let c = CompiledDevice::from_params(&p);
+        for vgs in [0.0, 0.05, 0.2, 0.32, 0.5, 0.8, 1.2] {
+            for vds in [1e-6, 1e-3, 0.05, 0.22, 0.5, 0.8, 1.2] {
+                let reference = drain_current_reference(&p, vgs, vds);
+                let compiled = c.drain_current(vgs, vds);
+                let scale = reference.abs().max(1e-30);
+                assert!(
+                    (compiled - reference).abs() / scale < 1e-12,
+                    "vgs={vgs} vds={vds}: compiled={compiled:e} reference={reference:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mosfet_api_delegates_to_compiled_form() {
+        let m = Mosfet::nmos(reference_params());
+        let c = CompiledDevice::new(&m);
+        for (vgs, vds) in [(0.8, 0.8), (0.4, 0.1), (0.1, 0.9), (-0.2, 0.5)] {
+            assert_eq!(
+                m.drain_current(Volts(vgs), Volts(vds)).value(),
+                c.drain_current(vgs, vds),
+                "API and compiled paths must agree bit for bit at ({vgs}, {vds})"
+            );
+        }
+    }
+
+    #[test]
+    fn cutoff_and_zero_vds_edges() {
+        let c = CompiledDevice::from_params(&reference_params());
+        assert_eq!(c.drain_current(0.8, 0.0), 0.0);
+        assert_eq!(c.drain_current(-1.0, 0.0), 0.0);
+        assert!(c.drain_current(-1.0, 0.8) < 1e-7);
+        // Deep-linear region stays finite and ~proportional to vds.
+        let tiny = c.drain_current(0.8, 1e-9);
+        assert!(tiny.is_finite() && tiny > 0.0);
+    }
+
+    #[test]
+    fn inverter_pair_is_pmos_minus_nmos() {
+        let pm = Mosfet::pmos(reference_params());
+        let nm = Mosfet::nmos(reference_params());
+        let inv = CompiledInverter::new(&pm, &nm);
+        let (vdd, vin, vout) = (0.8, 0.3, 0.5);
+        let expected =
+            inv.pmos().drain_current(vdd - vin, vdd - vout) - inv.nmos().drain_current(vin, vout);
+        assert_eq!(inv.output_current(vdd, vin, vout), expected);
+        // Input low: pull-up wins; input high: pull-down wins.
+        assert!(inv.output_current(0.8, 0.0, 0.4) > 0.0);
+        assert!(inv.output_current(0.8, 0.8, 0.4) < 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_compiled_tracks_reference(vgs in -0.5f64..1.5, vds in 0.0f64..1.5) {
+            let p = reference_params();
+            let c = CompiledDevice::from_params(&p);
+            let reference = drain_current_reference(&p, vgs, vds);
+            let compiled = c.drain_current(vgs, vds);
+            let scale = reference.abs().max(1e-30);
+            prop_assert!((compiled - reference).abs() / scale < 1e-11);
+        }
+
+        #[test]
+        fn prop_compiled_current_finite_and_nonnegative(vgs in -1.0f64..2.0, vds in -1.0f64..2.0) {
+            let c = CompiledDevice::from_params(&reference_params());
+            let id = c.drain_current(vgs, vds);
+            prop_assert!(id.is_finite() && id >= 0.0);
+        }
+    }
+}

@@ -34,10 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod mosfet;
 pub mod tech;
 pub mod variation;
 
+pub use compiled::{CompiledDevice, CompiledInverter};
 pub use mosfet::{DeviceParams, Mosfet, Polarity};
 pub use tech::{ProcessFlavor, TechnologyKind, TechnologyNode};
 pub use variation::{ProcessSample, ProcessVariation};

@@ -184,6 +184,11 @@ impl Mosfet {
         }
     }
 
+    /// Compiles this device for repeated raw-`f64` evaluation (the transient hot path).
+    pub fn compile(&self) -> crate::compiled::CompiledDevice {
+        crate::compiled::CompiledDevice::from_params(&self.params)
+    }
+
     /// Drain current magnitude for *terminal-magnitude* voltages.
     ///
     /// `vgs` and `vds` are interpreted as the magnitudes of the gate-source and drain-source
@@ -191,24 +196,12 @@ impl Mosfet {
     /// returned current is always non-negative.  Negative inputs are clamped to zero, which
     /// models the device being off / in cut-off for reverse bias within the accuracy needed
     /// by the switching simulator.
+    ///
+    /// Delegates to [`CompiledDevice`](crate::compiled::CompiledDevice) so one-off DC
+    /// evaluations and the transient solver's hoisted inner loop agree bit for bit; callers
+    /// evaluating in a loop should [`compile`](Self::compile) once instead.
     pub fn drain_current(&self, vgs: Volts, vds: Volts) -> Amperes {
-        let p = &self.params;
-        let vgs = vgs.value().max(0.0);
-        let vds = vds.value().max(0.0);
-        if vds == 0.0 {
-            return Amperes(0.0);
-        }
-        let n_phit = p.ss_factor * THERMAL_VOLTAGE;
-        // Smooth overdrive with DIBL: below threshold this decays exponentially, above it
-        // grows linearly with Vgs.
-        let vth_eff = p.vth0 - p.dibl * vds;
-        let x = (vgs - vth_eff) / n_phit;
-        // ln(1 + e^x) computed stably for large |x|.
-        let q_ov = n_phit * if x > 30.0 { x } else { x.exp().ln_1p() };
-        // Saturation function: ~Vds/Vdsat for small Vds, -> 1 in saturation.
-        let ratio = vds / p.vdsat;
-        let fsat = ratio / (1.0 + ratio.powf(p.beta_sat)).powf(1.0 / p.beta_sat);
-        Amperes(p.width * p.cinv * q_ov * p.vx0 * fsat)
+        Amperes(self.compile().drain_current(vgs.value(), vds.value()))
     }
 
     /// Saturation drain current at `Vgs = Vds = Vdd`.

@@ -1,0 +1,225 @@
+//! Batched transient integration: many simulation lanes advanced through one kernel.
+//!
+//! A Monte Carlo ensemble integrates the *same* arc at the *same* input point under many
+//! process seeds, and a sweep integrates the same arc and seed at many input points.  Both
+//! are embarrassingly lane-parallel, and both pay per-simulation setup (equivalent-inverter
+//! reduction, model compilation, threshold tables) that a scalar loop re-derives from
+//! scratch each time.  The batched kernel pre-compiles every lane's
+//! [`TransientProblem`](crate::transient) once, keeps the live lane states packed in a
+//! dense worklist, and advances all unretired lanes one accepted step per round — the
+//! integrator's working set stays hot in cache and retired lanes stop costing anything
+//! (per-lane retirement: lanes finish at their own pace, the round only visits survivors).
+//!
+//! Every lane executes exactly the arithmetic of the scalar kernel — the batch and scalar
+//! paths drive the same [`LaneState::step`](crate::transient) — so batch lane `i` is
+//! **bitwise identical** to the scalar simulation of the same `(equivalent inverter,
+//! point)` pair.  The parity suite asserts this.
+
+use crate::input::InputPoint;
+use crate::measure::TimingMeasurement;
+use crate::transient::{
+    LaneState, TransientConfig, TransientError, TransientProblem, TransientStats,
+};
+use slic_cells::{EquivalentInverter, TimingArc};
+
+/// Per-lane outcome of a batched integration with stats: the measurement and its work
+/// counters, or the lane's own integration failure.
+pub type LaneResult = Result<(TimingMeasurement, TransientStats), TransientError>;
+
+/// Integrates a set of pre-built problems, all lanes in one worklist.
+///
+/// Result `i` corresponds to `problems[i]` regardless of the order lanes retire in.
+pub(crate) fn integrate_batch(problems: &[TransientProblem]) -> Vec<LaneResult> {
+    let mut lanes: Vec<LaneState> = problems.iter().map(LaneState::new).collect();
+    // Dense worklist of unretired lane indices; retirement swap-removes, so each round
+    // touches only live lanes.
+    let mut live: Vec<usize> = (0..problems.len()).collect();
+    while !live.is_empty() {
+        let mut i = 0;
+        while i < live.len() {
+            let lane = live[i];
+            lanes[lane].step(&problems[lane]);
+            if lanes[lane].finished() {
+                live.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    lanes
+        .into_iter()
+        .zip(problems)
+        .map(|(lane, problem)| lane.into_result(problem))
+        .collect()
+}
+
+/// Monte Carlo batch: simulates `arc` at one input point for every equivalent inverter in
+/// `lanes` (one per process seed), returning per-lane results in input order.
+///
+/// Lane `i` is bitwise identical to
+/// [`simulate_switching`](crate::transient::simulate_switching) on `lanes[i]`.
+///
+/// # Errors
+///
+/// Returns [`TransientError::InvalidConfig`] if `config` fails validation; per-lane
+/// integration failures ([`TransientError::IncompleteTransition`]) are reported in the
+/// corresponding output slot without disturbing the other lanes.
+pub fn simulate_switching_batch(
+    lanes: &[EquivalentInverter],
+    arc: &TimingArc,
+    point: &InputPoint,
+    config: &TransientConfig,
+) -> Result<Vec<Result<TimingMeasurement, TransientError>>, TransientError> {
+    simulate_switching_batch_with_stats(lanes, arc, point, config)
+        .map(|rs| rs.into_iter().map(|r| r.map(|(m, _)| m)).collect())
+}
+
+/// [`simulate_switching_batch`] plus per-lane integration-work counters.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_switching_batch`].
+pub fn simulate_switching_batch_with_stats(
+    lanes: &[EquivalentInverter],
+    arc: &TimingArc,
+    point: &InputPoint,
+    config: &TransientConfig,
+) -> Result<Vec<LaneResult>, TransientError> {
+    config.validate().map_err(TransientError::InvalidConfig)?;
+    let problems: Vec<TransientProblem> = lanes
+        .iter()
+        .map(|eq| TransientProblem::new(eq, arc, point, config))
+        .collect();
+    Ok(integrate_batch(&problems))
+}
+
+/// Sweep batch: simulates `arc` with one equivalent inverter at every input point,
+/// returning per-point results in input order.
+///
+/// Lane `i` is bitwise identical to
+/// [`simulate_switching`](crate::transient::simulate_switching) at `points[i]`.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_switching_batch`].
+pub fn simulate_switching_sweep_batch(
+    eq: &EquivalentInverter,
+    arc: &TimingArc,
+    points: &[InputPoint],
+    config: &TransientConfig,
+) -> Result<Vec<Result<TimingMeasurement, TransientError>>, TransientError> {
+    config.validate().map_err(TransientError::InvalidConfig)?;
+    let problems: Vec<TransientProblem> = points
+        .iter()
+        .map(|point| TransientProblem::new(eq, arc, point, config))
+        .collect();
+    Ok(integrate_batch(&problems)
+        .into_iter()
+        .map(|r| r.map(|(m, _)| m))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::simulate_switching;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slic_cells::{Cell, CellKind, DriveStrength, Transition};
+    use slic_device::TechnologyNode;
+    use slic_units::{Farads, Seconds, Volts};
+
+    fn pt(sin_ps: f64, cload_ff: f64, vdd: f64) -> InputPoint {
+        InputPoint::new(
+            Seconds::from_picoseconds(sin_ps),
+            Farads::from_femtofarads(cload_ff),
+            Volts(vdd),
+        )
+    }
+
+    #[test]
+    fn batch_lanes_match_scalar_bitwise() {
+        let tech = TechnologyNode::n14_finfet();
+        let cell = Cell::new(CellKind::Nand2, DriveStrength::X1);
+        let arc = TimingArc::new(cell, 0, Transition::Fall);
+        let mut rng = StdRng::seed_from_u64(17);
+        let seeds = tech.variation().sample_n(&mut rng, 24);
+        let lanes: Vec<EquivalentInverter> = seeds
+            .iter()
+            .map(|s| EquivalentInverter::build(&tech, cell, s))
+            .collect();
+        let point = pt(5.0, 2.0, 0.8);
+        let cfg = TransientConfig::fast();
+        let batch = simulate_switching_batch(&lanes, &arc, &point, &cfg).unwrap();
+        assert_eq!(batch.len(), lanes.len());
+        for (eq, result) in lanes.iter().zip(&batch) {
+            let scalar = simulate_switching(eq, &arc, &point, &cfg).unwrap();
+            let batched = result.clone().unwrap();
+            assert_eq!(
+                batched.delay.value().to_bits(),
+                scalar.delay.value().to_bits()
+            );
+            assert_eq!(
+                batched.output_slew.value().to_bits(),
+                scalar.output_slew.value().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_batch_matches_scalar_bitwise() {
+        let tech = TechnologyNode::n14_finfet();
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let arc = TimingArc::new(cell, 0, Transition::Rise);
+        let eq = EquivalentInverter::nominal(&tech, cell);
+        let points = vec![pt(1.0, 0.5, 0.7), pt(5.0, 2.0, 0.8), pt(12.0, 4.0, 1.0)];
+        let cfg = TransientConfig::accurate();
+        let batch = simulate_switching_sweep_batch(&eq, &arc, &points, &cfg).unwrap();
+        for (point, result) in points.iter().zip(&batch) {
+            let scalar = simulate_switching(&eq, &arc, point, &cfg).unwrap();
+            assert_eq!(result.clone().unwrap(), scalar);
+        }
+    }
+
+    #[test]
+    fn per_lane_failures_do_not_poison_the_batch() {
+        let tech = TechnologyNode::n14_finfet();
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let arc = TimingArc::new(cell, 0, Transition::Fall);
+        let eq = EquivalentInverter::nominal(&tech, cell);
+        // A sub-threshold supply lane between two healthy lanes.
+        let points = vec![pt(5.0, 2.0, 0.8), pt(5.0, 2.0, 0.02), pt(5.0, 2.0, 0.9)];
+        let cfg = TransientConfig::fast();
+        let batch = simulate_switching_sweep_batch(&eq, &arc, &points, &cfg).unwrap();
+        assert!(batch[0].is_ok());
+        assert!(matches!(
+            batch[1],
+            Err(TransientError::IncompleteTransition { .. })
+        ));
+        assert!(batch[2].is_ok());
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_any_lane_runs() {
+        let tech = TechnologyNode::n14_finfet();
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let arc = TimingArc::new(cell, 0, Transition::Fall);
+        let eq = EquivalentInverter::nominal(&tech, cell);
+        let bad = TransientConfig {
+            min_steps_per_ramp: 2,
+            ..TransientConfig::fast()
+        };
+        let err = simulate_switching_batch(&[eq], &arc, &pt(5.0, 2.0, 0.8), &bad).unwrap_err();
+        assert!(matches!(err, TransientError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let arc = TimingArc::new(cell, 0, Transition::Fall);
+        let batch =
+            simulate_switching_batch(&[], &arc, &pt(5.0, 2.0, 0.8), &TransientConfig::fast())
+                .unwrap();
+        assert!(batch.is_empty());
+    }
+}

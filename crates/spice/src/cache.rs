@@ -32,6 +32,22 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Version stamp of the transient solver whose results a [`SimKey`] coordinates.
+///
+/// A persisted cache outlives the binary that wrote it, and two solver generations given
+/// identical coordinates produce measurements that differ within the parity tolerance —
+/// replaying one as the other would silently mix kernels inside a single artifact.  The
+/// version is therefore part of the cache key: records written by an older kernel stay in
+/// the log but can never answer a newer kernel's lookups.
+///
+/// History: **1** — the seed's slope-probe RK4 kernel (records written before the field
+/// existed deserialize as this version); **2** — the Bogacki–Shampine 3(2) embedded pair
+/// over compiled device models.
+pub const KERNEL_VERSION: u64 = 2;
+
+/// The version that keys cache records written before the kernel field existed.
+const LEGACY_KERNEL_VERSION: u64 = 1;
+
 /// The exact coordinates of one transient simulation.
 ///
 /// Floating-point components are keyed by their bit patterns: two points are "the same"
@@ -41,8 +57,11 @@ use std::sync::Mutex;
 /// compare equal, simulate identically, and are produced by different code paths (e.g. a
 /// nominal [`ProcessSample`] delta written as `0.0` here and computed as `-0.0` there) —
 /// keying them apart would silently miss the cache.
+///
+/// The solver generation is part of the key (see [`KERNEL_VERSION`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SimKey {
+    kernel: u64,
     tech: String,
     arc: TimingArc,
     point: [u64; 3],
@@ -84,6 +103,7 @@ impl SimKey {
         config: &TransientConfig,
     ) -> Self {
         Self {
+            kernel: KERNEL_VERSION,
             tech: tech.to_string(),
             arc: *arc,
             point: [
@@ -150,6 +170,10 @@ fn bits_from_value<const N: usize>(value: &Value, field: &str) -> Result<[u64; N
 impl Serialize for SimKey {
     fn to_value(&self) -> Value {
         Value::Object(vec![
+            (
+                "kernel".to_string(),
+                Value::String(format!("{:x}", self.kernel)),
+            ),
             ("tech".to_string(), self.tech.to_value()),
             ("arc".to_string(), self.arc.to_value()),
             ("point".to_string(), bits_to_value(&self.point)),
@@ -164,7 +188,22 @@ impl Deserialize for SimKey {
         let entries = value
             .as_object()
             .ok_or_else(|| SerdeError::expected("object", value))?;
+        // Records written before the kernel field existed were produced by the seed RK4
+        // solver; keying them as the legacy version keeps old persisted caches loadable
+        // while guaranteeing they never answer a current-kernel lookup.
+        let kernel = match value.get("kernel") {
+            None => LEGACY_KERNEL_VERSION,
+            Some(field) => {
+                let text = field
+                    .as_str()
+                    .ok_or_else(|| SerdeError::expected("hex kernel version", field))?;
+                u64::from_str_radix(text, 16).map_err(|_| {
+                    SerdeError::custom(format!("`{text}` is not a hex kernel version"))
+                })?
+            }
+        };
         Ok(Self {
+            kernel,
             tech: serde::field(entries, "tech")?,
             arc: serde::field(entries, "arc")?,
             point: bits_from_value(
@@ -436,6 +475,28 @@ mod tests {
         let text = serde_json::to_string(&original).expect("key serializes");
         let back: SimKey = serde_json::from_str(&text).expect("key parses");
         assert_eq!(back, original, "bit patterns must survive the round trip");
+    }
+
+    #[test]
+    fn legacy_records_load_as_the_old_kernel_and_never_alias_current_keys() {
+        // A record persisted before the kernel field existed: strip the field from a
+        // current key's JSON, exactly as a pre-upgrade log line would look.
+        let current = key(5.0);
+        let text = serde_json::to_string(&current).unwrap();
+        let kernel_field = format!("\"kernel\":\"{KERNEL_VERSION:x}\",");
+        assert!(
+            text.contains(&kernel_field),
+            "current keys persist a version"
+        );
+        let legacy_text = text.replace(&kernel_field, "");
+        let legacy: SimKey = serde_json::from_str(&legacy_text).expect("legacy record parses");
+        assert_ne!(
+            legacy, current,
+            "a pre-upgrade record must never answer a current-kernel lookup"
+        );
+        // And a legacy key survives its own round trip unchanged.
+        let back: SimKey = serde_json::from_str(&serde_json::to_string(&legacy).unwrap()).unwrap();
+        assert_eq!(back, legacy);
     }
 
     #[test]

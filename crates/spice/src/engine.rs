@@ -11,18 +11,33 @@
 //! reported speedups are ratios of simulation counts at equal accuracy, so the counter is
 //! the basis of all cost accounting in `slic-core` and the benches.
 
+use crate::batch::integrate_batch;
 use crate::cache::{SimKey, SimulationCache};
 use crate::input::{InputPoint, InputSpace};
 use crate::measure::TimingMeasurement;
-use crate::transient::{simulate_switching, TransientConfig};
+use crate::transient::{simulate_switching_prevalidated, TransientConfig, TransientProblem};
 use rayon::prelude::*;
 use slic_cells::{Cell, EquivalentInverter, TimingArc};
 use slic_device::{ProcessSample, TechnologyNode};
 use slic_units::Amperes;
 use std::collections::HashSet;
 use std::fmt;
+use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// One batched-simulation request: an input point under one process seed.
+type Lane = (InputPoint, ProcessSample);
+
+/// Lanes per batched-kernel call when a lane list is fanned out across worker threads:
+/// small enough that chunk count keeps every core busy, large enough that the batched
+/// worklist amortizes setup.
+fn batch_width(lanes: usize) -> usize {
+    let threads = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    lanes.div_ceil(4 * threads).clamp(1, 16)
+}
 
 /// An invalid [`TransientConfig`] was supplied to an engine constructor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +113,27 @@ impl Drop for InFlightClaim<'_> {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         keys.remove(self.key);
+        self.inflight.done.notify_all();
+    }
+}
+
+/// Removes a *set* of in-flight claims when a batched solve finishes — including by
+/// panic, so workers waiting on any of the coordinates wake up and retry.
+struct BatchClaims<'a> {
+    inflight: &'a InFlight,
+    keys: Vec<SimKey>,
+}
+
+impl Drop for BatchClaims<'_> {
+    fn drop(&mut self) {
+        let mut keys = self
+            .inflight
+            .keys
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for key in &self.keys {
+            keys.remove(key);
+        }
         self.inflight.done.notify_all();
     }
 }
@@ -264,6 +300,9 @@ impl CharacterizationEngine {
     }
 
     /// Runs the solver unconditionally and counts the simulation.
+    ///
+    /// The configuration was validated when the engine was constructed, so the hot path
+    /// skips straight to the pre-validated integrator.
     fn solve(
         &self,
         cell: Cell,
@@ -273,12 +312,136 @@ impl CharacterizationEngine {
     ) -> TimingMeasurement {
         let eq = EquivalentInverter::build(&self.tech, cell, seed);
         self.counter.add(1);
-        simulate_switching(&eq, arc, point, &self.config).unwrap_or_else(|err| {
+        simulate_switching_prevalidated(&eq, arc, point, &self.config).unwrap_or_else(|err| {
             panic!(
                 "transient simulation failed for {} at {point}: {err}",
                 arc.id()
             )
         })
+    }
+
+    /// Pre-compiles the transient problems of a lane list, rebuilding the equivalent
+    /// inverter only when the seed changes between consecutive lanes (sweeps share one
+    /// seed across every lane).
+    fn build_problems(&self, cell: Cell, arc: &TimingArc, lanes: &[Lane]) -> Vec<TransientProblem> {
+        let mut memo: Option<(ProcessSample, EquivalentInverter)> = None;
+        lanes
+            .iter()
+            .map(|(point, seed)| {
+                if !matches!(&memo, Some((s, _)) if s == seed) {
+                    memo = Some((*seed, EquivalentInverter::build(&self.tech, cell, seed)));
+                }
+                let (_, eq) = memo.as_ref().expect("memo populated");
+                TransientProblem::new(eq, arc, point, &self.config)
+            })
+            .collect()
+    }
+
+    /// Solves one batch of lanes through the batched kernel, preserving the scalar path's
+    /// counter, cache and single-flight semantics: each lane counts and caches as one
+    /// simulation, repeated coordinates are answered from the cache, and a coordinate
+    /// being solved elsewhere is never paid for twice.
+    ///
+    /// Lanes whose coordinate is already in flight on another worker are *deferred*: the
+    /// batch first solves the lanes it could claim (holding their claims), releases them,
+    /// and only then waits on the stragglers through the scalar path — waiting while
+    /// holding claims could deadlock two batches against each other.
+    fn simulate_lane_batch(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        lanes: &[Lane],
+    ) -> Vec<TimingMeasurement> {
+        let solve_batch = |subset: &[Lane]| -> Vec<TimingMeasurement> {
+            let problems = self.build_problems(cell, arc, subset);
+            self.counter.add(subset.len() as u64);
+            integrate_batch(&problems)
+                .into_iter()
+                .zip(subset)
+                .map(|(result, (point, _))| {
+                    result.map(|(m, _)| m).unwrap_or_else(|err| {
+                        panic!(
+                            "transient simulation failed for {} at {point}: {err}",
+                            arc.id()
+                        )
+                    })
+                })
+                .collect()
+        };
+
+        let Some(cache) = self.cache.as_ref() else {
+            return solve_batch(lanes);
+        };
+
+        let keys: Vec<SimKey> = lanes
+            .iter()
+            .map(|(point, seed)| SimKey::new(self.tech.name(), arc, point, seed, &self.config))
+            .collect();
+        let mut results: Vec<Option<TimingMeasurement>> = vec![None; lanes.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            match cache.lookup(key) {
+                Some(m) => results[i] = Some(m),
+                None => misses.push(i),
+            }
+        }
+
+        // Claim what we can in one pass over the in-flight set; lanes owned by another
+        // worker are deferred.
+        let mut claimed: Vec<usize> = Vec::new();
+        let mut deferred: Vec<usize> = Vec::new();
+        if !misses.is_empty() {
+            let mut inflight = self.inflight.keys.lock().expect("in-flight set poisoned");
+            for i in misses {
+                if let Some(m) = cache.lookup(&keys[i]) {
+                    results[i] = Some(m);
+                } else if inflight.contains(&keys[i]) {
+                    deferred.push(i);
+                } else {
+                    inflight.insert(keys[i].clone());
+                    claimed.push(i);
+                }
+            }
+        }
+
+        if !claimed.is_empty() {
+            let claims = BatchClaims {
+                inflight: &self.inflight,
+                keys: claimed.iter().map(|&i| keys[i].clone()).collect(),
+            };
+            let subset: Vec<Lane> = claimed.iter().map(|&i| lanes[i]).collect();
+            let solved = solve_batch(&subset);
+            for (&i, m) in claimed.iter().zip(solved) {
+                cache.store(keys[i].clone(), m);
+                results[i] = Some(m);
+            }
+            drop(claims);
+        }
+
+        for i in deferred {
+            let (point, seed) = &lanes[i];
+            results[i] = Some(self.simulate(cell, arc, point, seed));
+        }
+
+        results
+            .into_iter()
+            .map(|m| m.expect("every lane resolved"))
+            .collect()
+    }
+
+    /// Fans a lane list out across worker threads in batched chunks, preserving order.
+    fn simulate_lanes(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        lanes: &[Lane],
+    ) -> Vec<TimingMeasurement> {
+        let chunks: Vec<&[Lane]> = lanes.chunks(batch_width(lanes.len())).collect();
+        let per_chunk: Vec<Vec<TimingMeasurement>> = chunks
+            .par_iter()
+            .map(|chunk| self.simulate_lane_batch(cell, arc, chunk))
+            .collect();
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Runs one transient simulation at the nominal process corner.
@@ -292,7 +455,8 @@ impl CharacterizationEngine {
     }
 
     /// Simulates `arc` at every input point for a fixed process seed (the `.ALTER` sweep),
-    /// in parallel.
+    /// in parallel through the batched kernel.  Result `i` corresponds to `points[i]` and
+    /// is bitwise identical to [`simulate`](Self::simulate) at that point.
     pub fn sweep(
         &self,
         cell: Cell,
@@ -300,10 +464,23 @@ impl CharacterizationEngine {
         points: &[InputPoint],
         seed: &ProcessSample,
     ) -> Vec<TimingMeasurement> {
-        points
-            .par_iter()
-            .map(|p| self.simulate(cell, arc, p, seed))
-            .collect()
+        let lanes: Vec<Lane> = points.iter().map(|p| (*p, *seed)).collect();
+        self.simulate_lanes(cell, arc, &lanes)
+    }
+
+    /// Simulates `arc` at every input point for a fixed process seed as **one** batched
+    /// worklist on the calling thread — no thread fan-out.  This is the entry point for
+    /// callers that already parallelize at a coarser grain (one worker per shard, per
+    /// cell, or per seed) and want the batched kernel without nested parallelism.
+    pub fn sweep_batch(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        points: &[InputPoint],
+        seed: &ProcessSample,
+    ) -> Vec<TimingMeasurement> {
+        let lanes: Vec<Lane> = points.iter().map(|p| (*p, *seed)).collect();
+        self.simulate_lane_batch(cell, arc, &lanes)
     }
 
     /// Simulates `arc` at every input point at the nominal corner, in parallel.
@@ -317,7 +494,8 @@ impl CharacterizationEngine {
     }
 
     /// Monte Carlo ensemble: simulates `arc` at one input point under every process seed,
-    /// in parallel.  Element `i` of the result corresponds to `seeds[i]`.
+    /// in parallel through the batched kernel.  Element `i` of the result corresponds to
+    /// `seeds[i]` and is bitwise identical to [`simulate`](Self::simulate) under that seed.
     pub fn monte_carlo(
         &self,
         cell: Cell,
@@ -325,13 +503,12 @@ impl CharacterizationEngine {
         point: &InputPoint,
         seeds: &[ProcessSample],
     ) -> Vec<TimingMeasurement> {
-        seeds
-            .par_iter()
-            .map(|s| self.simulate(cell, arc, point, s))
-            .collect()
+        let lanes: Vec<Lane> = seeds.iter().map(|s| (*point, *s)).collect();
+        self.simulate_lanes(cell, arc, &lanes)
     }
 
-    /// Full statistical baseline: simulates every (input point, seed) pair.
+    /// Full statistical baseline: simulates every (input point, seed) pair through the
+    /// batched kernel.
     ///
     /// The result is indexed `[point][seed]`.
     pub fn monte_carlo_sweep(
@@ -341,15 +518,17 @@ impl CharacterizationEngine {
         points: &[InputPoint],
         seeds: &[ProcessSample],
     ) -> Vec<Vec<TimingMeasurement>> {
-        points
-            .par_iter()
-            .map(|p| {
-                seeds
-                    .iter()
-                    .map(|s| self.simulate(cell, arc, p, s))
-                    .collect()
-            })
-            .collect()
+        let lanes: Vec<Lane> = points
+            .iter()
+            .flat_map(|p| seeds.iter().map(move |s| (*p, *s)))
+            .collect();
+        let flat = self.simulate_lanes(cell, arc, &lanes);
+        let mut rows = Vec::with_capacity(points.len());
+        let mut it = flat.into_iter();
+        for _ in points {
+            rows.push(it.by_ref().take(seeds.len()).collect());
+        }
+        rows
     }
 }
 
@@ -514,6 +693,60 @@ mod tests {
         assert_eq!(eng.simulation_count(), 1, "one coordinate, one solve");
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 15);
+    }
+
+    #[test]
+    fn monte_carlo_lanes_match_scalar_simulations_bitwise() {
+        let eng = engine();
+        let (cell, arc) = inv_fall();
+        let mut rng = StdRng::seed_from_u64(7);
+        let seeds = eng.tech().variation().sample_n(&mut rng, 9);
+        let point = pt(5.0, 2.0, 0.8);
+        let batched = eng.monte_carlo(cell, &arc, &point, &seeds);
+        for (seed, m) in seeds.iter().zip(&batched) {
+            let scalar = eng.simulate(cell, &arc, &point, seed);
+            assert_eq!(
+                *m, scalar,
+                "batch lane must be bitwise equal to its scalar sim"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_batch_matches_parallel_sweep() {
+        let eng = engine();
+        let (cell, arc) = inv_fall();
+        let points = vec![pt(2.0, 1.0, 0.8), pt(5.0, 2.0, 0.9), pt(9.0, 4.0, 0.7)];
+        let seed = ProcessSample::nominal();
+        let single_thread = eng.sweep_batch(cell, &arc, &points, &seed);
+        let fanned_out = eng.sweep(cell, &arc, &points, &seed);
+        assert_eq!(single_thread, fanned_out);
+        assert_eq!(eng.simulation_count(), 6, "both paths count every lane");
+    }
+
+    #[test]
+    fn batched_monte_carlo_replays_from_cache() {
+        use crate::cache::InMemorySimCache;
+        let cache = Arc::new(InMemorySimCache::new());
+        let eng = engine().with_cache(cache.clone());
+        let (cell, arc) = inv_fall();
+        let mut rng = StdRng::seed_from_u64(23);
+        let seeds = eng.tech().variation().sample_n(&mut rng, 12);
+        let point = pt(5.0, 2.0, 0.8);
+        let first = eng.monte_carlo(cell, &arc, &point, &seeds);
+        assert_eq!(eng.simulation_count(), 12);
+        assert_eq!(cache.misses(), 12);
+        let second = eng.monte_carlo(cell, &arc, &point, &seeds);
+        assert_eq!(
+            second, first,
+            "warm batch must replay archived measurements"
+        );
+        assert_eq!(
+            eng.simulation_count(),
+            12,
+            "warm batch pays zero simulations"
+        );
+        assert_eq!(cache.hits(), 12);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! * [`input`] — the library input space `ξ = (Sin, Cload, Vdd)`: the [`InputPoint`] type,
 //!   the [`InputSpace`] box and its sampling plans (uniform, Latin hypercube, LUT grid);
 //! * [`measure`] — waveform threshold definitions and the [`TimingMeasurement`] result;
-//! * [`transient`] — the adaptive-step transient solver for a single switching event;
+//! * [`transient`] — the adaptive-step transient solver for a single switching event
+//!   (embedded-error Bogacki–Shampine kernel, plus the seed RK4 kept as golden reference);
+//! * [`batch`] — the batched Monte Carlo kernel: many lanes integrated through one
+//!   worklist, each bitwise identical to its scalar counterpart;
 //! * [`engine`] — the "simulator front-end": a [`CharacterizationEngine`] bound to one
 //!   technology that runs (and counts) simulations, sweeps and Monte Carlo ensembles, in
 //!   the role of the paper's SPICE + `.ALTER` + Monte Carlo flow.
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod disk;
 pub mod engine;
@@ -47,9 +51,15 @@ pub mod input;
 pub mod measure;
 pub mod transient;
 
-pub use cache::{CacheError, InMemorySimCache, SimKey, SimulationCache};
+pub use batch::{
+    simulate_switching_batch, simulate_switching_batch_with_stats, simulate_switching_sweep_batch,
+};
+pub use cache::{CacheError, InMemorySimCache, SimKey, SimulationCache, KERNEL_VERSION};
 pub use disk::DiskSimCache;
 pub use engine::{CharacterizationEngine, ConfigError, SimulationCounter};
 pub use input::{InputPoint, InputSpace};
 pub use measure::TimingMeasurement;
-pub use transient::{simulate_switching, TransientConfig};
+pub use transient::{
+    simulate_switching, simulate_switching_rk4, simulate_switching_rk4_with_stats,
+    simulate_switching_with_stats, TransientConfig, TransientStats,
+};
