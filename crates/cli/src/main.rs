@@ -6,9 +6,12 @@
 //! slic learn        # historical nodes -> historical-database JSON
 //! slic characterize # plan + run -> run-artifact JSON (+ optional Liberty)
 //!                   # --shard i/n runs one shard; --cache shares warm state on disk
+//!                   # --backend farm --workers a,b | --spawn-workers N farms the sims out
+//! slic worker       # serve transient batches for a farm broker (TCP or stdio)
 //! slic merge        # shard artifacts -> the whole-run artifact
 //! slic export       # run artifact -> Liberty text
 //! slic report       # run artifact -> Markdown summary
+//! slic cache        # cache maintenance (compact)
 //! ```
 //!
 //! Run `slic help` for the full flag reference.  Argument parsing is hand-rolled
@@ -16,17 +19,26 @@
 
 use slic_bayes::HistoricalDatabase;
 use slic_device::TechnologyNode;
+use slic_farm::{serve_listener, serve_stdio, FarmBackend, ServeOutcome, WorkerOptions};
 use slic_pipeline::{
-    CharacterizationPlan, PipelineError, PipelineRunner, RunArtifact, RunConfig, RunProfile,
+    BackendChoice, CharacterizationPlan, PipelineError, PipelineRunner, RunArtifact, RunConfig,
+    RunProfile,
 };
-use slic_spice::CharacterizationEngine;
+use slic_spice::{CharacterizationEngine, DiskSimCache};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "slic — statistical library characterization pipeline
 
 USAGE:
-    slic <learn|characterize|merge|export|report|help> [--flag value]...
+    slic <learn|characterize|worker|merge|export|report|cache|help> [--flag value]...
+
+FARM FLAGS (learn and characterize):
+    --backend <name>        local (default) | farm
+    --workers <a,b,...>     TCP addresses of `slic worker --listen` processes
+    --spawn-workers <n>     spawn n subprocess workers of this binary (zero-config
+                            multi-process run); combinable with --workers
 
 SUBCOMMANDS:
     learn         Characterize the historical technologies and archive the
@@ -58,6 +70,15 @@ SUBCOMMANDS:
                     --out <file>            run artifact JSON (default run.json)
                     --liberty <file>        also write the Liberty text here
 
+    worker        Serve transient-simulation batches to a farm broker.  Speaks the
+                  JSON-lines wire protocol on stdio by default (the --spawn-workers
+                  transport); --listen serves TCP instead.
+                    --listen <addr>         bind address, e.g. 127.0.0.1:0 (the actual
+                                            port is printed on stdout once bound)
+                    --max-batches <n>       serve n batches then drop the connection
+                                            without replying (rolling-restart drain /
+                                            failover fault injection); exits nonzero
+
     merge         Join shard artifacts into the whole-run artifact.
                     --inputs <a,b,...>      shard artifact JSON files (required)
                     --out <file>            merged artifact JSON (default merged.json)
@@ -66,8 +87,15 @@ SUBCOMMANDS:
                     --run <file>            run artifact JSON (default run.json)
                     --out <file>            output .lib path (stdout when omitted)
 
-    report        Print the Markdown summary of a finished run.
+    report        Print the Markdown summary of a finished run.  A shard artifact is
+                  labelled PARTIAL so its totals are never mistaken for the whole run.
                     --run <file>            run artifact JSON (default run.json)
+
+    cache         Cache maintenance.
+                    compact --cache <file>  rewrite the append-only simulation-cache log
+                                            as a deduplicated last-record-wins snapshot
+                                            (taken under the same lock every flush uses)
+                                            and report how many records were dropped
 ";
 
 fn main() -> ExitCode {
@@ -92,25 +120,41 @@ fn main() -> ExitCode {
         "methods",
         "seed",
         "cache",
+        "backend",
+        "workers",
+        "spawn-workers",
         "out",
     ];
-    let allowed: Vec<&str> = match command {
-        "learn" => CONFIG_FLAGS.to_vec(),
+    // `slic cache <action> --flag value ...` takes a positional action before its flags.
+    let (flag_args, allowed): (&[String], Vec<&str>) = match command {
+        "learn" => (&args[1..], CONFIG_FLAGS.to_vec()),
         "characterize" => {
             let mut flags = CONFIG_FLAGS.to_vec();
             flags.extend(["history", "liberty", "shard"]);
-            flags
+            (&args[1..], flags)
         }
-        "merge" => vec!["inputs", "out"],
-        "export" => vec!["run", "out"],
-        "report" => vec!["run"],
+        "worker" => (&args[1..], vec!["listen", "max-batches"]),
+        "merge" => (&args[1..], vec!["inputs", "out"]),
+        "export" => (&args[1..], vec!["run", "out"]),
+        "report" => (&args[1..], vec!["run"]),
+        "cache" => match args.get(1).map(String::as_str) {
+            Some("compact") => (&args[2..], vec!["cache"]),
+            Some(other) => {
+                eprintln!("error: unknown cache action `{other}` (expected `compact`)");
+                return ExitCode::from(2);
+            }
+            None => {
+                eprintln!("error: `slic cache` needs an action, e.g. `slic cache compact`");
+                return ExitCode::from(2);
+            }
+        },
         other => {
             eprintln!("error: unknown subcommand `{other}`\n");
             eprint!("{USAGE}");
             return ExitCode::from(2);
         }
     };
-    let flags = match parse_flags(&args[1..], &allowed) {
+    let flags = match parse_flags(flag_args, &allowed) {
         Ok(flags) => flags,
         Err(message) => {
             eprintln!("error: {message}");
@@ -120,9 +164,11 @@ fn main() -> ExitCode {
     let outcome = match command {
         "learn" => cmd_learn(&flags),
         "characterize" => cmd_characterize(&flags),
+        "worker" => cmd_worker(&flags),
         "merge" => cmd_merge(&flags),
         "export" => cmd_export(&flags),
         "report" => cmd_report(&flags),
+        "cache" => cmd_cache_compact(&flags),
         _ => unreachable!("unknown subcommands rejected above"),
     };
     match outcome {
@@ -210,7 +256,68 @@ fn build_config(flags: &HashMap<String, String>) -> Result<RunConfig, PipelineEr
     if let Some(v) = flags.get("cache") {
         config.cache = Some(v.clone());
     }
+    if let Some(v) = flags.get("backend") {
+        config.backend = Some(v.clone());
+    }
+    if let Some(v) = flags.get("workers") {
+        config.workers = Some(comma_list(v));
+    }
+    if let Some(v) = flags.get("spawn-workers") {
+        let count = v.parse::<usize>().map_err(|_| {
+            PipelineError::config(format!("`--spawn-workers {v}` is not an integer"))
+        })?;
+        config.spawn_workers = Some(count);
+    }
     Ok(config)
+}
+
+/// Builds the runner for a resolved configuration, standing a farm fleet up when the
+/// backend choice asks for one.  Returns the fleet handle alongside, so callers can
+/// report dispatch statistics after the run.
+fn build_runner(
+    config: slic_pipeline::ResolvedConfig,
+) -> Result<(PipelineRunner, Option<Arc<FarmBackend>>), PipelineError> {
+    match config.backend.clone() {
+        BackendChoice::Local => Ok((PipelineRunner::new(config)?, None)),
+        BackendChoice::Farm {
+            workers,
+            spawn_workers,
+        } => {
+            let program = if spawn_workers > 0 {
+                Some(std::env::current_exe().map_err(|err| {
+                    PipelineError::config(format!("cannot locate the slic binary to spawn: {err}"))
+                })?)
+            } else {
+                None
+            };
+            let farm = FarmBackend::new(&workers, spawn_workers, program.as_deref())
+                .map_err(|err| PipelineError::config(format!("farm backend: {err}")))?;
+            println!(
+                "farm: {} worker(s) connected ({} remote, {} spawned)",
+                farm.fleet_size(),
+                workers.len(),
+                spawn_workers,
+            );
+            let farm = Arc::new(farm);
+            let runner = PipelineRunner::with_backend(config, farm.clone())?;
+            Ok((runner, Some(farm)))
+        }
+    }
+}
+
+/// Prints the fleet's dispatch summary after a farmed run.
+fn report_farm(farm: &FarmBackend) {
+    let stats = farm.stats();
+    println!(
+        "farm: {}/{} workers live; {} jobs dispatched, {} failovers; {} lanes remote, {} \
+         lanes local fallback",
+        farm.live_workers(),
+        farm.fleet_size(),
+        stats.jobs_completed,
+        stats.failovers,
+        stats.lanes_remote,
+        stats.lanes_local,
+    );
 }
 
 /// Parses a 1-based `--shard i/n` specification into `(index, count)`.
@@ -232,7 +339,7 @@ fn parse_shard_spec(text: &str) -> Result<(usize, usize), PipelineError> {
 
 fn cmd_learn(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
     let config = build_config(flags)?.resolve()?;
-    let runner = PipelineRunner::new(config)?;
+    let (runner, farm) = build_runner(config)?;
     let learning = runner.learn();
     let out = flags
         .get("out")
@@ -248,6 +355,62 @@ fn cmd_learn(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
         learning.database.technology_names().len(),
         learning.simulation_cost,
     );
+    if let Some(farm) = &farm {
+        report_farm(farm);
+    }
+    Ok(())
+}
+
+fn cmd_worker(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+    let max_batches = match flags.get("max-batches") {
+        Some(v) => Some(v.parse::<u64>().map_err(|_| {
+            PipelineError::config(format!("`--max-batches {v}` is not an integer"))
+        })?),
+        None => None,
+    };
+    let outcome = match flags.get("listen") {
+        Some(address) => {
+            let listener = std::net::TcpListener::bind(address).map_err(|err| {
+                PipelineError::config(format!("cannot bind worker to `{address}`: {err}"))
+            })?;
+            let bound = listener.local_addr()?;
+            let options = WorkerOptions {
+                name: format!("tcp:{bound}"),
+                max_batches,
+            };
+            // The broker (or a test) needs the resolved port when binding to :0.
+            println!("worker listening on {bound}");
+            use std::io::Write as _;
+            std::io::stdout().flush()?;
+            serve_listener(&listener, &options)?
+        }
+        None => {
+            let options = WorkerOptions {
+                name: format!("stdio:{}", std::process::id()),
+                max_batches,
+            };
+            serve_stdio(&options)?
+        }
+    };
+    match outcome {
+        ServeOutcome::Shutdown | ServeOutcome::Disconnected => Ok(()),
+        // An exhausted batch limit is a deliberate abrupt death: exit nonzero so process
+        // supervisors (and the failover tests) can tell it apart from an orderly stop.
+        ServeOutcome::BatchLimit => Err(PipelineError::config(
+            "worker reached its --max-batches limit and dropped the connection",
+        )),
+    }
+}
+
+fn cmd_cache_compact(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+    let path = flags
+        .get("cache")
+        .ok_or_else(|| PipelineError::config("`slic cache compact` needs `--cache <file>`"))?;
+    let report = DiskSimCache::compact(path)?;
+    println!(
+        "compacted `{path}`: kept {} records, dropped {} superseded duplicates",
+        report.kept, report.dropped,
+    );
     Ok(())
 }
 
@@ -260,7 +423,7 @@ fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError
     }
     let config = build_config(flags)?.resolve()?;
     let export_grid = config.export_grid;
-    let runner = PipelineRunner::new(config)?;
+    let (runner, farm) = build_runner(config)?;
     let full_plan = CharacterizationPlan::from_config(runner.config())?;
     let plan = match flags.get("shard") {
         Some(spec) => {
@@ -310,6 +473,9 @@ fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError
         artifact.total_simulations,
         artifact.cache_hits,
     );
+    if let Some(farm) = &farm {
+        report_farm(farm);
+    }
     if let Some(liberty_path) = flags.get("liberty") {
         if artifact.characterized.arcs.is_empty() {
             return Err(PipelineError::config(format!(
@@ -384,7 +550,7 @@ fn engine_for(
 fn cmd_export(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
     let run_path = flags.get("run").map(String::as_str).unwrap_or("run.json");
     let artifact = RunArtifact::load(run_path)?;
-    if artifact.units.len() < artifact.planned_units {
+    if artifact.is_partial() {
         return Err(PipelineError::config(format!(
             "`{run_path}` is a shard artifact covering {} of {} planned units; exporting \
              it would silently produce a partial library — join the shards with `slic \

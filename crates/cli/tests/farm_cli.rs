@@ -1,0 +1,274 @@
+//! End-to-end farm tests against the real `slic` binary: spawned-worker fleets, TCP
+//! fleets, a worker killed mid-run, cache compaction — always asserting the farm artifact
+//! is byte-identical to the single-process artifact of the same configuration.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_slic");
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("slic-farm-cli-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Runs `slic <args>`, asserting success; returns stdout.
+fn slic(dir: &Path, args: &[&str]) -> String {
+    let output = Command::new(BIN)
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("slic runs");
+    assert!(
+        output.status.success(),
+        "`slic {}` failed:\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    String::from_utf8(output.stdout).expect("utf8 stdout")
+}
+
+/// Starts `slic worker --listen 127.0.0.1:0`, returning the child and its bound address.
+fn start_tcp_worker(max_batches: Option<u64>) -> (Child, String) {
+    let mut command = Command::new(BIN);
+    command
+        .args(["worker", "--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(limit) = max_batches {
+        command.args(["--max-batches", &limit.to_string()]);
+    }
+    let mut child = command.spawn().expect("worker spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("worker announces its address");
+    let address = line
+        .trim()
+        .strip_prefix("worker listening on ")
+        .unwrap_or_else(|| panic!("unexpected worker banner: {line:?}"))
+        .to_string();
+    (child, address)
+}
+
+fn read_json(path: &Path) -> serde::Value {
+    serde_json::from_str(&std::fs::read_to_string(path).expect("artifact readable"))
+        .expect("artifact parses")
+}
+
+fn field_u64(value: &serde::Value, name: &str) -> u64 {
+    value
+        .get(name)
+        .and_then(serde::Value::as_f64)
+        .unwrap_or_else(|| panic!("artifact field `{name}` missing")) as u64
+}
+
+#[test]
+fn spawned_farm_artifact_is_byte_identical_and_warm_rerun_is_free() {
+    let dir = temp_dir("spawn");
+    slic(&dir, &["learn", "--out", "history.json"]);
+
+    // Reference: single-process run against its own fresh disk cache.
+    slic(
+        &dir,
+        &[
+            "characterize",
+            "--history",
+            "history.json",
+            "--cache",
+            "local-cache.jsonl",
+            "--out",
+            "run-local.json",
+        ],
+    );
+    // Farm: two spawned subprocess workers, separate fresh cache.
+    let stdout = slic(
+        &dir,
+        &[
+            "characterize",
+            "--history",
+            "history.json",
+            "--spawn-workers",
+            "2",
+            "--cache",
+            "farm-cache.jsonl",
+            "--out",
+            "run-farm.json",
+        ],
+    );
+    assert!(
+        stdout.contains("farm: 2 worker(s) connected"),
+        "farm banner missing:\n{stdout}"
+    );
+
+    let local = std::fs::read(dir.join("run-local.json")).expect("local artifact");
+    let farm = std::fs::read(dir.join("run-farm.json")).expect("farm artifact");
+    assert_eq!(
+        local, farm,
+        "a 2-worker farm run must be byte-identical to the local run"
+    );
+    let fresh = read_json(&dir.join("run-farm.json"));
+    assert!(field_u64(&fresh, "total_simulations") > 0);
+    assert_eq!(
+        field_u64(&fresh, "total_simulations"),
+        field_u64(&fresh, "cache_misses"),
+        "each unique coordinate was paid exactly once across the farm"
+    );
+
+    // Warm rerun against the shared disk cache: zero simulations, zero misses.
+    slic(
+        &dir,
+        &[
+            "characterize",
+            "--history",
+            "history.json",
+            "--spawn-workers",
+            "2",
+            "--cache",
+            "farm-cache.jsonl",
+            "--out",
+            "run-farm-warm.json",
+        ],
+    );
+    let warm = read_json(&dir.join("run-farm-warm.json"));
+    assert_eq!(field_u64(&warm, "total_simulations"), 0);
+    assert_eq!(field_u64(&warm, "cache_misses"), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killing_a_tcp_worker_mid_run_fails_over_with_an_identical_artifact() {
+    let dir = temp_dir("failover");
+    slic(&dir, &["learn", "--out", "history.json"]);
+    slic(
+        &dir,
+        &[
+            "characterize",
+            "--history",
+            "history.json",
+            "--out",
+            "run-local.json",
+        ],
+    );
+
+    let (mut survivor, survivor_addr) = start_tcp_worker(None);
+    // The doomed worker dies abruptly on its second batch — a deterministic stand-in for
+    // `kill -9` mid-batch: the batch is read but never answered.
+    let (mut doomed, doomed_addr) = start_tcp_worker(Some(1));
+
+    let stdout = slic(
+        &dir,
+        &[
+            "characterize",
+            "--history",
+            "history.json",
+            "--backend",
+            "farm",
+            "--workers",
+            &format!("{survivor_addr},{doomed_addr}"),
+            "--out",
+            "run-farm.json",
+        ],
+    );
+    assert!(
+        stdout.contains("failover") || stdout.contains("workers live"),
+        "farm summary missing:\n{stdout}"
+    );
+
+    let doomed_status = doomed.wait().expect("doomed worker exits");
+    assert!(
+        !doomed_status.success(),
+        "the batch-limited worker must die nonzero mid-run"
+    );
+
+    let local = std::fs::read(dir.join("run-local.json")).expect("local artifact");
+    let farm = std::fs::read(dir.join("run-farm.json")).expect("farm artifact");
+    assert_eq!(
+        local, farm,
+        "losing a worker mid-run must not change a byte of the artifact"
+    );
+
+    survivor.kill().ok();
+    survivor.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_labels_shard_artifacts_as_partial_and_compact_dedups_the_cache() {
+    let dir = temp_dir("shard-report");
+    slic(&dir, &["learn", "--out", "history.json"]);
+    // Two shards of one plan against one shared disk cache.
+    for shard in ["1/2", "2/2"] {
+        let out = format!("run-{}.json", shard.replace('/', "-"));
+        slic(
+            &dir,
+            &[
+                "characterize",
+                "--history",
+                "history.json",
+                "--shard",
+                shard,
+                "--cache",
+                "cache.jsonl",
+                "--out",
+                &out,
+            ],
+        );
+    }
+
+    // The satellite bugfix: a shard artifact's report must be labelled partial.
+    let report = slic(&dir, &["report", "--run", "run-1-2.json"]);
+    assert!(
+        report.contains("PARTIAL SHARD ARTIFACT"),
+        "shard report must carry the partial label:\n{report}"
+    );
+    let merged = slic(
+        &dir,
+        &[
+            "merge",
+            "--inputs",
+            "run-1-2.json,run-2-2.json",
+            "--out",
+            "merged.json",
+        ],
+    );
+    assert!(merged.contains("merged 2 shards"));
+    let full_report = slic(&dir, &["report", "--run", "merged.json"]);
+    assert!(
+        !full_report.contains("PARTIAL"),
+        "a complete artifact must not be labelled partial:\n{full_report}"
+    );
+
+    // Compact the shared cache, then prove the snapshot still answers everything: a
+    // replay of shard 2 pays zero simulations.
+    let compact = slic(&dir, &["cache", "compact", "--cache", "cache.jsonl"]);
+    assert!(compact.contains("compacted"), "{compact}");
+    slic(
+        &dir,
+        &[
+            "characterize",
+            "--history",
+            "history.json",
+            "--shard",
+            "2/2",
+            "--cache",
+            "cache.jsonl",
+            "--out",
+            "run-replay.json",
+        ],
+    );
+    let replay = read_json(&dir.join("run-replay.json"));
+    assert_eq!(
+        field_u64(&replay, "total_simulations"),
+        0,
+        "the compacted cache must answer every coordinate of the replay"
+    );
+    assert_eq!(field_u64(&replay, "cache_misses"), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

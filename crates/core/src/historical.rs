@@ -88,6 +88,24 @@ impl HistoricalLearner {
         counter: &SimulationCounter,
         cache: Option<Arc<dyn SimulationCache>>,
     ) -> HistoricalLearningResult {
+        self.learn_shared_with_backend(technologies, library, counter, cache, None)
+    }
+
+    /// As [`learn_shared`](Self::learn_shared), with the per-technology engines also
+    /// routing their solves through `backend` (e.g. a `slic-farm` fleet) — so a farmed
+    /// pipeline distributes its learning stage exactly like its characterization stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library is empty or the configured transient settings are invalid.
+    pub fn learn_shared_with_backend(
+        &self,
+        technologies: &[TechnologyNode],
+        library: &Library,
+        counter: &SimulationCounter,
+        cache: Option<Arc<dyn SimulationCache>>,
+        backend: Option<Arc<dyn slic_spice::SimulationBackend>>,
+    ) -> HistoricalLearningResult {
         assert!(!library.is_empty(), "cannot learn from an empty library");
         let mut database = HistoricalDatabase::new();
         let mut simulation_cost = 0u64;
@@ -98,6 +116,9 @@ impl HistoricalLearner {
                     .with_shared_counter(counter.clone());
             if let Some(cache) = &cache {
                 engine = engine.with_cache(cache.clone());
+            }
+            if let Some(backend) = &backend {
+                engine = engine.with_backend(backend.clone());
             }
             let cost_before = counter.count();
             let grid = engine.input_space().lut_grid(

@@ -1,0 +1,563 @@
+//! The broker side of the farm: [`FarmBackend`], a [`SimulationBackend`] that fans
+//! batches out to a fleet of workers.
+//!
+//! Dispatch is **work-stealing**: each `solve_batch` call splits its lanes into jobs on a
+//! shared queue, and one dispatcher thread per live worker pulls the next job whenever
+//! its worker is free — a fast worker simply drains more of the queue, and no static
+//! partition can leave one worker idle while another is backed up.
+//!
+//! Failure handling is layered:
+//!
+//! 1. **Health tracking** — a worker whose connection errors, stays silent past the
+//!    per-batch read deadline (a hung or half-open TCP peer must not stall the run), or
+//!    whose reply is not the protocol's next expected message is marked dead and never
+//!    dispatched to again;
+//! 2. **Failover** — the job it was holding goes back on the queue, where a surviving
+//!    worker picks it up;
+//! 3. **Local fallback** — a job that has been failed over more times than there are
+//!    workers, or that is still unsolved when every worker is dead, is solved in-process
+//!    by a [`LocalBackend`].  A farm run therefore *completes* under any failure pattern
+//!    short of the broker itself dying, and because every backend runs the same kernel
+//!    (enforced by the handshake), the results are bitwise identical no matter which
+//!    worker — or the broker itself — solved each lane.
+//!
+//! The broker keeps the engine-side policy untouched: counting, caching and single-flight
+//! all happen in the [`CharacterizationEngine`](slic_spice::CharacterizationEngine) that
+//! owns this backend, so a unique coordinate is paid for exactly once across the whole
+//! farm and farm artifacts are byte-identical to local ones.
+
+use crate::wire::{decode_message, encode_message, Message, WireError, WireRequest};
+use crate::FarmError;
+use slic_spice::{LocalBackend, SimRequest, SimResult, SimulationBackend};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Deadline for establishing a TCP worker connection.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Deadline for one batch round trip on a TCP worker.  Solving a 16-lane batch takes
+/// milliseconds even at the accurate preset, so a worker silent this long is hung or
+/// unreachable (e.g. a half-open connection after its host vanished) — it is marked dead
+/// and its job fails over, instead of stalling the whole run on a blocked read.  Spawned
+/// stdio workers have no pipe deadline (std offers none), but they are same-host children
+/// of the broker: if they hang, the operator's signal reaches both.
+const BATCH_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// An established, handshook connection to one worker.
+struct WorkerConn {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    /// The subprocess behind the connection, for `--spawn-workers` fleets.
+    child: Option<Child>,
+}
+
+impl Drop for WorkerConn {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.child {
+            // The connection is gone (shutdown sent, or the worker was marked dead): make
+            // sure the subprocess does not linger.  Kill is a no-op for an already-exited
+            // child; wait reaps it either way.
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// One worker slot: its identity plus the (lockable) connection, `None` once dead.
+struct WorkerSlot {
+    name: String,
+    conn: Mutex<Option<WorkerConn>>,
+}
+
+/// Farm throughput and failure counters, readable while a run is in flight.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FarmStats {
+    /// Jobs answered by a worker.
+    pub jobs_completed: u64,
+    /// Jobs re-queued because the worker holding them failed.
+    pub failovers: u64,
+    /// Lanes solved on a worker.
+    pub lanes_remote: u64,
+    /// Lanes solved by the broker's local fallback.
+    pub lanes_local: u64,
+}
+
+/// A contiguous run of lanes handed to one worker as one wire batch.
+struct Job {
+    /// Start offset into the request slice.
+    start: usize,
+    /// One past the last lane.
+    end: usize,
+    /// Dispatch attempts so far (drives the local-fallback escape hatch).
+    attempts: usize,
+}
+
+/// The shared dispatch state of one `solve_batch` call.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    in_flight: usize,
+}
+
+impl JobQueue {
+    fn new(jobs: VecDeque<Job>) -> Self {
+        Self {
+            state: Mutex::new(QueueState { jobs, in_flight: 0 }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Takes the next job, waiting while other dispatchers still hold jobs that might be
+    /// failed back onto the queue.  Returns `None` only when the queue is drained and
+    /// nothing is in flight.
+    fn next(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                state.in_flight += 1;
+                return Some(job);
+            }
+            if state.in_flight == 0 {
+                return None;
+            }
+            state = self.ready.wait(state).expect("job queue poisoned");
+        }
+    }
+
+    /// Marks a held job finished (solved, or handed to the stranded list).
+    fn done(&self) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.in_flight -= 1;
+        self.ready.notify_all();
+    }
+
+    /// Returns a held job to the queue for another dispatcher — the failover path.
+    fn requeue(&self, job: Job) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.in_flight -= 1;
+        state.jobs.push_back(job);
+        self.ready.notify_all();
+    }
+
+    /// Drains whatever is left once every dispatcher has exited.
+    fn drain(&self) -> Vec<Job> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.jobs.drain(..).collect()
+    }
+}
+
+/// A [`SimulationBackend`] that brokers batches to a fleet of farm workers.
+pub struct FarmBackend {
+    workers: Vec<WorkerSlot>,
+    next_id: AtomicU64,
+    fallback: LocalBackend,
+    jobs_completed: AtomicU64,
+    failovers: AtomicU64,
+    lanes_remote: AtomicU64,
+    lanes_local: AtomicU64,
+}
+
+impl std::fmt::Debug for FarmBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FarmBackend")
+            .field("workers", &self.workers.len())
+            .field("live", &self.live_workers())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FarmBackend {
+    /// Connects to TCP workers and/or spawns subprocess workers, in that order.
+    ///
+    /// `program` is the binary to spawn (`<program> worker`, speaking the protocol on its
+    /// stdio) and is required when `spawn` is nonzero — typically the `slic` binary
+    /// itself, so a farm run needs nothing installed beyond the one executable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FarmError`] when no worker is requested, a connection or spawn fails,
+    /// or a handshake reveals an incompatible worker.  Construction is all-or-nothing: a
+    /// fleet that starts degraded is an operator error, not a failover case.
+    pub fn new(
+        addresses: &[String],
+        spawn: usize,
+        program: Option<&Path>,
+    ) -> Result<Self, FarmError> {
+        if addresses.is_empty() && spawn == 0 {
+            return Err(FarmError::NoWorkers);
+        }
+        let mut workers = Vec::new();
+        for address in addresses {
+            let connect = |address: &String| -> std::io::Result<TcpStream> {
+                let mut last = None;
+                for addr in address.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+                        Ok(stream) => return Ok(stream),
+                        Err(err) => last = Some(err),
+                    }
+                }
+                Err(last.unwrap_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::NotFound, "address resolves to nothing")
+                }))
+            };
+            let stream = connect(address)
+                .map_err(|err| FarmError::Connect(address.clone(), err.to_string()))?;
+            stream.set_nodelay(true).ok();
+            // Silence past the deadline counts as worker death (see BATCH_TIMEOUT).
+            stream
+                .set_read_timeout(Some(BATCH_TIMEOUT))
+                .map_err(|err| FarmError::Connect(address.clone(), err.to_string()))?;
+            stream
+                .set_write_timeout(Some(BATCH_TIMEOUT))
+                .map_err(|err| FarmError::Connect(address.clone(), err.to_string()))?;
+            let reader: Box<dyn Read + Send> = Box::new(
+                stream
+                    .try_clone()
+                    .map_err(|err| FarmError::Connect(address.clone(), err.to_string()))?,
+            );
+            let conn = handshake(reader, Box::new(stream), None)
+                .map_err(|err| FarmError::Handshake(address.clone(), err.to_string()))?;
+            workers.push(WorkerSlot {
+                name: address.clone(),
+                conn: Mutex::new(Some(conn)),
+            });
+        }
+        if spawn > 0 {
+            let program = program.ok_or_else(|| {
+                FarmError::Spawn("no worker program given for --spawn-workers".to_string())
+            })?;
+            for index in 0..spawn {
+                let name = format!("spawned-{index}");
+                let mut child = Command::new(program)
+                    .arg("worker")
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .spawn()
+                    .map_err(|err| FarmError::Spawn(format!("{}: {err}", program.display())))?;
+                let stdout = child
+                    .stdout
+                    .take()
+                    .ok_or_else(|| FarmError::Spawn(format!("{name}: no stdout pipe")))?;
+                let stdin = child
+                    .stdin
+                    .take()
+                    .ok_or_else(|| FarmError::Spawn(format!("{name}: no stdin pipe")))?;
+                let conn = handshake(Box::new(stdout), Box::new(stdin), Some(child))
+                    .map_err(|err| FarmError::Handshake(name.clone(), err.to_string()))?;
+                workers.push(WorkerSlot {
+                    name,
+                    conn: Mutex::new(Some(conn)),
+                });
+            }
+        }
+        Ok(Self {
+            workers,
+            next_id: AtomicU64::new(0),
+            fallback: LocalBackend::new(),
+            jobs_completed: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            lanes_remote: AtomicU64::new(0),
+            lanes_local: AtomicU64::new(0),
+        })
+    }
+
+    /// Connects to an explicit list of TCP worker addresses.
+    ///
+    /// # Errors
+    ///
+    /// See [`FarmBackend::new`].
+    pub fn connect(addresses: &[String]) -> Result<Self, FarmError> {
+        Self::new(addresses, 0, None)
+    }
+
+    /// Spawns `count` subprocess workers of `program` (`<program> worker` over stdio).
+    ///
+    /// # Errors
+    ///
+    /// See [`FarmBackend::new`].
+    pub fn spawn(program: &Path, count: usize) -> Result<Self, FarmError> {
+        Self::new(&[], count, Some(program))
+    }
+
+    /// Number of workers still considered healthy.
+    pub fn live_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.conn.lock().expect("worker slot poisoned").is_some())
+            .count()
+    }
+
+    /// Total workers in the fleet (live or dead).
+    pub fn fleet_size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A snapshot of the dispatch counters.
+    pub fn stats(&self) -> FarmStats {
+        FarmStats {
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            lanes_remote: self.lanes_remote.load(Ordering::Relaxed),
+            lanes_local: self.lanes_local.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sends one job to one worker and reads its results, holding the worker's lock for
+    /// the round trip (the protocol is strictly alternating per connection).  On any
+    /// failure the worker is marked dead before the error is returned.
+    fn roundtrip(
+        &self,
+        slot: &WorkerSlot,
+        requests: &[WireRequest],
+    ) -> Result<Vec<SimResult>, FarmError> {
+        let mut guard = slot.conn.lock().expect("worker slot poisoned");
+        let outcome = (|| -> Result<Vec<SimResult>, FarmError> {
+            let conn = guard
+                .as_mut()
+                .ok_or_else(|| FarmError::WorkerDown(slot.name.clone()))?;
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            writeln!(
+                conn.writer,
+                "{}",
+                encode_message(&Message::Batch {
+                    id,
+                    requests: requests.to_vec(),
+                })
+            )
+            .map_err(|err| FarmError::Transport(slot.name.clone(), err.to_string()))?;
+            conn.writer
+                .flush()
+                .map_err(|err| FarmError::Transport(slot.name.clone(), err.to_string()))?;
+            let mut line = String::new();
+            let read = conn
+                .reader
+                .read_line(&mut line)
+                .map_err(|err| FarmError::Transport(slot.name.clone(), err.to_string()))?;
+            if read == 0 {
+                return Err(FarmError::WorkerDown(slot.name.clone()));
+            }
+            match decode_message(line.trim_end()) {
+                Ok(Message::Results {
+                    id: reply_id,
+                    results,
+                }) if reply_id == id && results.len() == requests.len() => results
+                    .iter()
+                    .map(|entry| {
+                        entry
+                            .decode()
+                            .map_err(|err| FarmError::Protocol(slot.name.clone(), err.to_string()))
+                    })
+                    .collect(),
+                Ok(other) => Err(FarmError::Protocol(
+                    slot.name.clone(),
+                    format!("expected results for batch {id}, got {other:?}"),
+                )),
+                Err(err) => Err(FarmError::Protocol(slot.name.clone(), err.to_string())),
+            }
+        })();
+        if outcome.is_err() {
+            // Health tracking: a worker that failed a round trip is never trusted again.
+            // Dropping the connection also reaps a spawned subprocess.
+            *guard = None;
+        }
+        outcome
+    }
+}
+
+/// Completes the worker handshake on a fresh connection.
+fn handshake(
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    child: Option<Child>,
+) -> Result<WorkerConn, WireError> {
+    let mut conn = WorkerConn {
+        reader: BufReader::new(reader),
+        writer,
+        child,
+    };
+    let mut line = String::new();
+    conn.reader
+        .read_line(&mut line)
+        .map_err(|err| WireError::Malformed(format!("reading hello: {err}")))?;
+    match decode_message(line.trim_end())? {
+        Message::Hello(hello) => {
+            hello.validate()?;
+            Ok(conn)
+        }
+        other => Err(WireError::Malformed(format!(
+            "expected hello, got {other:?}"
+        ))),
+    }
+}
+
+/// Lanes per dispatched job: small enough that a fleet interleaves on one engine batch,
+/// large enough that the JSON framing stays noise.
+fn job_lanes(total: usize, workers: usize) -> usize {
+    total.div_ceil(workers.max(1) * 2).clamp(1, 16)
+}
+
+impl SimulationBackend for FarmBackend {
+    fn name(&self) -> &str {
+        "farm"
+    }
+
+    fn solve_batch(&self, requests: &[SimRequest]) -> Vec<SimResult> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        // Encode up front; a lane that cannot travel (e.g. a custom technology outside
+        // the worker-side catalogue) is solved by the in-process fallback below, so the
+        // farm degrades to local execution instead of failing a run the local backend
+        // would complete.
+        let mut results: Vec<Option<SimResult>> = vec![None; requests.len()];
+        let mut untransportable: Vec<usize> = Vec::new();
+        let encoded: Vec<Option<WireRequest>> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, request)| match WireRequest::encode(request) {
+                Ok(wire) => Some(wire),
+                Err(_) => {
+                    untransportable.push(i);
+                    None
+                }
+            })
+            .collect();
+
+        // Cut the encodable lanes into jobs of contiguous runs.
+        let lanes: Vec<usize> = (0..requests.len())
+            .filter(|&i| encoded[i].is_some())
+            .collect();
+        let chunk = job_lanes(lanes.len(), self.workers.len());
+        let queue = JobQueue::new(
+            (0..lanes.len())
+                .step_by(chunk.max(1))
+                .map(|start| Job {
+                    start,
+                    end: (start + chunk).min(lanes.len()),
+                    attempts: 0,
+                })
+                .collect(),
+        );
+        // A job that failed on more workers than exist is stranded: no point cycling it
+        // through the fleet again; the local fallback owns it.
+        let max_attempts = self.workers.len();
+        let stranded: Mutex<Vec<Job>> = Mutex::new(Vec::new());
+        let completed: Mutex<Vec<(Job, Vec<SimResult>)>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for slot in &self.workers {
+                if slot.conn.lock().expect("worker slot poisoned").is_none() {
+                    continue;
+                }
+                let queue = &queue;
+                let stranded = &stranded;
+                let completed = &completed;
+                let lanes = &lanes;
+                let encoded = &encoded;
+                scope.spawn(move || {
+                    while let Some(mut job) = queue.next() {
+                        let wire: Vec<WireRequest> = lanes[job.start..job.end]
+                            .iter()
+                            .map(|&i| encoded[i].clone().expect("encodable lane"))
+                            .collect();
+                        match self.roundtrip(slot, &wire) {
+                            Ok(solved) => {
+                                self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                                self.lanes_remote
+                                    .fetch_add(solved.len() as u64, Ordering::Relaxed);
+                                completed
+                                    .lock()
+                                    .expect("completed list poisoned")
+                                    .push((job, solved));
+                                queue.done();
+                            }
+                            Err(err) => {
+                                eprintln!(
+                                    "slic farm: worker `{}` failed ({err}); failing its job over",
+                                    slot.name
+                                );
+                                self.failovers.fetch_add(1, Ordering::Relaxed);
+                                job.attempts += 1;
+                                if job.attempts >= max_attempts {
+                                    stranded.lock().expect("stranded list poisoned").push(job);
+                                    queue.done();
+                                } else {
+                                    queue.requeue(job);
+                                }
+                                // This worker is dead; its dispatcher retires.
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Anything the fleet could not finish — stranded jobs, or a queue abandoned when
+        // the last worker died — is solved in-process so the run still completes.
+        let mut leftovers = stranded.into_inner().expect("stranded list poisoned");
+        leftovers.extend(queue.drain());
+        for job in &leftovers {
+            let subset: Vec<SimRequest> = lanes[job.start..job.end]
+                .iter()
+                .map(|&i| requests[i].clone())
+                .collect();
+            let solved = self.fallback.solve_batch(&subset);
+            self.lanes_local
+                .fetch_add(solved.len() as u64, Ordering::Relaxed);
+            for (&lane, result) in lanes[job.start..job.end].iter().zip(solved) {
+                results[lane] = Some(result);
+            }
+        }
+        for (job, solved) in completed.into_inner().expect("completed list poisoned") {
+            for (&lane, result) in lanes[job.start..job.end].iter().zip(solved) {
+                results[lane] = Some(result);
+            }
+        }
+        if !untransportable.is_empty() {
+            let subset: Vec<SimRequest> = untransportable
+                .iter()
+                .map(|&i| requests[i].clone())
+                .collect();
+            let solved = self.fallback.solve_batch(&subset);
+            self.lanes_local
+                .fetch_add(solved.len() as u64, Ordering::Relaxed);
+            for (&lane, result) in untransportable.iter().zip(solved) {
+                results[lane] = Some(result);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every lane resolved"))
+            .collect()
+    }
+}
+
+impl Drop for FarmBackend {
+    fn drop(&mut self) {
+        for slot in &self.workers {
+            let mut guard = slot.conn.lock().expect("worker slot poisoned");
+            if let Some(conn) = guard.as_mut() {
+                // Orderly shutdown; a worker that already died ignores us.
+                let _ = writeln!(conn.writer, "{}", encode_message(&Message::Shutdown));
+                let _ = conn.writer.flush();
+                if let Some(child) = &mut conn.child {
+                    let _ = child.wait();
+                    conn.child = None;
+                }
+            }
+            *guard = None;
+        }
+    }
+}

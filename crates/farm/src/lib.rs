@@ -1,0 +1,95 @@
+//! `slic-farm` — the distributed simulation farm.
+//!
+//! The paper's premise is that transient simulation is the scarce resource: belief
+//! propagation exists to spend fewer sims.  This crate makes the sims that *are* spent a
+//! distributed workload.  It turns the engine's
+//! [`SimulationBackend`](slic_spice::SimulationBackend) boundary into a client/server
+//! system with three pieces:
+//!
+//! * [`wire`] — the versioned JSON-lines protocol: one message per line over TCP or
+//!   stdio, floats as the same hex-exact bit patterns
+//!   [`SimKey`](slic_spice::SimKey)/`DiskSimCache` use, and a handshake that pins both
+//!   the protocol version and the transient-kernel version so mixed-kernel fleets are
+//!   rejected instead of silently blending solver generations into one artifact;
+//! * [`worker`] — the stateless serve loop behind `slic worker`: decode a batch, solve it
+//!   through the in-process [`LocalBackend`](slic_spice::LocalBackend), stream the
+//!   results back;
+//! * [`broker`] — [`FarmBackend`], the engine-facing client: work-stealing dispatch over
+//!   N workers, per-worker health tracking, retry-on-another-worker failover, and an
+//!   in-process fallback so a run completes even if the whole fleet dies.
+//!
+//! Because the engine keeps its counter / cache / single-flight layering on its own side
+//! of the backend boundary, a farm run pays each unique simulation coordinate exactly
+//! once across the whole fleet and produces a `RunArtifact` byte-identical to a local
+//! run's — the acceptance bar every transport change in this crate is tested against.
+//!
+//! ```no_run
+//! use slic_farm::FarmBackend;
+//! use std::sync::Arc;
+//!
+//! // Two workers started elsewhere with `slic worker --listen <addr>`:
+//! let farm = FarmBackend::connect(&[
+//!     "10.0.0.5:9200".to_string(),
+//!     "10.0.0.6:9200".to_string(),
+//! ])
+//! .expect("workers reachable and kernel-compatible");
+//! let engine = slic_spice::CharacterizationEngine::new(slic_device::TechnologyNode::n14_finfet())
+//!     .with_backend(Arc::new(farm));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod wire;
+pub mod worker;
+
+pub use broker::{FarmBackend, FarmStats};
+pub use wire::{Hello, Message, WireError, WireRequest, WireResultEntry, PROTOCOL_VERSION};
+pub use worker::{serve_connection, serve_listener, serve_stdio, ServeOutcome, WorkerOptions};
+
+use std::fmt;
+
+/// Anything that can go wrong building or driving a worker fleet.
+#[derive(Debug)]
+pub enum FarmError {
+    /// Neither addresses nor a spawn count were given.
+    NoWorkers,
+    /// A TCP worker could not be reached.
+    Connect(String, String),
+    /// A subprocess worker could not be started.
+    Spawn(String),
+    /// A worker's handshake failed or revealed an incompatible build.
+    Handshake(String, String),
+    /// A round trip failed at the transport level.
+    Transport(String, String),
+    /// A worker replied with something other than the expected results.
+    Protocol(String, String),
+    /// A dispatch was attempted against a worker already marked dead.
+    WorkerDown(String),
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::NoWorkers => {
+                write!(
+                    f,
+                    "a farm needs at least one worker (addresses or a spawn count)"
+                )
+            }
+            FarmError::Connect(worker, err) => write!(f, "cannot connect to `{worker}`: {err}"),
+            FarmError::Spawn(err) => write!(f, "cannot spawn worker: {err}"),
+            FarmError::Handshake(worker, err) => {
+                write!(f, "handshake with `{worker}` failed: {err}")
+            }
+            FarmError::Transport(worker, err) => write!(f, "worker `{worker}` transport: {err}"),
+            FarmError::Protocol(worker, err) => {
+                write!(f, "worker `{worker}` protocol violation: {err}")
+            }
+            FarmError::WorkerDown(worker) => write!(f, "worker `{worker}` is down"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}

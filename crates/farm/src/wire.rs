@@ -1,0 +1,633 @@
+//! The farm wire protocol: versioned JSON-lines messages between broker and worker.
+//!
+//! One message per line, each a JSON object with a `"type"` tag.  The conversation is a
+//! strict request/response alternation on one connection:
+//!
+//! ```text
+//! worker → broker   {"type":"hello","protocol":1,"kernel":"2","worker":"w0"}
+//! broker → worker   {"type":"batch","id":7,"requests":[{...}, ...]}
+//! worker → broker   {"type":"results","id":7,"results":[{"delay":"...","slew":"..."}, ...]}
+//! broker → worker   {"type":"shutdown"}
+//! ```
+//!
+//! Every floating-point coordinate travels as a fixed-width hexadecimal bit pattern —
+//! the exact encoding [`SimKey`](slic_spice::SimKey) uses in `DiskSimCache` logs — so a
+//! request decodes to the bit-identical simulation the broker asked for, and farm
+//! results are cache-compatible with local runs: the broker stores them under the same
+//! keys a local solve would produce.  The handshake carries both the protocol version and
+//! the transient-kernel version ([`KERNEL_VERSION`]); a worker built from a different
+//! kernel generation is rejected at connect time, because its bitwise-correct-for-*its*-
+//! kernel results would silently mix solver generations inside one artifact.
+//!
+//! NaN is rejected at both ends: it cannot be a simulation coordinate (see
+//! [`SimKey`](slic_spice::SimKey)) and a NaN measurement is never produced by a valid
+//! solve.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use slic_cells::{Cell, TimingArc};
+use slic_device::{ProcessSample, TechnologyNode};
+use slic_spice::cache::{bits_from_value, bits_to_value};
+use slic_spice::{InputPoint, SimRequest, SimResult, TimingMeasurement, KERNEL_VERSION};
+use slic_units::{Farads, Seconds, Volts};
+use std::fmt;
+
+/// Version of the wire protocol itself (message shapes and framing).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Anything that can go wrong encoding, decoding or validating wire traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A line that is not valid JSON or not a known message shape.
+    Malformed(String),
+    /// A coordinate that cannot travel (NaN) or cannot be reconstructed.
+    InvalidRequest(String),
+    /// A measurement that no valid solve produces (NaN, negative delay, ...).
+    InvalidResult(String),
+    /// The peer speaks a different protocol version.
+    ProtocolMismatch {
+        /// Our protocol version.
+        ours: u64,
+        /// The peer's protocol version.
+        theirs: u64,
+    },
+    /// The peer runs a different transient-kernel generation.
+    KernelMismatch {
+        /// Our kernel version.
+        ours: u64,
+        /// The peer's kernel version.
+        theirs: u64,
+    },
+    /// A technology that the worker-side catalogue cannot reconstruct by name.
+    UnknownTechnology(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Malformed(msg) => write!(f, "malformed wire message: {msg}"),
+            WireError::InvalidRequest(msg) => write!(f, "invalid simulation request: {msg}"),
+            WireError::InvalidResult(msg) => write!(f, "invalid simulation result: {msg}"),
+            WireError::ProtocolMismatch { ours, theirs } => write!(
+                f,
+                "protocol version mismatch: we speak {ours}, peer speaks {theirs}"
+            ),
+            WireError::KernelMismatch { ours, theirs } => write!(
+                f,
+                "transient-kernel version mismatch: we run {ours}, peer runs {theirs} — \
+                 mixed-kernel results would silently corrupt an artifact"
+            ),
+            WireError::UnknownTechnology(name) => {
+                write!(f, "technology `{name}` is not in the built-in catalogue")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<SerdeError> for WireError {
+    fn from(err: SerdeError) -> Self {
+        WireError::Malformed(err.to_string())
+    }
+}
+
+/// The handshake a worker sends as its first line on every connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Wire-protocol version the worker speaks.
+    pub protocol: u64,
+    /// Transient-kernel generation the worker solves with.
+    pub kernel: u64,
+    /// Free-form worker name, for logs.
+    pub worker: String,
+}
+
+impl Hello {
+    /// The handshake of this build.
+    pub fn current(worker: impl Into<String>) -> Self {
+        Self {
+            protocol: PROTOCOL_VERSION,
+            kernel: KERNEL_VERSION,
+            worker: worker.into(),
+        }
+    }
+
+    /// Checks that the peer is compatible with this build.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError::ProtocolMismatch`] or [`WireError::KernelMismatch`]
+    /// describing the incompatibility.
+    pub fn validate(&self) -> Result<(), WireError> {
+        if self.protocol != PROTOCOL_VERSION {
+            return Err(WireError::ProtocolMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: self.protocol,
+            });
+        }
+        if self.kernel != KERNEL_VERSION {
+            return Err(WireError::KernelMismatch {
+                ours: KERNEL_VERSION,
+                theirs: self.kernel,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One simulation request as it travels: technology by name, floats by bit pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    tech: String,
+    cell: Cell,
+    arc: TimingArc,
+    point: [u64; 3],
+    seed: [u64; 7],
+    config: [u64; 4],
+}
+
+/// The bit pattern of a float that is allowed on the wire (anything but NaN).
+fn checked_bits(value: f64, field: &str) -> Result<u64, WireError> {
+    if value.is_nan() {
+        return Err(WireError::InvalidRequest(format!(
+            "field `{field}` is NaN, which is not a simulation coordinate"
+        )));
+    }
+    Ok(value.to_bits())
+}
+
+/// Reconstructs a finite float from its wire bit pattern.
+fn finite_from_bits(bits: u64, field: &str) -> Result<f64, WireError> {
+    let value = f64::from_bits(bits);
+    if !value.is_finite() {
+        return Err(WireError::InvalidRequest(format!(
+            "field `{field}` decodes to the non-finite value {value}"
+        )));
+    }
+    Ok(value)
+}
+
+impl WireRequest {
+    /// Encodes a [`SimRequest`] for transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError::UnknownTechnology`] when the technology is not
+    /// reconstructable by name on the far side (the wire sends names, not device
+    /// parameters), or a [`WireError::InvalidRequest`] on a NaN coordinate.
+    pub fn encode(request: &SimRequest) -> Result<Self, WireError> {
+        // The worker rebuilds the node from the catalogue; a custom node whose name does
+        // not round-trip would silently simulate different device physics.
+        match TechnologyNode::by_name(request.tech.name()) {
+            Some(catalogued) if catalogued == *request.tech => {}
+            _ => {
+                return Err(WireError::UnknownTechnology(
+                    request.tech.name().to_string(),
+                ))
+            }
+        }
+        Ok(Self {
+            tech: request.tech.name().to_string(),
+            cell: request.cell,
+            arc: request.arc,
+            point: [
+                checked_bits(request.point.sin.value(), "point.sin")?,
+                checked_bits(request.point.cload.value(), "point.cload")?,
+                checked_bits(request.point.vdd.value(), "point.vdd")?,
+            ],
+            seed: [
+                checked_bits(request.seed.delta_vth_n, "seed.delta_vth_n")?,
+                checked_bits(request.seed.delta_vth_p, "seed.delta_vth_p")?,
+                checked_bits(request.seed.vx0_scale_n, "seed.vx0_scale_n")?,
+                checked_bits(request.seed.vx0_scale_p, "seed.vx0_scale_p")?,
+                checked_bits(request.seed.cinv_scale, "seed.cinv_scale")?,
+                checked_bits(request.seed.dibl_scale_n, "seed.dibl_scale_n")?,
+                checked_bits(request.seed.dibl_scale_p, "seed.dibl_scale_p")?,
+            ],
+            config: [
+                checked_bits(request.config.dv_max_fraction, "config.dv_max_fraction")?,
+                request.config.min_steps_per_ramp as u64,
+                checked_bits(request.config.max_time_factor, "config.max_time_factor")?,
+                checked_bits(request.config.miller_fraction, "config.miller_fraction")?,
+            ],
+        })
+    }
+
+    /// Reconstructs the bit-identical [`SimRequest`] this wire form encodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the technology name is unknown, a coordinate is
+    /// non-finite or out of its physical range, the transient configuration fails
+    /// validation, or the arc does not belong to the request's cell.
+    pub fn decode(&self) -> Result<SimRequest, WireError> {
+        let tech = TechnologyNode::by_name(&self.tech)
+            .ok_or_else(|| WireError::UnknownTechnology(self.tech.clone()))?;
+        if self.arc.cell() != self.cell {
+            return Err(WireError::InvalidRequest(format!(
+                "arc {} does not belong to cell {}",
+                self.arc.id(),
+                self.cell.name()
+            )));
+        }
+        let sin = finite_from_bits(self.point[0], "point.sin")?;
+        let cload = finite_from_bits(self.point[1], "point.cload")?;
+        let vdd = finite_from_bits(self.point[2], "point.vdd")?;
+        if sin <= 0.0 || cload <= 0.0 || vdd <= 0.0 {
+            return Err(WireError::InvalidRequest(format!(
+                "input point ({sin}, {cload}, {vdd}) has a non-positive component"
+            )));
+        }
+        let point = InputPoint::new(Seconds(sin), Farads(cload), Volts(vdd));
+        let seed = ProcessSample {
+            delta_vth_n: finite_from_bits(self.seed[0], "seed.delta_vth_n")?,
+            delta_vth_p: finite_from_bits(self.seed[1], "seed.delta_vth_p")?,
+            vx0_scale_n: finite_from_bits(self.seed[2], "seed.vx0_scale_n")?,
+            vx0_scale_p: finite_from_bits(self.seed[3], "seed.vx0_scale_p")?,
+            cinv_scale: finite_from_bits(self.seed[4], "seed.cinv_scale")?,
+            dibl_scale_n: finite_from_bits(self.seed[5], "seed.dibl_scale_n")?,
+            dibl_scale_p: finite_from_bits(self.seed[6], "seed.dibl_scale_p")?,
+        };
+        let config = slic_spice::TransientConfig {
+            dv_max_fraction: finite_from_bits(self.config[0], "config.dv_max_fraction")?,
+            min_steps_per_ramp: usize::try_from(self.config[1]).map_err(|_| {
+                WireError::InvalidRequest("config.min_steps_per_ramp overflows usize".to_string())
+            })?,
+            max_time_factor: finite_from_bits(self.config[2], "config.max_time_factor")?,
+            miller_fraction: finite_from_bits(self.config[3], "config.miller_fraction")?,
+        };
+        config
+            .validate()
+            .map_err(|msg| WireError::InvalidRequest(format!("transient config: {msg}")))?;
+        Ok(SimRequest {
+            tech: std::sync::Arc::new(tech),
+            cell: self.cell,
+            arc: self.arc,
+            point,
+            seed,
+            config,
+        })
+    }
+}
+
+impl Serialize for WireRequest {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("tech".to_string(), self.tech.to_value()),
+            ("cell".to_string(), self.cell.to_value()),
+            ("arc".to_string(), self.arc.to_value()),
+            ("point".to_string(), bits_to_value(&self.point)),
+            ("seed".to_string(), bits_to_value(&self.seed)),
+            ("config".to_string(), bits_to_value(&self.config)),
+        ])
+    }
+}
+
+impl Deserialize for WireRequest {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| SerdeError::expected("object", value))?;
+        let field_value = |name: &str| -> Result<&Value, SerdeError> {
+            value
+                .get(name)
+                .ok_or_else(|| SerdeError::missing_field(name))
+        };
+        Ok(Self {
+            tech: serde::field(entries, "tech")?,
+            cell: serde::field(entries, "cell")?,
+            arc: serde::field(entries, "arc")?,
+            point: bits_from_value(field_value("point")?, "point")?,
+            seed: bits_from_value(field_value("seed")?, "seed")?,
+            config: bits_from_value(field_value("config")?, "config")?,
+        })
+    }
+}
+
+/// One lane's outcome as it travels: a hex-exact measurement or a rendered error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResultEntry {
+    /// A completed measurement, delay and slew as bit patterns.
+    Measurement {
+        /// Bit pattern of the delay in seconds.
+        delay: u64,
+        /// Bit pattern of the output slew in seconds.
+        slew: u64,
+    },
+    /// A solver failure, rendered as text.
+    Error(String),
+}
+
+impl WireResultEntry {
+    /// Encodes one lane result for transport.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError::InvalidResult`] on a NaN measurement component (never
+    /// produced by a valid solve).
+    pub fn encode(result: &SimResult) -> Result<Self, WireError> {
+        match result {
+            Ok(measurement) => {
+                let delay = measurement.delay.value();
+                let slew = measurement.output_slew.value();
+                if delay.is_nan() || slew.is_nan() {
+                    return Err(WireError::InvalidResult(
+                        "NaN measurement component".to_string(),
+                    ));
+                }
+                Ok(Self::Measurement {
+                    delay: delay.to_bits(),
+                    slew: slew.to_bits(),
+                })
+            }
+            Err(message) => Ok(Self::Error(message.clone())),
+        }
+    }
+
+    /// Reconstructs the bit-identical [`SimResult`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError::InvalidResult`] when the bit patterns violate the
+    /// measurement invariants (finite, non-negative delay, positive slew).
+    pub fn decode(&self) -> Result<SimResult, WireError> {
+        match self {
+            Self::Measurement { delay, slew } => {
+                let delay = f64::from_bits(*delay);
+                let slew = f64::from_bits(*slew);
+                if !(delay.is_finite() && delay >= 0.0 && slew.is_finite() && slew > 0.0) {
+                    return Err(WireError::InvalidResult(format!(
+                        "measurement (delay {delay}, slew {slew}) violates the timing \
+                         invariants"
+                    )));
+                }
+                Ok(Ok(TimingMeasurement::new(Seconds(delay), Seconds(slew))))
+            }
+            Self::Error(message) => Ok(Err(message.clone())),
+        }
+    }
+}
+
+impl Serialize for WireResultEntry {
+    fn to_value(&self) -> Value {
+        match self {
+            Self::Measurement { delay, slew } => Value::Object(vec![
+                ("delay".to_string(), Value::String(format!("{delay:016x}"))),
+                ("slew".to_string(), Value::String(format!("{slew:016x}"))),
+            ]),
+            Self::Error(message) => {
+                Value::Object(vec![("error".to_string(), Value::String(message.clone()))])
+            }
+        }
+    }
+}
+
+impl Deserialize for WireResultEntry {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if let Some(error) = value.get("error") {
+            let message = error
+                .as_str()
+                .ok_or_else(|| SerdeError::expected("error string", error))?;
+            return Ok(Self::Error(message.to_string()));
+        }
+        let hex = |name: &str| -> Result<u64, SerdeError> {
+            let field = value
+                .get(name)
+                .ok_or_else(|| SerdeError::missing_field(name))?;
+            let text = field
+                .as_str()
+                .ok_or_else(|| SerdeError::expected("hex bit pattern", field))?;
+            u64::from_str_radix(text, 16).map_err(|_| {
+                SerdeError::custom(format!("field `{name}`: `{text}` is not a hex bit pattern"))
+            })
+        };
+        Ok(Self::Measurement {
+            delay: hex("delay")?,
+            slew: hex("slew")?,
+        })
+    }
+}
+
+/// Every message that travels on a farm connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker handshake (first line of every connection).
+    Hello(Hello),
+    /// A broker-assigned batch of simulation requests.
+    Batch {
+        /// Broker-chosen correlation id, echoed in the response.
+        id: u64,
+        /// The lanes to solve, in order.
+        requests: Vec<WireRequest>,
+    },
+    /// The worker's results for one batch, in request order.
+    Results {
+        /// The correlation id of the batch being answered.
+        id: u64,
+        /// One entry per request.
+        results: Vec<WireResultEntry>,
+    },
+    /// Orderly termination: the worker exits its serve loop.
+    Shutdown,
+}
+
+/// Renders a message as its single JSON line (no trailing newline).
+///
+/// # Panics
+///
+/// Never in practice: every numeric field is a small integer and every float travels as a
+/// hex string, so the JSON writer cannot encounter a non-finite number.
+pub fn encode_message(message: &Message) -> String {
+    let value = match message {
+        Message::Hello(hello) => Value::Object(vec![
+            ("type".to_string(), Value::String("hello".to_string())),
+            ("protocol".to_string(), hello.protocol.to_value()),
+            (
+                "kernel".to_string(),
+                Value::String(format!("{:x}", hello.kernel)),
+            ),
+            ("worker".to_string(), hello.worker.to_value()),
+        ]),
+        Message::Batch { id, requests } => Value::Object(vec![
+            ("type".to_string(), Value::String("batch".to_string())),
+            ("id".to_string(), id.to_value()),
+            ("requests".to_string(), requests.to_value()),
+        ]),
+        Message::Results { id, results } => Value::Object(vec![
+            ("type".to_string(), Value::String("results".to_string())),
+            ("id".to_string(), id.to_value()),
+            ("results".to_string(), results.to_value()),
+        ]),
+        Message::Shutdown => Value::Object(vec![(
+            "type".to_string(),
+            Value::String("shutdown".to_string()),
+        )]),
+    };
+    serde_json::to_string(&value).expect("wire messages contain no non-finite numbers")
+}
+
+/// Parses one wire line into a message.
+///
+/// # Errors
+///
+/// Returns a [`WireError::Malformed`] for anything that is not a known message shape.
+pub fn decode_message(line: &str) -> Result<Message, WireError> {
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| WireError::Malformed(e.to_string()))?;
+    let entries = value
+        .as_object()
+        .ok_or_else(|| WireError::Malformed("message is not an object".to_string()))?;
+    let kind = value
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError::Malformed("message has no `type` tag".to_string()))?;
+    match kind {
+        "hello" => {
+            let kernel_field = value
+                .get("kernel")
+                .ok_or_else(|| WireError::Malformed("hello has no `kernel`".to_string()))?;
+            let kernel_text = kernel_field
+                .as_str()
+                .ok_or_else(|| WireError::Malformed("hello `kernel` is not hex".to_string()))?;
+            let kernel = u64::from_str_radix(kernel_text, 16).map_err(|_| {
+                WireError::Malformed(format!("`{kernel_text}` is not a hex kernel version"))
+            })?;
+            Ok(Message::Hello(Hello {
+                protocol: serde::field(entries, "protocol")?,
+                kernel,
+                worker: serde::field(entries, "worker")?,
+            }))
+        }
+        "batch" => Ok(Message::Batch {
+            id: serde::field(entries, "id")?,
+            requests: serde::field(entries, "requests")?,
+        }),
+        "results" => Ok(Message::Results {
+            id: serde::field(entries, "id")?,
+            results: serde::field(entries, "results")?,
+        }),
+        "shutdown" => Ok(Message::Shutdown),
+        other => Err(WireError::Malformed(format!(
+            "unknown message type `{other}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slic_cells::{CellKind, DriveStrength, Transition};
+    use slic_spice::TransientConfig;
+
+    fn request() -> SimRequest {
+        let cell = Cell::new(CellKind::Nand2, DriveStrength::X2);
+        SimRequest {
+            tech: std::sync::Arc::new(TechnologyNode::n14_finfet()),
+            cell,
+            arc: TimingArc::new(cell, 0, Transition::Rise),
+            point: InputPoint::new(
+                Seconds::from_picoseconds(5.000000001),
+                Farads::from_femtofarads(2.0),
+                Volts(0.8),
+            ),
+            seed: ProcessSample {
+                delta_vth_n: 0.013,
+                ..ProcessSample::nominal()
+            },
+            config: TransientConfig::fast(),
+        }
+    }
+
+    #[test]
+    fn request_round_trips_bit_exactly_through_a_message() {
+        let original = request();
+        let wire = WireRequest::encode(&original).expect("encodes");
+        let line = encode_message(&Message::Batch {
+            id: 7,
+            requests: vec![wire],
+        });
+        let Message::Batch { id, requests } = decode_message(&line).expect("decodes") else {
+            panic!("wrong message type");
+        };
+        assert_eq!(id, 7);
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].decode().expect("reconstructs"), original);
+    }
+
+    #[test]
+    fn nan_coordinates_are_rejected_at_encode_time() {
+        let mut bad = request();
+        bad.seed.delta_vth_p = f64::NAN;
+        let err = WireRequest::encode(&bad).expect_err("NaN must not travel");
+        assert!(err.to_string().contains("NaN"), "{err}");
+    }
+
+    #[test]
+    fn kernel_and_protocol_mismatches_are_rejected() {
+        assert!(Hello::current("w").validate().is_ok());
+        let stale_kernel = Hello {
+            kernel: KERNEL_VERSION + 1,
+            ..Hello::current("w")
+        };
+        assert!(matches!(
+            stale_kernel.validate(),
+            Err(WireError::KernelMismatch { .. })
+        ));
+        let stale_protocol = Hello {
+            protocol: PROTOCOL_VERSION + 1,
+            ..Hello::current("w")
+        };
+        assert!(matches!(
+            stale_protocol.validate(),
+            Err(WireError::ProtocolMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        let hello = Hello::current("worker-3");
+        let line = encode_message(&Message::Hello(hello.clone()));
+        assert_eq!(
+            decode_message(&line).expect("decodes"),
+            Message::Hello(hello)
+        );
+    }
+
+    #[test]
+    fn result_entries_round_trip_and_enforce_invariants() {
+        let ok: SimResult = Ok(TimingMeasurement::new(Seconds(1.25e-12), Seconds(2.5e-12)));
+        let err: SimResult = Err("transition incomplete".to_string());
+        for result in [&ok, &err] {
+            let entry = WireResultEntry::encode(result).expect("encodes");
+            let line = encode_message(&Message::Results {
+                id: 3,
+                results: vec![entry],
+            });
+            let Message::Results { results, .. } = decode_message(&line).expect("decodes") else {
+                panic!("wrong message type");
+            };
+            assert_eq!(&results[0].decode().expect("reconstructs"), result);
+        }
+        // A negative delay can be *encoded* (it is not NaN) but must fail decode: the
+        // far side would panic constructing the measurement otherwise.
+        let negative = WireResultEntry::Measurement {
+            delay: (-1.0f64).to_bits(),
+            slew: 1.0f64.to_bits(),
+        };
+        assert!(negative.decode().is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_context() {
+        assert!(decode_message("{").is_err());
+        assert!(decode_message("42").is_err());
+        assert!(decode_message("{\"type\":\"warp\"}").is_err());
+        assert!(decode_message("{\"id\":1}").is_err());
+    }
+
+    #[test]
+    fn shutdown_round_trips() {
+        let line = encode_message(&Message::Shutdown);
+        assert_eq!(decode_message(&line).expect("decodes"), Message::Shutdown);
+    }
+}

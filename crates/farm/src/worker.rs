@@ -1,0 +1,292 @@
+//! The worker side of the farm: a serve loop that answers transient batches.
+//!
+//! A worker is stateless by design: it holds no cache, no counter and no plan — it
+//! decodes each [`Batch`](crate::wire::Message::Batch), solves the lanes through the
+//! in-process [`LocalBackend`] (the same batched kernel a local run uses, so results are
+//! bitwise identical), and streams the results back.  All policy — caching, counting,
+//! single-flight, retry — lives with the broker, which is what makes a worker safe to
+//! kill at any moment: the broker simply re-dispatches the batch elsewhere.
+//!
+//! Lifecycle on every connection:
+//!
+//! 1. the worker writes its [`Hello`] line (protocol + kernel version handshake);
+//! 2. it answers `batch` messages until the broker sends `shutdown` or disconnects;
+//! 3. on `shutdown` it exits the serve loop; on disconnect (TCP mode) it waits for the
+//!    next broker connection.
+//!
+//! The optional **batch limit** makes the worker die *abruptly* — connection dropped
+//! without a response — once it has served its quota.  That is both an operational knob
+//! (rolling restarts: drain a worker after N batches) and the deterministic fault
+//! injection the failover tests rely on: a worker hitting its limit is indistinguishable
+//! from one killed mid-batch.
+
+use crate::wire::{decode_message, encode_message, Hello, Message, WireResultEntry};
+use slic_spice::{LocalBackend, SimResult, SimulationBackend};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+/// Worker tuning and identification.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerOptions {
+    /// Name announced in the handshake (for broker-side logs).
+    pub name: String,
+    /// Serve at most this many batches, then drop the connection without replying —
+    /// rolling-restart drain and deterministic fault injection.  `None` = unlimited.
+    pub max_batches: Option<u64>,
+}
+
+/// How a serve loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The peer disconnected (or sent something unparseable).
+    Disconnected,
+    /// The broker requested an orderly shutdown.
+    Shutdown,
+    /// The batch limit was reached: the last batch was received but never answered.
+    BatchLimit,
+}
+
+/// Serves one established connection until disconnect, shutdown or the batch limit.
+///
+/// `served` carries the batch count across connections (TCP workers may serve several
+/// brokers over their lifetime; the limit is per worker, not per connection).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the transport fails mid-message.
+pub fn serve_connection(
+    mut reader: impl BufRead,
+    mut writer: impl Write,
+    served: &mut u64,
+    options: &WorkerOptions,
+) -> std::io::Result<ServeOutcome> {
+    writeln!(
+        writer,
+        "{}",
+        encode_message(&Message::Hello(Hello::current(options.name.clone())))
+    )?;
+    writer.flush()?;
+    let backend = LocalBackend::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(ServeOutcome::Disconnected);
+        }
+        let message = match decode_message(line.trim_end()) {
+            Ok(message) => message,
+            Err(err) => {
+                eprintln!("slic worker: dropping connection on malformed message: {err}");
+                return Ok(ServeOutcome::Disconnected);
+            }
+        };
+        match message {
+            Message::Batch { id, requests } => {
+                if options.max_batches.is_some_and(|max| *served >= max) {
+                    // Quota exhausted: die mid-batch, exactly like a crashed worker —
+                    // the broker's failover owns this batch now.
+                    return Ok(ServeOutcome::BatchLimit);
+                }
+                let results: Vec<WireResultEntry> = solve_wire_batch(&backend, &requests);
+                writeln!(
+                    writer,
+                    "{}",
+                    encode_message(&Message::Results { id, results })
+                )?;
+                writer.flush()?;
+                *served += 1;
+            }
+            Message::Shutdown => return Ok(ServeOutcome::Shutdown),
+            Message::Hello(_) | Message::Results { .. } => {
+                eprintln!("slic worker: dropping connection on out-of-order message");
+                return Ok(ServeOutcome::Disconnected);
+            }
+        }
+    }
+}
+
+/// Decodes and solves one wire batch; a lane that fails to decode gets an error entry
+/// instead of poisoning its siblings.
+fn solve_wire_batch(
+    backend: &LocalBackend,
+    requests: &[crate::wire::WireRequest],
+) -> Vec<WireResultEntry> {
+    let decoded: Vec<Result<slic_spice::SimRequest, String>> = requests
+        .iter()
+        .map(|wire| wire.decode().map_err(|e| e.to_string()))
+        .collect();
+    let solvable: Vec<slic_spice::SimRequest> = decoded
+        .iter()
+        .filter_map(|r| r.as_ref().ok().cloned())
+        .collect();
+    let mut solved = backend.solve_batch(&solvable).into_iter();
+    decoded
+        .into_iter()
+        .map(|lane| {
+            let result: SimResult = match lane {
+                Ok(_) => solved.next().expect("one result per solvable lane"),
+                Err(message) => Err(message),
+            };
+            WireResultEntry::encode(&result)
+                .unwrap_or_else(|err| WireResultEntry::Error(err.to_string()))
+        })
+        .collect()
+}
+
+/// Serves a TCP listener: one broker connection at a time, until a broker sends
+/// `shutdown` or the batch limit fires.
+///
+/// A disconnect is not the end of the worker — the broker may have restarted — so the
+/// loop goes back to `accept`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when accepting or serving fails.
+pub fn serve_listener(
+    listener: &TcpListener,
+    options: &WorkerOptions,
+) -> std::io::Result<ServeOutcome> {
+    let mut served = 0u64;
+    loop {
+        let (stream, peer) = listener.accept()?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        match serve_connection(reader, &stream, &mut served, options)? {
+            ServeOutcome::Disconnected => {
+                eprintln!("slic worker: broker at {peer} disconnected; waiting for the next");
+            }
+            ended => return Ok(ended),
+        }
+    }
+}
+
+/// Serves the process's stdin/stdout — the transport `--spawn-workers` uses.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the pipes fail mid-message.
+pub fn serve_stdio(options: &WorkerOptions) -> std::io::Result<ServeOutcome> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut served = 0u64;
+    serve_connection(stdin.lock(), stdout.lock(), &mut served, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireRequest;
+    use slic_cells::{Cell, CellKind, DriveStrength, TimingArc, Transition};
+    use slic_device::{ProcessSample, TechnologyNode};
+    use slic_spice::{InputPoint, SimRequest, TransientConfig};
+    use slic_units::{Farads, Seconds, Volts};
+
+    fn request() -> SimRequest {
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        SimRequest {
+            tech: std::sync::Arc::new(TechnologyNode::n14_finfet()),
+            cell,
+            arc: TimingArc::new(cell, 0, Transition::Fall),
+            point: InputPoint::new(
+                Seconds::from_picoseconds(5.0),
+                Farads::from_femtofarads(2.0),
+                Volts(0.8),
+            ),
+            seed: ProcessSample::nominal(),
+            config: TransientConfig::fast(),
+        }
+    }
+
+    /// Drives a serve loop over in-memory buffers: send `lines`, collect responses.
+    fn converse(lines: &[String], options: &WorkerOptions) -> (Vec<String>, ServeOutcome) {
+        let input = lines.join("\n") + "\n";
+        let mut output = Vec::new();
+        let mut served = 0;
+        let outcome = serve_connection(input.as_bytes(), &mut output, &mut served, options)
+            .expect("in-memory transport cannot fail");
+        let responses = String::from_utf8(output)
+            .expect("utf8")
+            .lines()
+            .map(str::to_string)
+            .collect();
+        (responses, outcome)
+    }
+
+    #[test]
+    fn worker_answers_batches_and_honours_shutdown() {
+        let wire = WireRequest::encode(&request()).expect("encodes");
+        let lines = vec![
+            encode_message(&Message::Batch {
+                id: 11,
+                requests: vec![wire],
+            }),
+            encode_message(&Message::Shutdown),
+        ];
+        let (responses, outcome) = converse(&lines, &WorkerOptions::default());
+        assert_eq!(outcome, ServeOutcome::Shutdown);
+        assert_eq!(responses.len(), 2, "hello plus one results line");
+        let Message::Hello(hello) = decode_message(&responses[0]).expect("hello") else {
+            panic!("first line must be the handshake");
+        };
+        assert!(hello.validate().is_ok());
+        let Message::Results { id, results } = decode_message(&responses[1]).expect("results")
+        else {
+            panic!("second line must be the results");
+        };
+        assert_eq!(id, 11);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].decode().expect("decodes").is_ok());
+    }
+
+    #[test]
+    fn batch_limit_drops_the_connection_without_a_reply() {
+        let wire = WireRequest::encode(&request()).expect("encodes");
+        let batch = |id| {
+            encode_message(&Message::Batch {
+                id,
+                requests: vec![wire.clone()],
+            })
+        };
+        let options = WorkerOptions {
+            max_batches: Some(1),
+            ..WorkerOptions::default()
+        };
+        let (responses, outcome) = converse(&[batch(1), batch(2)], &options);
+        assert_eq!(outcome, ServeOutcome::BatchLimit);
+        assert_eq!(
+            responses.len(),
+            2,
+            "hello and the first batch's results only — the second batch dies unanswered"
+        );
+    }
+
+    #[test]
+    fn undecodable_lane_gets_an_error_entry_without_poisoning_the_batch() {
+        let good = WireRequest::encode(&request()).expect("encodes");
+        let bad_line = encode_message(&Message::Batch {
+            id: 5,
+            requests: vec![good.clone(), good],
+        })
+        .replace("hist-14nm-finfet", "hist-XXnm-finfet");
+        let (responses, _) = converse(&[bad_line], &WorkerOptions::default());
+        let Message::Results { results, .. } = decode_message(&responses[1]).expect("results")
+        else {
+            panic!("expected results");
+        };
+        assert_eq!(results.len(), 2);
+        assert!(
+            results.iter().all(|r| matches!(r.decode(), Ok(Err(_)))),
+            "unknown technology lanes error out"
+        );
+    }
+
+    #[test]
+    fn malformed_traffic_ends_the_connection() {
+        let (responses, outcome) = converse(
+            &["{\"type\":\"warp\"}".to_string()],
+            &WorkerOptions::default(),
+        );
+        assert_eq!(outcome, ServeOutcome::Disconnected);
+        assert_eq!(responses.len(), 1, "only the hello was written");
+    }
+}

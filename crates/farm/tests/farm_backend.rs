@@ -1,0 +1,193 @@
+//! Broker integration tests: real TCP transport against in-process worker serve loops,
+//! including failover when a worker dies mid-run and local fallback when the whole fleet
+//! is gone.  Equality is always asserted bitwise against the default local backend — the
+//! farm must be a pure deployment change, never a numerical one.
+
+use slic_cells::{Cell, CellKind, DriveStrength, TimingArc, Transition};
+use slic_device::TechnologyNode;
+use slic_farm::{serve_listener, FarmBackend, ServeOutcome, WorkerOptions};
+use slic_spice::{
+    CharacterizationEngine, InMemorySimCache, InputPoint, SimulationCache, TransientConfig,
+};
+use slic_units::{Farads, Seconds, Volts};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Starts a worker serve loop on an ephemeral port; returns its address and join handle.
+fn spawn_tcp_worker(name: &str, max_batches: Option<u64>) -> (String, JoinHandle<ServeOutcome>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let address = listener.local_addr().expect("bound address").to_string();
+    let options = WorkerOptions {
+        name: name.to_string(),
+        max_batches,
+    };
+    let handle =
+        std::thread::spawn(move || serve_listener(&listener, &options).expect("serve loop io"));
+    (address, handle)
+}
+
+fn engine() -> CharacterizationEngine {
+    CharacterizationEngine::with_config(TechnologyNode::n14_finfet(), TransientConfig::fast())
+        .expect("fast preset validates")
+}
+
+fn inv_fall() -> (Cell, TimingArc) {
+    let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+    (cell, TimingArc::new(cell, 0, Transition::Fall))
+}
+
+fn grid(n: usize) -> Vec<InputPoint> {
+    (0..n)
+        .map(|i| {
+            InputPoint::new(
+                Seconds::from_picoseconds(1.0 + 0.37 * i as f64),
+                Farads::from_femtofarads(0.5 + 0.11 * i as f64),
+                Volts(0.7 + 0.003 * (i % 40) as f64),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn two_worker_farm_is_bitwise_identical_to_local_and_pays_each_key_once() {
+    let (addr_a, handle_a) = spawn_tcp_worker("a", None);
+    let (addr_b, handle_b) = spawn_tcp_worker("b", None);
+    let farm = Arc::new(FarmBackend::connect(&[addr_a, addr_b]).expect("fleet connects"));
+    assert_eq!(farm.live_workers(), 2);
+
+    let cache = Arc::new(InMemorySimCache::new());
+    let farmed = engine()
+        .with_cache(cache.clone())
+        .with_backend(farm.clone());
+    let local = engine();
+    let (cell, arc) = inv_fall();
+    let points = grid(24);
+
+    let remote = farmed.sweep_nominal(cell, &arc, &points);
+    let reference = local.sweep_nominal(cell, &arc, &points);
+    assert_eq!(remote, reference, "farm lanes must be bitwise local lanes");
+    assert_eq!(farmed.simulation_count(), 24);
+    assert_eq!(cache.misses(), 24, "every unique coordinate paid once");
+
+    // Warm replay: everything from the broker-side cache, the fleet is not consulted.
+    let before = farm.stats();
+    let replay = farmed.sweep_nominal(cell, &arc, &points);
+    assert_eq!(replay, reference);
+    assert_eq!(farmed.simulation_count(), 24, "replay pays nothing");
+    assert_eq!(farm.stats(), before, "replay dispatches nothing");
+    assert!(before.lanes_remote >= 24, "the fleet solved the cold run");
+    assert_eq!(before.lanes_local, 0, "no fallback was needed");
+
+    // Orderly teardown: dropping the backend shuts both serve loops down.
+    drop(farmed);
+    drop(farm);
+    assert_eq!(handle_a.join().expect("worker a"), ServeOutcome::Shutdown);
+    assert_eq!(handle_b.join().expect("worker b"), ServeOutcome::Shutdown);
+}
+
+#[test]
+fn killing_a_worker_mid_run_fails_over_and_preserves_bitwise_results() {
+    // Worker `b` dies abruptly after two batches — the deterministic stand-in for
+    // `kill -9` mid-batch: it reads its third batch and drops the connection without
+    // replying.
+    let (addr_a, handle_a) = spawn_tcp_worker("a", None);
+    let (addr_b, handle_b) = spawn_tcp_worker("b", Some(2));
+    let farm = Arc::new(FarmBackend::connect(&[addr_a, addr_b]).expect("fleet connects"));
+
+    let farmed = engine().with_backend(farm.clone());
+    let local = engine();
+    let (cell, arc) = inv_fall();
+    let points = grid(96);
+
+    let remote = farmed.sweep_batch(cell, &arc, &points, &slic_device::ProcessSample::nominal());
+    let reference = local.sweep_batch(cell, &arc, &points, &slic_device::ProcessSample::nominal());
+    assert_eq!(
+        remote, reference,
+        "a mid-run worker death must not change a single bit"
+    );
+    assert_eq!(handle_b.join().expect("worker b"), ServeOutcome::BatchLimit);
+    assert_eq!(farm.live_workers(), 1, "the dead worker is tracked as dead");
+    let stats = farm.stats();
+    assert!(stats.failovers >= 1, "the orphaned job was failed over");
+    assert_eq!(
+        stats.lanes_remote + stats.lanes_local,
+        96,
+        "every lane was solved exactly once somewhere"
+    );
+
+    drop(farmed);
+    drop(farm);
+    assert_eq!(handle_a.join().expect("worker a"), ServeOutcome::Shutdown);
+}
+
+#[test]
+fn a_fully_dead_fleet_falls_back_to_local_solving() {
+    // The only worker dies on its very first batch.
+    let (addr, handle) = spawn_tcp_worker("doomed", Some(0));
+    let farm = Arc::new(FarmBackend::connect(&[addr]).expect("connects"));
+    let farmed = engine().with_backend(farm.clone());
+    let local = engine();
+    let (cell, arc) = inv_fall();
+    let points = grid(8);
+    let remote = farmed.sweep_batch(cell, &arc, &points, &slic_device::ProcessSample::nominal());
+    let reference = local.sweep_batch(cell, &arc, &points, &slic_device::ProcessSample::nominal());
+    assert_eq!(remote, reference);
+    assert_eq!(farm.live_workers(), 0);
+    let stats = farm.stats();
+    assert_eq!(stats.lanes_remote, 0);
+    assert_eq!(stats.lanes_local, 8, "the broker solved everything itself");
+    assert_eq!(handle.join().expect("worker"), ServeOutcome::BatchLimit);
+}
+
+#[test]
+fn a_custom_technology_outside_the_catalogue_degrades_to_local_solving() {
+    use slic_device::TechnologyKind;
+    // Same name as a catalogue node but a different node value: the wire must refuse to
+    // send it (the worker would rebuild a different node by name), and the broker's
+    // local fallback must solve it instead — matching what LocalBackend alone would do.
+    let custom = TechnologyNode::n14_finfet().with_kind(TechnologyKind::Target);
+    let (addr, handle) = spawn_tcp_worker("w", None);
+    let farm = Arc::new(FarmBackend::connect(&[addr]).expect("connects"));
+    let farmed = CharacterizationEngine::with_config(custom.clone(), TransientConfig::fast())
+        .expect("fast preset validates")
+        .with_backend(farm.clone());
+    let local = CharacterizationEngine::with_config(custom, TransientConfig::fast())
+        .expect("fast preset validates");
+    let (cell, arc) = inv_fall();
+    let points = grid(6);
+    let seed = slic_device::ProcessSample::nominal();
+    let remote = farmed.sweep_batch(cell, &arc, &points, &seed);
+    let reference = local.sweep_batch(cell, &arc, &points, &seed);
+    assert_eq!(remote, reference, "fallback must match the local backend");
+    let stats = farm.stats();
+    assert_eq!(stats.lanes_remote, 0, "nothing travelled");
+    assert_eq!(stats.lanes_local, 6, "every lane was solved broker-side");
+    assert_eq!(farm.live_workers(), 1, "the worker is healthy, just unused");
+    drop(farmed);
+    drop(farm);
+    assert_eq!(handle.join().expect("worker"), ServeOutcome::Shutdown);
+}
+
+#[test]
+fn incompatible_handshakes_are_rejected_at_connect_time() {
+    // A fake "worker" that speaks a future kernel version.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let address = listener.local_addr().expect("bound").to_string();
+    let fake = std::thread::spawn(move || {
+        use std::io::Write;
+        let (mut stream, _) = listener.accept().expect("accept");
+        let kernel = slic_spice::KERNEL_VERSION + 1;
+        writeln!(
+            stream,
+            "{{\"type\":\"hello\",\"protocol\":1,\"kernel\":\"{kernel:x}\",\"worker\":\"future\"}}"
+        )
+        .expect("write hello");
+    });
+    let err = FarmBackend::connect(&[address]).expect_err("mixed kernels must be rejected");
+    assert!(err.to_string().contains("kernel"), "{err}");
+    fake.join().expect("fake worker");
+
+    let err = FarmBackend::new(&[], 0, None).expect_err("zero workers is not a farm");
+    assert!(err.to_string().contains("at least one worker"), "{err}");
+}

@@ -1,0 +1,125 @@
+//! Property tests of the wire protocol: arbitrary requests and responses must round-trip
+//! bit-exactly through the JSON-lines framing, NaN must never travel, and incompatible
+//! handshakes must be rejected.
+
+use proptest::prelude::*;
+use slic_cells::{Cell, CellKind, DriveStrength, TimingArc, Transition};
+use slic_device::{ProcessSample, TechnologyNode};
+use slic_farm::wire::{decode_message, encode_message, Message};
+use slic_farm::{Hello, WireError, WireRequest, WireResultEntry, PROTOCOL_VERSION};
+use slic_spice::{InputPoint, SimRequest, SimResult, TimingMeasurement, TransientConfig};
+use slic_units::{Farads, Seconds, Volts};
+
+fn request(
+    tech_index: usize,
+    sin_ps: f64,
+    cload_ff: f64,
+    vdd: f64,
+    dvth: f64,
+    cinv: f64,
+    rise: bool,
+) -> SimRequest {
+    let techs = ["n14_finfet", "n16_finfet", "target_14nm", "n28_bulk"];
+    let tech = TechnologyNode::by_name(techs[tech_index % techs.len()]).expect("catalogue name");
+    let cell = Cell::new(CellKind::Nand2, DriveStrength::X1);
+    let transition = if rise {
+        Transition::Rise
+    } else {
+        Transition::Fall
+    };
+    SimRequest {
+        tech: std::sync::Arc::new(tech),
+        cell,
+        arc: TimingArc::new(cell, 0, transition),
+        point: InputPoint::new(
+            Seconds::from_picoseconds(sin_ps),
+            Farads::from_femtofarads(cload_ff),
+            Volts(vdd),
+        ),
+        seed: ProcessSample {
+            delta_vth_n: dvth,
+            delta_vth_p: -dvth / 3.0,
+            cinv_scale: cinv,
+            ..ProcessSample::nominal()
+        },
+        config: TransientConfig::fast(),
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_round_trip_bit_exactly(
+        tech_index in 0usize..4,
+        sin_ps in 0.1f64..40.0,
+        cload_ff in 0.1f64..10.0,
+        vdd in 0.5f64..1.2,
+        dvth in -0.05f64..0.05,
+        cinv in 0.8f64..1.2,
+    ) {
+        for rise in [false, true] {
+            let original = request(tech_index, sin_ps, cload_ff, vdd, dvth, cinv, rise);
+            let wire = WireRequest::encode(&original).expect("finite coordinates encode");
+            let line = encode_message(&Message::Batch { id: 42, requests: vec![wire] });
+            let Message::Batch { id, requests } = decode_message(&line).expect("decodes") else {
+                panic!("wrong message type");
+            };
+            prop_assert_eq!(id, 42);
+            let back = requests[0].decode().expect("reconstructs");
+            prop_assert_eq!(back, original, "every bit pattern must survive the wire");
+        }
+    }
+
+    #[test]
+    fn results_round_trip_bit_exactly(
+        delay_ps in 0.01f64..500.0,
+        slew_ps in 0.01f64..500.0,
+    ) {
+        let ok: SimResult = Ok(TimingMeasurement::new(
+            Seconds::from_picoseconds(delay_ps),
+            Seconds::from_picoseconds(slew_ps),
+        ));
+        let entry = WireResultEntry::encode(&ok).expect("encodes");
+        let line = encode_message(&Message::Results { id: 9, results: vec![entry] });
+        let Message::Results { results, .. } = decode_message(&line).expect("decodes") else {
+            panic!("wrong message type");
+        };
+        prop_assert_eq!(results[0].decode().expect("reconstructs"), ok);
+    }
+
+    #[test]
+    fn nan_is_rejected_wherever_it_appears(
+        sin_ps in 0.1f64..40.0,
+        lane in 0usize..3,
+    ) {
+        let mut bad = request(0, sin_ps, 2.0, 0.8, 0.01, 1.0, false);
+        match lane {
+            0 => bad.seed.delta_vth_n = f64::NAN,
+            1 => bad.seed.dibl_scale_p = f64::NAN,
+            _ => bad.config.max_time_factor = f64::NAN,
+        }
+        let err = WireRequest::encode(&bad).expect_err("NaN must not travel");
+        prop_assert!(err.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn kernel_version_mismatches_are_rejected(offset in 1u64..9) {
+        let stale = Hello {
+            kernel: slic_spice::KERNEL_VERSION + offset,
+            ..Hello::current("stale")
+        };
+        prop_assert!(matches!(stale.validate(), Err(WireError::KernelMismatch { .. })));
+        // And the mismatch survives a wire round trip: the broker sees exactly what the
+        // worker sent, then rejects it.
+        let line = encode_message(&Message::Hello(stale.clone()));
+        let Message::Hello(received) = decode_message(&line).expect("decodes") else {
+            panic!("wrong message type");
+        };
+        prop_assert_eq!(&received, &stale);
+        prop_assert!(received.validate().is_err());
+
+        let foreign = Hello { protocol: PROTOCOL_VERSION + offset, ..Hello::current("alien") };
+        prop_assert!(matches!(foreign.validate(), Err(WireError::ProtocolMismatch { .. })));
+    }
+}

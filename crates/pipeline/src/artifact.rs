@@ -321,7 +321,19 @@ impl RunArtifact {
         })
     }
 
+    /// Returns `true` when this artifact covers only part of its plan — i.e. it is one
+    /// shard of a split run, not the whole run.  Partial artifacts must not be exported
+    /// (their library would silently be incomplete) and their cost totals describe the
+    /// shard, not the run; every consumer besides `merge` either refuses them or labels
+    /// its output accordingly.
+    pub fn is_partial(&self) -> bool {
+        self.units.len() < self.planned_units
+    }
+
     /// A Markdown summary table of the run (one row per unit) with a cost footer.
+    ///
+    /// A shard artifact is labelled prominently as partial, so a report of one shard is
+    /// never mistaken for the whole run.
     pub fn summary_markdown(&self) -> String {
         let headers = vec![
             "arc".to_string(),
@@ -347,6 +359,15 @@ impl RunArtifact {
             "# Characterization run: {} on {} ({} profile)\n\n",
             self.library, self.technology, self.profile
         );
+        if self.is_partial() {
+            out.push_str(&format!(
+                "> **PARTIAL SHARD ARTIFACT** — covers {} of {} planned units. Simulation \
+                 and cache totals below describe this shard only; join every shard with \
+                 `slic merge` before exporting or quoting run-level results.\n\n",
+                self.units.len(),
+                self.planned_units,
+            ));
+        }
         out.push_str(&markdown_table(&headers, &rows));
         out.push_str(&format!(
             "\n{} units; {} arcs fully characterized; {} transient simulations paid, {} cache hits ({} misses).\n",

@@ -121,6 +121,28 @@ pub struct RunConfig {
     /// Path of a persistent (JSON-lines) simulation cache shared by shard workers and
     /// reruns; created on first use.  Unset = a fresh in-memory cache per run.
     pub cache: Option<String>,
+    /// Simulation backend: `"local"` (default) or `"farm"`.  Unset with `workers` or
+    /// `spawn_workers` given implies `"farm"`.
+    pub backend: Option<String>,
+    /// TCP addresses of running `slic worker --listen` processes for the farm backend.
+    pub workers: Option<Vec<String>>,
+    /// Number of local subprocess workers the farm backend spawns (the zero-config
+    /// multi-process mode: `slic characterize --spawn-workers N`).
+    pub spawn_workers: Option<usize>,
+}
+
+/// Where the run's transient simulations execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// In-process batched kernel (the default).
+    Local,
+    /// The `slic-farm` worker fleet.
+    Farm {
+        /// TCP worker addresses to connect to.
+        workers: Vec<String>,
+        /// Subprocess workers to spawn in addition.
+        spawn_workers: usize,
+    },
 }
 
 impl RunConfig {
@@ -260,6 +282,43 @@ impl RunConfig {
             return Err(PipelineError::config("method list is empty"));
         }
 
+        let workers = self.workers.clone().unwrap_or_default();
+        let spawn_workers = self.spawn_workers.unwrap_or(0);
+        let backend = match self.backend.as_deref() {
+            Some("local") => {
+                if !workers.is_empty() || spawn_workers > 0 {
+                    return Err(PipelineError::config(
+                        "backend is `local` but farm workers are configured; drop \
+                         `workers`/`spawn_workers` or set `backend = \"farm\"`",
+                    ));
+                }
+                BackendChoice::Local
+            }
+            Some("farm") => {
+                if workers.is_empty() && spawn_workers == 0 {
+                    return Err(PipelineError::config(
+                        "the farm backend needs `workers` addresses and/or a \
+                         `spawn_workers` count",
+                    ));
+                }
+                BackendChoice::Farm {
+                    workers,
+                    spawn_workers,
+                }
+            }
+            // Farm knobs without an explicit backend name imply the farm.
+            None if !workers.is_empty() || spawn_workers > 0 => BackendChoice::Farm {
+                workers,
+                spawn_workers,
+            },
+            None => BackendChoice::Local,
+            Some(other) => {
+                return Err(PipelineError::config(format!(
+                    "unknown backend `{other}` (expected `local` or `farm`)"
+                )));
+            }
+        };
+
         Ok(ResolvedConfig {
             library_name: library_name.to_string(),
             library,
@@ -280,6 +339,7 @@ impl RunConfig {
             export_grid: profile.export_grid(),
             seed: self.seed.unwrap_or(20150313),
             cache_path: self.cache.clone().map(std::path::PathBuf::from),
+            backend,
         })
     }
 }
@@ -313,6 +373,8 @@ pub struct ResolvedConfig {
     pub seed: u64,
     /// Persistent simulation-cache file, when configured.
     pub cache_path: Option<std::path::PathBuf>,
+    /// Where transient simulations execute.
+    pub backend: BackendChoice,
 }
 
 #[cfg(test)]
@@ -413,6 +475,71 @@ mod tests {
             ..Default::default()
         })
         .contains("selection is empty"));
+    }
+
+    #[test]
+    fn backend_resolution_covers_local_farm_and_inference() {
+        assert_eq!(
+            RunConfig::default().resolve().unwrap().backend,
+            BackendChoice::Local
+        );
+        let explicit = RunConfig {
+            backend: Some("farm".into()),
+            workers: Some(vec!["10.0.0.5:9200".into()]),
+            spawn_workers: Some(2),
+            ..Default::default()
+        };
+        assert_eq!(
+            explicit.resolve().unwrap().backend,
+            BackendChoice::Farm {
+                workers: vec!["10.0.0.5:9200".into()],
+                spawn_workers: 2,
+            }
+        );
+        // Farm knobs alone imply the farm backend.
+        let implied = RunConfig {
+            spawn_workers: Some(3),
+            ..Default::default()
+        };
+        assert_eq!(
+            implied.resolve().unwrap().backend,
+            BackendChoice::Farm {
+                workers: vec![],
+                spawn_workers: 3,
+            }
+        );
+        let bad = |cfg: RunConfig| cfg.resolve().unwrap_err().to_string();
+        assert!(bad(RunConfig {
+            backend: Some("cloud".into()),
+            ..Default::default()
+        })
+        .contains("unknown backend"));
+        assert!(bad(RunConfig {
+            backend: Some("farm".into()),
+            ..Default::default()
+        })
+        .contains("needs `workers`"));
+        assert!(bad(RunConfig {
+            backend: Some("local".into()),
+            spawn_workers: Some(2),
+            ..Default::default()
+        })
+        .contains("farm workers are configured"));
+    }
+
+    #[test]
+    fn farm_config_round_trips_through_json_and_toml() {
+        let json = r#"{"backend": "farm", "workers": ["a:1", "b:2"], "spawn_workers": 2}"#;
+        let toml_text = "
+            backend = \"farm\"
+            workers = [\"a:1\", \"b:2\"]
+            spawn_workers = 2
+        ";
+        let a = RunConfig::from_json(json).unwrap();
+        let b = RunConfig::from_toml(toml_text).unwrap();
+        assert_eq!(a, b);
+        let text = serde_json::to_string(&a).unwrap();
+        assert_eq!(RunConfig::from_json(&text).unwrap(), a);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod runner;
 pub mod toml;
 
 pub use artifact::{CharacterizedArc, CharacterizedLibrary, RunArtifact, UnitResult};
-pub use config::{ResolvedConfig, RunConfig, RunProfile};
+pub use config::{BackendChoice, ResolvedConfig, RunConfig, RunProfile};
 pub use error::PipelineError;
 pub use plan::{CharacterizationPlan, WorkUnit};
 pub use runner::PipelineRunner;

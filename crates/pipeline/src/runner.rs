@@ -16,7 +16,8 @@ use slic_bayes::{
 use slic_cells::CellKind;
 use slic_lut::LutBuilder;
 use slic_spice::{
-    CharacterizationEngine, DiskSimCache, InMemorySimCache, SimulationCache, SimulationCounter,
+    CharacterizationEngine, DiskSimCache, InMemorySimCache, SimulationBackend, SimulationCache,
+    SimulationCounter,
 };
 use slic_stats::distance::mean_relative_error_percent;
 use slic_timing_model::{LeastSquaresFitter, TimingSample};
@@ -49,11 +50,8 @@ impl PipelineRunner {
     /// invalid, or a [`PipelineError::Cache`] when the configured cache file cannot be
     /// opened.
     pub fn new(config: ResolvedConfig) -> Result<Self, PipelineError> {
-        let cache: Arc<dyn SimulationCache> = match &config.cache_path {
-            Some(path) => Arc::new(DiskSimCache::open(path)?),
-            None => Arc::new(InMemorySimCache::new()),
-        };
-        Self::with_cache(config, cache)
+        let cache = Self::open_cache(&config)?;
+        Self::with_parts(config, cache, None)
     }
 
     /// Creates a runner reusing an existing (possibly warm) simulation cache — the
@@ -67,16 +65,69 @@ impl PipelineRunner {
         config: ResolvedConfig,
         cache: Arc<dyn SimulationCache>,
     ) -> Result<Self, PipelineError> {
+        Self::with_parts(config, cache, None)
+    }
+
+    /// Creates a runner whose engines route every solve through `backend` (e.g. a
+    /// `slic-farm` fleet), with the cache resolved from the configuration as in
+    /// [`new`](Self::new).  The counter/cache/single-flight policy stays runner-side, so
+    /// backends cannot change what a run pays for or produces — only where it executes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Engine`] when the profile's transient configuration is
+    /// invalid, or a [`PipelineError::Cache`] when the configured cache file cannot be
+    /// opened.
+    pub fn with_backend(
+        config: ResolvedConfig,
+        backend: Arc<dyn SimulationBackend>,
+    ) -> Result<Self, PipelineError> {
+        let cache = Self::open_cache(&config)?;
+        Self::with_parts(config, cache, Some(backend))
+    }
+
+    /// Fully explicit construction: a (possibly warm) cache plus an optional backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Engine`] when the profile's transient configuration is
+    /// invalid, or a [`PipelineError::Config`] when the configuration selects the farm
+    /// backend but no backend instance is supplied — silently running a farm-configured
+    /// plan in-process would be worse than failing (this crate cannot construct the
+    /// fleet itself; build a `slic_farm::FarmBackend` and pass it, as the CLI does).
+    pub fn with_parts(
+        config: ResolvedConfig,
+        cache: Arc<dyn SimulationCache>,
+        backend: Option<Arc<dyn SimulationBackend>>,
+    ) -> Result<Self, PipelineError> {
+        if backend.is_none() && config.backend != crate::config::BackendChoice::Local {
+            return Err(PipelineError::config(
+                "the configuration selects the farm backend but no backend instance was \
+                 supplied; construct the worker fleet (e.g. slic_farm::FarmBackend) and \
+                 pass it via PipelineRunner::with_backend",
+            ));
+        }
         let counter = SimulationCounter::new();
-        let engine =
+        let mut engine =
             CharacterizationEngine::with_config(config.technology.clone(), config.transient)?
                 .with_shared_counter(counter.clone())
                 .with_cache(cache.clone());
+        if let Some(backend) = backend {
+            engine = engine.with_backend(backend);
+        }
         Ok(Self {
             config,
             engine,
             counter,
             cache,
+        })
+    }
+
+    /// Opens the configured disk cache, or a fresh in-memory one.
+    fn open_cache(config: &ResolvedConfig) -> Result<Arc<dyn SimulationCache>, PipelineError> {
+        Ok(match &config.cache_path {
+            Some(path) => Arc::new(DiskSimCache::open(path)?),
+            None => Arc::new(InMemorySimCache::new()),
         })
     }
 
@@ -107,11 +158,12 @@ impl PipelineRunner {
             grid_levels: self.config.profile.learning_grid(),
             transient: self.config.transient,
         });
-        learner.learn_shared(
+        learner.learn_shared_with_backend(
             &self.config.historical,
             &self.config.library,
             &self.counter,
             Some(self.cache.clone()),
+            Some(self.engine.backend().clone()),
         )
     }
 
@@ -298,5 +350,45 @@ impl MetricPick for TimingMetric {
             TimingMetric::Delay => m.delay.value(),
             TimingMetric::OutputSlew => m.output_slew.value(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BackendChoice, RunConfig};
+
+    #[test]
+    fn a_farm_configuration_without_a_backend_instance_is_rejected() {
+        let mut config = RunConfig::default().resolve().expect("resolves");
+        config.backend = BackendChoice::Farm {
+            workers: vec!["10.0.0.5:9200".to_string()],
+            spawn_workers: 0,
+        };
+        // Silently running a farm-configured plan in-process would defeat the point of
+        // resolve() validating the choice; every backend-less constructor must refuse.
+        let err = PipelineRunner::new(config.clone())
+            .err()
+            .expect("must not run locally");
+        assert!(err.to_string().contains("no backend instance"), "{err}");
+        let cache: Arc<dyn SimulationCache> = Arc::new(InMemorySimCache::new());
+        let err = PipelineRunner::with_cache(config, cache)
+            .err()
+            .expect("with_cache must refuse too");
+        assert!(err.to_string().contains("no backend instance"), "{err}");
+    }
+
+    #[test]
+    fn an_explicit_backend_instance_satisfies_a_farm_configuration() {
+        let mut config = RunConfig::default().resolve().expect("resolves");
+        config.backend = BackendChoice::Farm {
+            workers: vec![],
+            spawn_workers: 2,
+        };
+        // Any SimulationBackend instance satisfies the requirement; the pipeline does
+        // not (and cannot) verify it is really a fleet.
+        let backend: Arc<dyn SimulationBackend> = Arc::new(slic_spice::LocalBackend::new());
+        let runner = PipelineRunner::with_backend(config, backend).expect("constructs");
+        assert_eq!(runner.engine().backend().name(), "local");
     }
 }

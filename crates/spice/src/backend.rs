@@ -1,0 +1,182 @@
+//! The simulation-backend boundary: where a transient solve actually executes.
+//!
+//! The [`CharacterizationEngine`](crate::engine::CharacterizationEngine) owns *policy* —
+//! counting, caching, single-flight deduplication, lane fan-out — while a
+//! [`SimulationBackend`] owns *mechanism*: given a batch of fully-specified
+//! [`SimRequest`]s, return one [`SimResult`] per lane.  Splitting the two turns "where do
+//! simulations run" into a deployment choice:
+//!
+//! * [`LocalBackend`] — the in-process batched kernel ([`crate::batch`]), the default and
+//!   the reference implementation every other backend must match bitwise;
+//! * `FarmBackend` (in the `slic-farm` crate) — fans batches out to remote worker
+//!   processes over a JSON-lines wire protocol, with failover back to a [`LocalBackend`].
+//!
+//! Because the engine keeps the counter/cache/single-flight layering on its own side of
+//! the boundary, swapping backends cannot change an artifact: every lane still counts as
+//! exactly one paid simulation, repeated coordinates are still answered from the cache,
+//! and the measurements themselves are bitwise identical as long as the backend runs the
+//! same kernel (which the wire protocol's kernel-version handshake enforces).
+
+use crate::batch::integrate_batch;
+use crate::input::InputPoint;
+use crate::measure::TimingMeasurement;
+use crate::transient::{TransientConfig, TransientProblem};
+use slic_cells::{Cell, EquivalentInverter, TimingArc};
+use slic_device::{ProcessSample, TechnologyNode};
+use std::sync::Arc;
+
+/// One fully-specified transient simulation: everything a backend — in-process or on the
+/// other end of a socket — needs to reproduce the solve bit-for-bit.
+///
+/// The technology is shared behind an [`Arc`]: requests are built once per lane on the
+/// hot path, and the node (with its heap-allocated name and device parameters) must not
+/// be deep-cloned per simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRequest {
+    /// The technology node the cell is built in.
+    pub tech: Arc<TechnologyNode>,
+    /// The cell under test.
+    pub cell: Cell,
+    /// The switching arc being exercised.
+    pub arc: TimingArc,
+    /// Input slew / output load / supply.
+    pub point: InputPoint,
+    /// Process-variation sample.
+    pub seed: ProcessSample,
+    /// Transient-solver settings.
+    pub config: TransientConfig,
+}
+
+/// The outcome of one lane: a measurement, or a rendered error message.
+///
+/// Errors are carried as strings so they survive a wire round trip unchanged; the engine
+/// turns them back into the same panic a local solve failure produces.
+pub type SimResult = Result<TimingMeasurement, String>;
+
+/// Anything that can execute a batch of transient simulations.
+///
+/// Implementations must be thread-safe: the engine dispatches batches from rayon worker
+/// threads.  `solve_batch` must return exactly one result per request, in request order,
+/// and lane `i` must be bitwise identical to what [`LocalBackend`] produces for the same
+/// request — the simulation cache and every artifact-equality guarantee depend on it.
+pub trait SimulationBackend: Send + Sync {
+    /// A short name for logs and `Debug` output (e.g. `"local"`, `"farm"`).
+    fn name(&self) -> &str;
+
+    /// Solves every request, returning one result per lane in request order.
+    fn solve_batch(&self, requests: &[SimRequest]) -> Vec<SimResult>;
+}
+
+/// The in-process backend: the batched Bogacki–Shampine kernel of [`crate::batch`].
+///
+/// The equivalent inverter is rebuilt only when the `(tech, cell, seed)` triple changes
+/// between consecutive lanes (sweeps share one seed across every lane), mirroring what the
+/// engine did before the backend boundary existed — so measurements are bitwise identical
+/// to every artifact produced since.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalBackend;
+
+impl LocalBackend {
+    /// Creates the in-process backend.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SimulationBackend for LocalBackend {
+    fn name(&self) -> &str {
+        "local"
+    }
+
+    fn solve_batch(&self, requests: &[SimRequest]) -> Vec<SimResult> {
+        let mut results: Vec<Option<SimResult>> = vec![None; requests.len()];
+        // Validate configs first (memoized on consecutive identical configs, the common
+        // case): an invalid lane gets an error result instead of poisoning the batch.
+        let mut cfg_memo: Option<(TransientConfig, Result<(), String>)> = None;
+        let mut problems = Vec::with_capacity(requests.len());
+        let mut lanes = Vec::with_capacity(requests.len());
+        let mut memo: Option<(Arc<TechnologyNode>, ProcessSample, Cell, EquivalentInverter)> = None;
+        for (i, req) in requests.iter().enumerate() {
+            if !matches!(&cfg_memo, Some((c, _)) if *c == req.config) {
+                cfg_memo = Some((req.config, req.config.validate()));
+            }
+            if let Some((_, Err(msg))) = &cfg_memo {
+                results[i] = Some(Err(format!("invalid transient configuration: {msg}")));
+                continue;
+            }
+            // Pointer equality first: lanes of one engine share one Arc, so the common
+            // case never compares node contents.
+            if !matches!(&memo, Some((t, s, c, _)) if (Arc::ptr_eq(t, &req.tech) || **t == *req.tech) && s == &req.seed && *c == req.cell)
+            {
+                let eq = EquivalentInverter::build(&req.tech, req.cell, &req.seed);
+                memo = Some((req.tech.clone(), req.seed, req.cell, eq));
+            }
+            let (_, _, _, eq) = memo.as_ref().expect("memo populated");
+            problems.push(TransientProblem::new(eq, &req.arc, &req.point, &req.config));
+            lanes.push(i);
+        }
+        for (result, i) in integrate_batch(&problems).into_iter().zip(lanes) {
+            results[i] = Some(result.map(|(m, _)| m).map_err(|err| err.to_string()));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every lane resolved"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::simulate_switching;
+    use slic_cells::{CellKind, DriveStrength, Transition};
+    use slic_units::{Farads, Seconds, Volts};
+
+    fn request(sin_ps: f64, vdd: f64) -> SimRequest {
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        SimRequest {
+            tech: Arc::new(TechnologyNode::n14_finfet()),
+            cell,
+            arc: TimingArc::new(cell, 0, Transition::Fall),
+            point: InputPoint::new(
+                Seconds::from_picoseconds(sin_ps),
+                Farads::from_femtofarads(2.0),
+                Volts(vdd),
+            ),
+            seed: ProcessSample::nominal(),
+            config: TransientConfig::fast(),
+        }
+    }
+
+    #[test]
+    fn local_backend_matches_the_scalar_solver_bitwise() {
+        let backend = LocalBackend::new();
+        let requests = vec![request(2.0, 0.8), request(5.0, 0.9), request(9.0, 0.7)];
+        let results = backend.solve_batch(&requests);
+        for (req, result) in requests.iter().zip(&results) {
+            let eq = EquivalentInverter::build(&req.tech, req.cell, &req.seed);
+            let scalar = simulate_switching(&eq, &req.arc, &req.point, &req.config)
+                .expect("scalar solve succeeds");
+            assert_eq!(result.as_ref().ok(), Some(&scalar));
+        }
+    }
+
+    #[test]
+    fn invalid_config_yields_a_lane_error_not_a_panic() {
+        let backend = LocalBackend::new();
+        let mut bad = request(5.0, 0.8);
+        bad.config.dv_max_fraction = 0.5;
+        let good = request(5.0, 0.8);
+        let results = backend.solve_batch(&[bad, good.clone()]);
+        assert!(results[0]
+            .as_ref()
+            .is_err_and(|e| e.contains("dv_max_fraction")));
+        assert!(results[1].is_ok(), "a bad lane must not poison its batch");
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        assert!(LocalBackend::new().solve_batch(&[]).is_empty());
+        assert_eq!(LocalBackend::new().name(), "local");
+    }
+}

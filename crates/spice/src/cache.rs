@@ -134,8 +134,10 @@ impl SimKey {
 ///
 /// The serde stand-in stores numbers as `f64`, which cannot represent every `u64` bit
 /// pattern exactly — hex strings round-trip losslessly and keep the on-disk cache
-/// diffable.
-fn bits_to_value(bits: &[u64]) -> Value {
+/// diffable.  Public because the `slic-farm` wire protocol reuses the exact same
+/// encoding, which is what keeps farm traffic cache-compatible with
+/// [`DiskSimCache`](crate::disk::DiskSimCache) logs.
+pub fn bits_to_value(bits: &[u64]) -> Value {
     Value::Array(
         bits.iter()
             .map(|b| Value::String(format!("{b:016x}")))
@@ -143,7 +145,13 @@ fn bits_to_value(bits: &[u64]) -> Value {
     )
 }
 
-fn bits_from_value<const N: usize>(value: &Value, field: &str) -> Result<[u64; N], SerdeError> {
+/// Parses a fixed-width array of hex bit patterns written by [`bits_to_value`].
+///
+/// # Errors
+///
+/// Returns a [`SerdeError`] naming `field` when the value is not an `N`-element array of
+/// hex strings.
+pub fn bits_from_value<const N: usize>(value: &Value, field: &str) -> Result<[u64; N], SerdeError> {
     let items = value
         .as_array()
         .ok_or_else(|| SerdeError::expected("array of hex strings", value))?;

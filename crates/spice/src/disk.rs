@@ -36,6 +36,15 @@ struct DiskRecord {
     measurement: TimingMeasurement,
 }
 
+/// What [`DiskSimCache::compact`] did to a log file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Records surviving in the compacted snapshot (unique keys, last value each).
+    pub kept: usize,
+    /// Duplicate records dropped (earlier values of keys that appear again later).
+    pub dropped: usize,
+}
+
 /// A persistent [`SimulationCache`] backed by a JSON-lines append log.
 ///
 /// The in-memory tier (sharded map, hit/miss accounting) *is* an [`InMemorySimCache`];
@@ -143,6 +152,101 @@ impl DiskSimCache {
     /// Returns `true` when nothing is archived.
     pub fn is_empty(&self) -> bool {
         self.memory.is_empty()
+    }
+
+    /// Rewrites the append-only log at `path` as a deduplicated last-record-wins
+    /// snapshot, in place, under the same exclusive advisory lock every flush takes.
+    ///
+    /// The append log only grows: concurrent workers racing on one coordinate each append
+    /// a record, reruns against a changed value append again, and a long campaign's log
+    /// ends up storing each hot coordinate several times.  Compaction keeps exactly one
+    /// record per unique [`SimKey`] — the **last** one, matching the last-record-wins
+    /// load semantics — in first-appearance order, so a compacted log loads to the
+    /// identical in-memory state as the original.
+    ///
+    /// The rewrite happens in place (seek to start, write the snapshot, truncate), not
+    /// via rename: the file keeps its inode, so a concurrent worker blocked on the
+    /// advisory lock appends to the *compacted* file when it acquires it, instead of to
+    /// an unlinked orphan.  A torn final line (crashed writer) is repaired away, exactly
+    /// as [`flush`](Self::flush) would.  A legacy-kernel record is kept — its key can
+    /// never collide with a current-kernel key — so old logs stay loadable by old
+    /// binaries.
+    ///
+    /// A missing file is an empty cache: nothing to do, zero report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError`] on filesystem failures or a corrupt non-final record
+    /// (same tolerance as [`open`](Self::open)); the log is not modified in that case.
+    pub fn compact(path: impl AsRef<Path>) -> Result<CompactionReport, CacheError> {
+        let mut file = match std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())
+        {
+            Ok(file) => file,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(CompactionReport {
+                    kept: 0,
+                    dropped: 0,
+                })
+            }
+            Err(err) => return Err(err.into()),
+        };
+        file.lock()?;
+        let text = std::io::read_to_string(&file)?;
+        let lines: Vec<&str> = text.lines().collect();
+        // First-appearance order of unique keys; last-record-wins value per key.
+        let mut order: Vec<SimKey> = Vec::new();
+        let mut latest: std::collections::HashMap<SimKey, TimingMeasurement> =
+            std::collections::HashMap::new();
+        let mut records = 0usize;
+        for (index, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<DiskRecord>(line) {
+                Ok(record) => {
+                    records += 1;
+                    if latest
+                        .insert(record.key.clone(), record.measurement)
+                        .is_none()
+                    {
+                        order.push(record.key);
+                    }
+                }
+                Err(err) if index + 1 == lines.len() && !text.ends_with('\n') => {
+                    // Torn tail of a crashed append: repaired by the rewrite below.
+                    let _ = err;
+                }
+                Err(err) => {
+                    return Err(CacheError::Corrupt {
+                        line: index + 1,
+                        message: err.to_string(),
+                    });
+                }
+            }
+        }
+        let mut snapshot = String::new();
+        for key in &order {
+            let record = DiskRecord {
+                key: key.clone(),
+                measurement: latest[key],
+            };
+            snapshot.push_str(
+                &serde_json::to_string(&record).expect("cache records contain only finite numbers"),
+            );
+            snapshot.push('\n');
+        }
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(snapshot.as_bytes())?;
+        file.set_len(snapshot.len() as u64)?;
+        file.flush()?;
+        // Closing the handle releases the lock.
+        Ok(CompactionReport {
+            kept: order.len(),
+            dropped: records - order.len(),
+        })
     }
 
     /// Appends every record stored since the last flush to the log file, under an
@@ -503,6 +607,123 @@ mod tests {
             }
             std::fs::remove_file(&path).ok();
         }
+    }
+
+    #[test]
+    fn compaction_keeps_the_last_record_per_key_and_reports_drops() {
+        let path = temp_path("compact.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            // Two processes racing on one coordinate each append their own record, and a
+            // later run overwrites a value: three physical lines, two unique keys.
+            let first = DiskSimCache::open(&path).expect("opens");
+            first.store(key(5.0, 2.0), measurement(12.0));
+            first.store(key(6.0, 3.0), measurement(15.0));
+            first.flush().expect("flushes");
+        }
+        // A second writer blind to the first (fresh process, same file) re-appends an
+        // updated value for an existing key by writing the raw line, as a concurrent
+        // worker's flush would.
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            let line = serde_json::to_string(&DiskRecord {
+                key: key(5.0, 2.0),
+                measurement: measurement(99.0),
+            })
+            .unwrap();
+            writeln!(file, "{line}").unwrap();
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
+        let report = DiskSimCache::compact(&path).expect("compacts");
+        assert_eq!(
+            report,
+            CompactionReport {
+                kept: 2,
+                dropped: 1
+            }
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "one line per unique key");
+        let reopened = DiskSimCache::open(&path).expect("compacted log loads");
+        assert_eq!(
+            reopened.lookup(&key(5.0, 2.0)),
+            Some(measurement(99.0)),
+            "last record wins, exactly as the uncompacted load would resolve"
+        );
+        assert_eq!(reopened.lookup(&key(6.0, 3.0)), Some(measurement(15.0)));
+        // Idempotent: a second compaction drops nothing.
+        let again = DiskSimCache::compact(&path).expect("compacts again");
+        assert_eq!(
+            again,
+            CompactionReport {
+                kept: 2,
+                dropped: 0
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_repairs_a_torn_tail_and_tolerates_missing_files() {
+        let path = temp_path("compact-torn.jsonl");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            DiskSimCache::compact(&path).expect("missing file is empty"),
+            CompactionReport {
+                kept: 0,
+                dropped: 0
+            }
+        );
+        {
+            let cache = DiskSimCache::open(&path).expect("opens");
+            cache.store(key(5.0, 2.0), measurement(12.0));
+            cache.store(key(6.0, 3.0), measurement(15.0));
+        }
+        // Crash mid-append: chop the final record in half (no trailing newline).
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 25]).unwrap();
+        let report = DiskSimCache::compact(&path).expect("tolerates the torn tail");
+        assert_eq!(
+            report,
+            CompactionReport {
+                kept: 1,
+                dropped: 0
+            }
+        );
+        let repaired = std::fs::read_to_string(&path).unwrap();
+        assert!(repaired.ends_with('\n'));
+        assert!(repaired
+            .lines()
+            .all(|l| serde_json::from_str::<serde::Value>(l).is_ok()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_rejects_interior_corruption_without_touching_the_log() {
+        let path = temp_path("compact-corrupt.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let cache = DiskSimCache::open(&path).expect("opens");
+            cache.store(key(5.0, 2.0), measurement(12.0));
+            cache.store(key(6.0, 3.0), measurement(15.0));
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[0] = "{not json".to_string();
+        let corrupted = lines.join("\n") + "\n";
+        std::fs::write(&path, &corrupted).unwrap();
+        let err = DiskSimCache::compact(&path).expect_err("interior corruption rejected");
+        assert!(err.to_string().contains("line 1"), "{err}");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            corrupted,
+            "a failed compaction must leave the log untouched"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

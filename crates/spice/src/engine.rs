@@ -11,11 +11,11 @@
 //! reported speedups are ratios of simulation counts at equal accuracy, so the counter is
 //! the basis of all cost accounting in `slic-core` and the benches.
 
-use crate::batch::integrate_batch;
+use crate::backend::{LocalBackend, SimRequest, SimulationBackend};
 use crate::cache::{SimKey, SimulationCache};
 use crate::input::{InputPoint, InputSpace};
 use crate::measure::TimingMeasurement;
-use crate::transient::{simulate_switching_prevalidated, TransientConfig, TransientProblem};
+use crate::transient::TransientConfig;
 use rayon::prelude::*;
 use slic_cells::{Cell, EquivalentInverter, TimingArc};
 use slic_device::{ProcessSample, TechnologyNode};
@@ -141,10 +141,11 @@ impl Drop for BatchClaims<'_> {
 /// A simulator front-end bound to one technology node.
 #[derive(Clone)]
 pub struct CharacterizationEngine {
-    tech: TechnologyNode,
+    tech: Arc<TechnologyNode>,
     config: TransientConfig,
     counter: SimulationCounter,
     cache: Option<Arc<dyn SimulationCache>>,
+    backend: Arc<dyn SimulationBackend>,
     inflight: Arc<InFlight>,
 }
 
@@ -155,6 +156,7 @@ impl fmt::Debug for CharacterizationEngine {
             .field("config", &self.config)
             .field("counter", &self.counter)
             .field("cache", &self.cache.as_ref().map(|_| "..."))
+            .field("backend", &self.backend.name())
             .finish()
     }
 }
@@ -174,10 +176,11 @@ impl CharacterizationEngine {
     pub fn with_config(tech: TechnologyNode, config: TransientConfig) -> Result<Self, ConfigError> {
         config.validate().map_err(ConfigError::new)?;
         Ok(Self {
-            tech,
+            tech: Arc::new(tech),
             config,
             counter: SimulationCounter::new(),
             cache: None,
+            backend: Arc::new(LocalBackend::new()),
             inflight: Arc::new(InFlight::default()),
         })
     }
@@ -202,6 +205,20 @@ impl CharacterizationEngine {
     /// The attached simulation cache, if any.
     pub fn cache(&self) -> Option<&Arc<dyn SimulationCache>> {
         self.cache.as_ref()
+    }
+
+    /// Replaces the backend that executes transient solves.  The counter, cache and
+    /// single-flight layering stay on this engine's side of the boundary, so a backend
+    /// swap cannot change what a run pays for — only where the solves execute.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Arc<dyn SimulationBackend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend executing this engine's transient solves.
+    pub fn backend(&self) -> &Arc<dyn SimulationBackend> {
+        &self.backend
     }
 
     /// The technology this engine simulates.
@@ -299,10 +316,26 @@ impl CharacterizationEngine {
         measurement
     }
 
-    /// Runs the solver unconditionally and counts the simulation.
-    ///
-    /// The configuration was validated when the engine was constructed, so the hot path
-    /// skips straight to the pre-validated integrator.
+    /// Assembles the backend request for one lane.
+    fn request(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        point: &InputPoint,
+        seed: &ProcessSample,
+    ) -> SimRequest {
+        SimRequest {
+            tech: self.tech.clone(),
+            cell,
+            arc: *arc,
+            point: *point,
+            seed: *seed,
+            config: self.config,
+        }
+    }
+
+    /// Runs the solver unconditionally (through the configured backend) and counts the
+    /// simulation.
     fn solve(
         &self,
         cell: Cell,
@@ -310,31 +343,18 @@ impl CharacterizationEngine {
         point: &InputPoint,
         seed: &ProcessSample,
     ) -> TimingMeasurement {
-        let eq = EquivalentInverter::build(&self.tech, cell, seed);
+        let request = self.request(cell, arc, point, seed);
         self.counter.add(1);
-        simulate_switching_prevalidated(&eq, arc, point, &self.config).unwrap_or_else(|err| {
-            panic!(
-                "transient simulation failed for {} at {point}: {err}",
-                arc.id()
-            )
-        })
-    }
-
-    /// Pre-compiles the transient problems of a lane list, rebuilding the equivalent
-    /// inverter only when the seed changes between consecutive lanes (sweeps share one
-    /// seed across every lane).
-    fn build_problems(&self, cell: Cell, arc: &TimingArc, lanes: &[Lane]) -> Vec<TransientProblem> {
-        let mut memo: Option<(ProcessSample, EquivalentInverter)> = None;
-        lanes
-            .iter()
-            .map(|(point, seed)| {
-                if !matches!(&memo, Some((s, _)) if s == seed) {
-                    memo = Some((*seed, EquivalentInverter::build(&self.tech, cell, seed)));
-                }
-                let (_, eq) = memo.as_ref().expect("memo populated");
-                TransientProblem::new(eq, arc, point, &self.config)
+        self.backend
+            .solve_batch(std::slice::from_ref(&request))
+            .pop()
+            .expect("backend returns one result per request")
+            .unwrap_or_else(|err| {
+                panic!(
+                    "transient simulation failed for {} at {point}: {err}",
+                    arc.id()
+                )
             })
-            .collect()
     }
 
     /// Solves one batch of lanes through the batched kernel, preserving the scalar path's
@@ -353,13 +373,17 @@ impl CharacterizationEngine {
         lanes: &[Lane],
     ) -> Vec<TimingMeasurement> {
         let solve_batch = |subset: &[Lane]| -> Vec<TimingMeasurement> {
-            let problems = self.build_problems(cell, arc, subset);
+            let requests: Vec<SimRequest> = subset
+                .iter()
+                .map(|(point, seed)| self.request(cell, arc, point, seed))
+                .collect();
             self.counter.add(subset.len() as u64);
-            integrate_batch(&problems)
+            self.backend
+                .solve_batch(&requests)
                 .into_iter()
                 .zip(subset)
                 .map(|(result, (point, _))| {
-                    result.map(|(m, _)| m).unwrap_or_else(|err| {
+                    result.unwrap_or_else(|err| {
                         panic!(
                             "transient simulation failed for {} at {point}: {err}",
                             arc.id()
@@ -747,6 +771,54 @@ mod tests {
             "warm batch pays zero simulations"
         );
         assert_eq!(cache.hits(), 12);
+    }
+
+    /// A backend that counts the lanes it is asked to solve and delegates to the local
+    /// kernel — proves the engine routes every paid solve (and only paid solves) through
+    /// the backend boundary.
+    #[derive(Debug, Default)]
+    struct CountingBackend {
+        lanes: AtomicU64,
+        inner: LocalBackend,
+    }
+
+    impl SimulationBackend for CountingBackend {
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn solve_batch(&self, requests: &[SimRequest]) -> Vec<crate::backend::SimResult> {
+            self.lanes
+                .fetch_add(requests.len() as u64, Ordering::Relaxed);
+            self.inner.solve_batch(requests)
+        }
+    }
+
+    #[test]
+    fn backend_sees_every_paid_solve_and_no_cache_hit() {
+        use crate::cache::InMemorySimCache;
+        let backend = Arc::new(CountingBackend::default());
+        let cache = Arc::new(InMemorySimCache::new());
+        let eng = engine()
+            .with_cache(cache.clone())
+            .with_backend(backend.clone());
+        assert_eq!(eng.backend().name(), "counting");
+        let (cell, arc) = inv_fall();
+        let points = vec![pt(2.0, 1.0, 0.8), pt(5.0, 2.0, 0.9), pt(9.0, 4.0, 0.7)];
+        let first = eng.sweep_nominal(cell, &arc, &points);
+        assert_eq!(backend.lanes.load(Ordering::Relaxed), 3);
+        assert_eq!(eng.simulation_count(), 3);
+        // Warm replay: answered from the cache, so the backend must not be consulted.
+        let second = eng.sweep_nominal(cell, &arc, &points);
+        assert_eq!(second, first);
+        assert_eq!(
+            backend.lanes.load(Ordering::Relaxed),
+            3,
+            "cache hits bypass the backend"
+        );
+        // And a backend-routed lane is bitwise identical to the default local backend.
+        let local = engine().sweep_nominal(cell, &arc, &points);
+        assert_eq!(first, local);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   (embedded-error Bogacki–Shampine kernel, plus the seed RK4 kept as golden reference);
 //! * [`batch`] — the batched Monte Carlo kernel: many lanes integrated through one
 //!   worklist, each bitwise identical to its scalar counterpart;
+//! * [`backend`] — the [`SimulationBackend`] boundary: where a batch of solves actually
+//!   executes ([`LocalBackend`] in-process; the `slic-farm` crate adds remote workers);
 //! * [`engine`] — the "simulator front-end": a [`CharacterizationEngine`] bound to one
 //!   technology that runs (and counts) simulations, sweeps and Monte Carlo ensembles, in
 //!   the role of the paper's SPICE + `.ALTER` + Monte Carlo flow.
@@ -43,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod disk;
@@ -51,11 +54,12 @@ pub mod input;
 pub mod measure;
 pub mod transient;
 
+pub use backend::{LocalBackend, SimRequest, SimResult, SimulationBackend};
 pub use batch::{
     simulate_switching_batch, simulate_switching_batch_with_stats, simulate_switching_sweep_batch,
 };
 pub use cache::{CacheError, InMemorySimCache, SimKey, SimulationCache, KERNEL_VERSION};
-pub use disk::DiskSimCache;
+pub use disk::{CompactionReport, DiskSimCache};
 pub use engine::{CharacterizationEngine, ConfigError, SimulationCounter};
 pub use input::{InputPoint, InputSpace};
 pub use measure::TimingMeasurement;

@@ -595,17 +595,6 @@ pub fn simulate_switching_with_stats(
     integrate(&TransientProblem::new(eq, arc, point, config))
 }
 
-/// Runs the embedded-pair kernel for a caller that already validated `config` (the
-/// characterization engine validates at construction).
-pub(crate) fn simulate_switching_prevalidated(
-    eq: &EquivalentInverter,
-    arc: &TimingArc,
-    point: &InputPoint,
-    config: &TransientConfig,
-) -> Result<TimingMeasurement, TransientError> {
-    integrate(&TransientProblem::new(eq, arc, point, config)).map(|(m, _)| m)
-}
-
 /// Simulates one switching event with the seed's classical RK4 kernel.
 ///
 /// Kept as the golden reference: the parity test suite asserts the embedded-pair kernel
