@@ -24,7 +24,7 @@ use slic_pipeline::{
     BackendChoice, CharacterizationPlan, PipelineError, PipelineRunner, RunArtifact, RunConfig,
     RunProfile,
 };
-use slic_spice::{CharacterizationEngine, DiskSimCache};
+use slic_spice::{CharacterizationEngine, CompactionOptions, DiskSimCache};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -67,6 +67,14 @@ SUBCOMMANDS:
                                             merge the artifacts with `slic merge`
                     --cache <file>          persistent simulation cache shared by
                                             shard workers and reruns
+                    --variation             add Monte Carlo variation units: every
+                                            export-grid point under every process seed,
+                                            reduced to mean/sigma/skew tables in the
+                                            artifact (and LVF groups in --liberty)
+                    --variation-seeds <n>   Monte Carlo seeds per unit (implies
+                                            --variation; default from profile)
+                    --variation-sigma <a,b> sigma corners reported, e.g. 1,3
+                                            (implies --variation)
                     --out <file>            run artifact JSON (default run.json)
                     --liberty <file>        also write the Liberty text here
 
@@ -86,8 +94,12 @@ SUBCOMMANDS:
     export        Render the Liberty text of a finished run.
                     --run <file>            run artifact JSON (default run.json)
                     --out <file>            output .lib path (stdout when omitted)
+                    --variation             emit LVF-style ocv_sigma_*/ocv_skewness_*
+                                            groups from the artifact's variation tables
+                                            (requires a --variation characterization)
 
-    report        Print the Markdown summary of a finished run.  A shard artifact is
+    report        Print the Markdown summary of a finished run, including the
+                  sigma/skew tables of a statistical run.  A shard artifact is
                   labelled PARTIAL so its totals are never mistaken for the whole run.
                     --run <file>            run artifact JSON (default run.json)
 
@@ -96,6 +108,10 @@ SUBCOMMANDS:
                                             as a deduplicated last-record-wins snapshot
                                             (taken under the same lock every flush uses)
                                             and report how many records were dropped
+                            --drop-legacy   additionally evict records written by a
+                                            kernel predating this binary's (they can
+                                            never answer a lookup again); reported
+                                            separately from the duplicate count
 ";
 
 fn main() -> ExitCode {
@@ -126,19 +142,26 @@ fn main() -> ExitCode {
         "out",
     ];
     // `slic cache <action> --flag value ...` takes a positional action before its flags.
-    let (flag_args, allowed): (&[String], Vec<&str>) = match command {
-        "learn" => (&args[1..], CONFIG_FLAGS.to_vec()),
+    // `switches` are valueless boolean flags (recorded as "true" when present).
+    let (flag_args, allowed, switches): (&[String], Vec<&str>, Vec<&str>) = match command {
+        "learn" => (&args[1..], CONFIG_FLAGS.to_vec(), vec![]),
         "characterize" => {
             let mut flags = CONFIG_FLAGS.to_vec();
-            flags.extend(["history", "liberty", "shard"]);
-            (&args[1..], flags)
+            flags.extend([
+                "history",
+                "liberty",
+                "shard",
+                "variation-seeds",
+                "variation-sigma",
+            ]);
+            (&args[1..], flags, vec!["variation"])
         }
-        "worker" => (&args[1..], vec!["listen", "max-batches"]),
-        "merge" => (&args[1..], vec!["inputs", "out"]),
-        "export" => (&args[1..], vec!["run", "out"]),
-        "report" => (&args[1..], vec!["run"]),
+        "worker" => (&args[1..], vec!["listen", "max-batches"], vec![]),
+        "merge" => (&args[1..], vec!["inputs", "out"], vec![]),
+        "export" => (&args[1..], vec!["run", "out"], vec!["variation"]),
+        "report" => (&args[1..], vec!["run"], vec![]),
         "cache" => match args.get(1).map(String::as_str) {
-            Some("compact") => (&args[2..], vec!["cache"]),
+            Some("compact") => (&args[2..], vec!["cache"], vec!["drop-legacy"]),
             Some(other) => {
                 eprintln!("error: unknown cache action `{other}` (expected `compact`)");
                 return ExitCode::from(2);
@@ -154,7 +177,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let flags = match parse_flags(flag_args, &allowed) {
+    let flags = match parse_flags(flag_args, &allowed, &switches) {
         Ok(flags) => flags,
         Err(message) => {
             eprintln!("error: {message}");
@@ -180,29 +203,38 @@ fn main() -> ExitCode {
     }
 }
 
-/// Parses `--flag value` pairs; rejects stray positionals, valueless flags, and flags the
-/// subcommand does not consume (a typo'd flag must not silently fall back to a default).
-fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+/// Parses `--flag value` pairs plus valueless `switches` (recorded as `"true"`); rejects
+/// stray positionals, missing values, and flags the subcommand does not consume (a typo'd
+/// flag must not silently fall back to a default).
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+    switches: &[&str],
+) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let name = arg
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument `{arg}` (flags are `--name value`)"))?;
-        if !allowed.contains(&name) {
+        let value = if switches.contains(&name) {
+            "true".to_string()
+        } else if allowed.contains(&name) {
+            it.next()
+                .ok_or_else(|| format!("flag `--{name}` is missing its value"))?
+                .clone()
+        } else {
             return Err(format!(
                 "unknown flag `--{name}` for this subcommand (expected one of: {})",
                 allowed
                     .iter()
+                    .chain(switches)
                     .map(|f| format!("--{f}"))
                     .collect::<Vec<_>>()
                     .join(", ")
             ));
-        }
-        let value = it
-            .next()
-            .ok_or_else(|| format!("flag `--{name}` is missing its value"))?;
-        if flags.insert(name.to_string(), value.clone()).is_some() {
+        };
+        if flags.insert(name.to_string(), value).is_some() {
             return Err(format!("flag `--{name}` given twice"));
         }
     }
@@ -267,6 +299,34 @@ fn build_config(flags: &HashMap<String, String>) -> Result<RunConfig, PipelineEr
             PipelineError::config(format!("`--spawn-workers {v}` is not an integer"))
         })?;
         config.spawn_workers = Some(count);
+    }
+    // Any variation flag enables the Monte Carlo workload on top of whatever (if
+    // anything) the config file's `variation` section set.
+    if flags.contains_key("variation")
+        || flags.contains_key("variation-seeds")
+        || flags.contains_key("variation-sigma")
+    {
+        let mut knobs = config.variation.clone().unwrap_or_default();
+        if let Some(v) = flags.get("variation-seeds") {
+            let seeds = v.parse::<usize>().map_err(|_| {
+                PipelineError::config(format!("`--variation-seeds {v}` is not an integer"))
+            })?;
+            knobs.process_seeds = Some(seeds);
+        }
+        if let Some(v) = flags.get("variation-sigma") {
+            let corners: Vec<f64> = comma_list(v)
+                .iter()
+                .map(|c| {
+                    c.parse::<f64>().map_err(|_| {
+                        PipelineError::config(format!(
+                            "`--variation-sigma {v}`: `{c}` is not a number"
+                        ))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            knobs.sigma_corners = Some(corners);
+        }
+        config.variation = Some(knobs);
     }
     Ok(config)
 }
@@ -406,10 +466,14 @@ fn cmd_cache_compact(flags: &HashMap<String, String>) -> Result<(), PipelineErro
     let path = flags
         .get("cache")
         .ok_or_else(|| PipelineError::config("`slic cache compact` needs `--cache <file>`"))?;
-    let report = DiskSimCache::compact(path)?;
+    let options = CompactionOptions {
+        drop_legacy: flags.contains_key("drop-legacy"),
+    };
+    let report = DiskSimCache::compact_with(path, options)?;
     println!(
-        "compacted `{path}`: kept {} records, dropped {} superseded duplicates",
-        report.kept, report.dropped,
+        "compacted `{path}`: kept {} records, dropped {} superseded duplicates, evicted \
+         {} legacy-kernel records",
+        report.kept, report.dropped, report.dropped_legacy,
     );
     Ok(())
 }
@@ -473,6 +537,13 @@ fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError
         artifact.total_simulations,
         artifact.cache_hits,
     );
+    if let Some(variation) = &artifact.variation {
+        println!(
+            "variation: {} Monte Carlo seeds, {} sigma/skew tables",
+            variation.process_seeds,
+            variation.tables.len(),
+        );
+    }
     if let Some(farm) = &farm {
         report_farm(farm);
     }
@@ -484,9 +555,14 @@ fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError
                  export needs both metrics and a parameter-producing method (bayesian or lse)"
             )));
         }
-        let text = artifact
-            .characterized
-            .to_liberty(runner.engine(), export_grid)?;
+        let text = match &artifact.variation {
+            Some(variation) if !variation.tables.is_empty() => artifact
+                .characterized
+                .to_liberty_with_variation(runner.engine(), export_grid, variation)?,
+            _ => artifact
+                .characterized
+                .to_liberty(runner.engine(), export_grid)?,
+        };
         std::fs::write(liberty_path, text)?;
         println!("liberty -> {liberty_path}");
     }
@@ -565,9 +641,27 @@ fn cmd_export(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
         )));
     }
     let (engine, profile) = engine_for(&artifact)?;
-    let text = artifact
-        .characterized
-        .to_liberty(&engine, profile.export_grid())?;
+    let text = if flags.contains_key("variation") {
+        let variation = artifact
+            .variation
+            .as_ref()
+            .filter(|v| !v.tables.is_empty())
+            .ok_or_else(|| {
+                PipelineError::config(format!(
+                    "`{run_path}` has no variation tables to export; rerun `slic \
+                     characterize --variation` first"
+                ))
+            })?;
+        artifact.characterized.to_liberty_with_variation(
+            &engine,
+            profile.export_grid(),
+            variation,
+        )?
+    } else {
+        artifact
+            .characterized
+            .to_liberty(&engine, profile.export_grid())?
+    };
     match flags.get("out") {
         Some(path) => {
             std::fs::write(path, text)?;

@@ -38,6 +38,16 @@ pub enum ExportError {
         /// Requested load-capacitance indices.
         load_levels: usize,
     },
+    /// A variation table's rows do not match the export grid — emitting it next to the
+    /// nominal tables would silently misalign the LVF indices.
+    VariationShape {
+        /// Arc whose variation tables are misshapen.
+        arc_id: String,
+        /// `(slew levels, load levels)` the grid expects.
+        expected: (usize, usize),
+        /// `(rows, columns)` the variation table provides.
+        found: (usize, usize),
+    },
 }
 
 impl fmt::Display for ExportError {
@@ -50,6 +60,16 @@ impl fmt::Display for ExportError {
             } => write!(
                 f,
                 "export grid needs at least 2x2 indices (got {slew_levels}x{load_levels})"
+            ),
+            ExportError::VariationShape {
+                arc_id,
+                expected,
+                found,
+            } => write!(
+                f,
+                "variation tables of `{arc_id}` are {}x{} but the export grid is {}x{}; \
+                 re-characterize variation with the same profile the export uses",
+                found.0, found.1, expected.0, expected.1
             ),
         }
     }
@@ -86,6 +106,22 @@ fn check_grid(grid: ExportGrid) -> Result<(), ExportError> {
     Ok(())
 }
 
+/// The `(slew, load)` table axes (seconds, farads) every export path renders `grid` on —
+/// linearly spaced over the engine's characterization input space.
+///
+/// Public so table *producers* (e.g. a Monte Carlo variation extractor) can simulate on
+/// bit-identical coordinates to the tables they will be emitted next to: any derivation of
+/// their own would risk off-by-one-ULP axes that silently miss the simulation cache.
+pub fn export_axes(engine: &CharacterizationEngine, grid: ExportGrid) -> (Vec<f64>, Vec<f64>) {
+    let space = engine.input_space();
+    let (sin_lo, sin_hi) = space.sin_range();
+    let (cl_lo, cl_hi) = space.cload_range();
+    (
+        slic_units::range::linspace(sin_lo.value(), sin_hi.value(), grid.slew_levels),
+        slic_units::range::linspace(cl_lo.value(), cl_hi.value(), grid.load_levels),
+    )
+}
+
 /// Characterizes `library` at the technology's nominal supply and renders a Liberty-like
 /// description.
 ///
@@ -107,13 +143,7 @@ pub fn export_library(
     check_grid(grid)?;
     let tech = engine.tech();
     let vdd = tech.vdd_nominal();
-    let space = engine.input_space();
-    let (sin_lo, sin_hi) = space.sin_range();
-    let (cl_lo, cl_hi) = space.cload_range();
-    let slew_axis: Vec<f64> =
-        slic_units::range::linspace(sin_lo.value(), sin_hi.value(), grid.slew_levels);
-    let load_axis: Vec<f64> =
-        slic_units::range::linspace(cl_lo.value(), cl_hi.value(), grid.load_levels);
+    let (slew_axis, load_axis) = export_axes(engine, grid);
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -148,6 +178,49 @@ pub struct FittedArc {
     pub slew: TimingParams,
 }
 
+/// LVF-style variation moments of one arc, on the **same index grid** as its nominal
+/// tables: rows are `[slew][load]`, all values in **seconds** (sigma = sample standard
+/// deviation, skewness = signed cube root of the third central moment, the unit LVF
+/// `ocv_skewness_*` groups use).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcVariation {
+    /// The arc the moments describe.
+    pub arc: TimingArc,
+    /// Delay standard deviation per grid point.
+    pub delay_sigma: Vec<Vec<f64>>,
+    /// Delay skewness (time-valued) per grid point.
+    pub delay_skew: Vec<Vec<f64>>,
+    /// Output-slew standard deviation per grid point.
+    pub slew_sigma: Vec<Vec<f64>>,
+    /// Output-slew skewness (time-valued) per grid point.
+    pub slew_skew: Vec<Vec<f64>>,
+}
+
+impl ArcVariation {
+    /// Validates that every moment table matches the export grid shape.
+    fn check_shape(&self, grid: ExportGrid) -> Result<(), ExportError> {
+        let expected = (grid.slew_levels, grid.load_levels);
+        for rows in [
+            &self.delay_sigma,
+            &self.delay_skew,
+            &self.slew_sigma,
+            &self.slew_skew,
+        ] {
+            // Report the first offending row's width, so a ragged interior row yields an
+            // error naming the actual defect instead of two identical shapes.
+            let bad_row = rows.iter().find(|r| r.len() != expected.1);
+            if rows.len() != expected.0 || bad_row.is_some() {
+                return Err(ExportError::VariationShape {
+                    arc_id: self.arc.id(),
+                    expected,
+                    found: (rows.len(), bad_row.map_or(expected.1, Vec::len)),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Renders a Liberty-like description from already-extracted compact-model parameters.
 ///
 /// The table values are model evaluations at the grid points; the engine is only consulted
@@ -167,19 +240,39 @@ pub fn export_fitted_library(
     arcs: &[FittedArc],
     grid: ExportGrid,
 ) -> Result<String, ExportError> {
+    export_fitted_library_with_variation(engine, library_name, arcs, &[], grid)
+}
+
+/// [`export_fitted_library`] plus LVF-style variation groups: for every fitted arc with an
+/// [`ArcVariation`] entry, `ocv_sigma_cell_{rise,fall}` / `ocv_skewness_cell_{rise,fall}`
+/// (delay moments) and `ocv_sigma_{rise,fall}_transition` /
+/// `ocv_skewness_{rise,fall}_transition` (slew moments) tables are emitted next to the
+/// nominal tables, on the same `slic_template` index grid.
+///
+/// Arcs without a variation entry keep a purely nominal timing group; variation entries
+/// for arcs absent from `arcs` are ignored (there is no nominal table to sit next to).
+///
+/// # Errors
+///
+/// Returns an [`ExportError`] when `arcs` is empty, the grid is degenerate, or a
+/// variation entry's tables do not match the grid shape.
+pub fn export_fitted_library_with_variation(
+    engine: &CharacterizationEngine,
+    library_name: &str,
+    arcs: &[FittedArc],
+    variation: &[ArcVariation],
+    grid: ExportGrid,
+) -> Result<String, ExportError> {
     if arcs.is_empty() {
         return Err(ExportError::EmptyLibrary);
     }
     check_grid(grid)?;
+    for entry in variation {
+        entry.check_shape(grid)?;
+    }
     let tech = engine.tech();
     let vdd = tech.vdd_nominal();
-    let space = engine.input_space();
-    let (sin_lo, sin_hi) = space.sin_range();
-    let (cl_lo, cl_hi) = space.cload_range();
-    let slew_axis: Vec<f64> =
-        slic_units::range::linspace(sin_lo.value(), sin_hi.value(), grid.slew_levels);
-    let load_axis: Vec<f64> =
-        slic_units::range::linspace(cl_lo.value(), cl_hi.value(), grid.load_levels);
+    let (slew_axis, load_axis) = export_axes(engine, grid);
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -204,7 +297,7 @@ pub fn export_fitted_library(
     }
     for cell in cells {
         out.push_str(&render_fitted_cell(
-            engine, cell, arcs, vdd, &slew_axis, &load_axis,
+            engine, cell, arcs, variation, vdd, &slew_axis, &load_axis,
         ));
     }
     out.push_str("}\n");
@@ -215,6 +308,7 @@ fn render_fitted_cell(
     engine: &CharacterizationEngine,
     cell: Cell,
     arcs: &[FittedArc],
+    variation: &[ArcVariation],
     vdd: Volts,
     slew_axis: &[f64],
     load_axis: &[f64],
@@ -261,6 +355,31 @@ fn render_fitted_cell(
         ));
         out.push_str(&render_table(delay_group, &delay_rows));
         out.push_str(&render_table(slew_group, &slew_rows));
+        if let Some(moments) = variation.iter().find(|v| v.arc == fitted.arc) {
+            let ps = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
+                rows.iter()
+                    .map(|row| row.iter().map(|v| v * 1e12).collect())
+                    .collect()
+            };
+            let (sigma_delay, skew_delay, sigma_slew, skew_slew) = match transition {
+                Transition::Rise => (
+                    "ocv_sigma_cell_rise",
+                    "ocv_skewness_cell_rise",
+                    "ocv_sigma_rise_transition",
+                    "ocv_skewness_rise_transition",
+                ),
+                Transition::Fall => (
+                    "ocv_sigma_cell_fall",
+                    "ocv_skewness_cell_fall",
+                    "ocv_sigma_fall_transition",
+                    "ocv_skewness_fall_transition",
+                ),
+            };
+            out.push_str(&render_table(sigma_delay, &ps(&moments.delay_sigma)));
+            out.push_str(&render_table(skew_delay, &ps(&moments.delay_skew)));
+            out.push_str(&render_table(sigma_slew, &ps(&moments.slew_sigma)));
+            out.push_str(&render_table(skew_slew, &ps(&moments.slew_skew)));
+        }
         out.push_str("      }\n");
     }
     out.push_str("    }\n  }\n");
@@ -352,6 +471,122 @@ fn format_axis_ff(axis: &[f64]) -> String {
         .map(|v| format!("{:.3}", v * 1e15))
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+/// One `values ( ... )` table found by [`scan_liberty_tables`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibertyTableScan {
+    /// Name of the enclosing `cell (...)` group.
+    pub cell: String,
+    /// Table group name, e.g. `cell_rise` or `ocv_sigma_cell_fall`.
+    pub group: String,
+    /// Number of value rows (slew indices).
+    pub rows: usize,
+    /// Number of columns per row (load indices).
+    pub cols: usize,
+}
+
+/// Parses an exported Liberty text back into its table inventory — the round-trip check
+/// used by the integration tests and the CI smoke jobs.
+///
+/// This is deliberately *not* a general Liberty parser: it validates exactly the subset
+/// the exporters emit — balanced braces, and for every `<group> (slic_template)` block a
+/// `values ( ... )` body whose rows are rectangular and whose every entry parses as a
+/// finite number — and returns one [`LibertyTableScan`] per table.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on unbalanced braces, a truncated values
+/// block, ragged rows or a non-finite table entry.
+pub fn scan_liberty_tables(text: &str) -> Result<Vec<LibertyTableScan>, String> {
+    if text.matches('{').count() != text.matches('}').count() {
+        return Err(format!(
+            "unbalanced braces: {} opening vs {} closing",
+            text.matches('{').count(),
+            text.matches('}').count()
+        ));
+    }
+    let mut tables = Vec::new();
+    let mut cell = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((_, raw)) = lines.next() {
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("cell (") {
+            cell = rest.split(')').next().unwrap_or("").to_string();
+            continue;
+        }
+        let Some(group) = line.strip_suffix("(slic_template) {").map(str::trim) else {
+            continue;
+        };
+        // The template *definition* block has index lines, not values; only consume a
+        // values body when one actually follows.
+        if !lines
+            .peek()
+            .is_some_and(|(_, next)| next.trim().starts_with("values ("))
+        {
+            continue;
+        }
+        lines.next();
+        let mut row_lengths: Vec<usize> = Vec::new();
+        loop {
+            let Some((row_number, row_raw)) = lines.next() else {
+                return Err(format!(
+                    "table `{group}` of cell `{cell}` ends mid-values block"
+                ));
+            };
+            let row_line = row_raw.trim();
+            let Some(first_quote) = row_line.find('"') else {
+                return Err(format!(
+                    "line {}: expected a quoted values row in table `{group}`",
+                    row_number + 1
+                ));
+            };
+            let Some(last_quote) = row_line.rfind('"').filter(|end| *end > first_quote) else {
+                return Err(format!(
+                    "line {}: unterminated values row in table `{group}`",
+                    row_number + 1
+                ));
+            };
+            let body = &row_line[first_quote + 1..last_quote];
+            let mut cols = 0usize;
+            for entry in body.split(',') {
+                let value: f64 = entry.trim().parse().map_err(|_| {
+                    format!(
+                        "line {}: `{}` in table `{group}` is not a number",
+                        row_number + 1,
+                        entry.trim()
+                    )
+                })?;
+                if !value.is_finite() {
+                    return Err(format!(
+                        "line {}: non-finite entry in table `{group}`",
+                        row_number + 1
+                    ));
+                }
+                cols += 1;
+            }
+            row_lengths.push(cols);
+            if row_line.ends_with(");") {
+                break;
+            }
+        }
+        let cols = row_lengths[0];
+        if row_lengths.iter().any(|c| *c != cols) {
+            return Err(format!(
+                "table `{group}` of cell `{cell}` has ragged rows: {row_lengths:?}"
+            ));
+        }
+        tables.push(LibertyTableScan {
+            cell: cell.clone(),
+            group: group.to_string(),
+            rows: row_lengths.len(),
+            cols,
+        });
+    }
+    if tables.is_empty() {
+        return Err("no lookup tables found".to_string());
+    }
+    Ok(tables)
 }
 
 #[cfg(test)]
@@ -508,6 +743,138 @@ mod tests {
             !text.contains("cell_rise"),
             "uncovered rise transition must be omitted"
         );
+    }
+
+    /// A uniform moments grid of the given shape, for variation-export tests.
+    fn flat_rows(rows: usize, cols: usize, value: f64) -> Vec<Vec<f64>> {
+        vec![vec![value; cols]; rows]
+    }
+
+    fn variation_for(arc: TimingArc, rows: usize, cols: usize) -> ArcVariation {
+        ArcVariation {
+            arc,
+            delay_sigma: flat_rows(rows, cols, 0.4e-12),
+            delay_skew: flat_rows(rows, cols, 0.1e-12),
+            slew_sigma: flat_rows(rows, cols, 0.3e-12),
+            slew_skew: flat_rows(rows, cols, -0.05e-12),
+        }
+    }
+
+    #[test]
+    fn variation_export_emits_lvf_groups_on_the_nominal_grid() {
+        let eng = engine();
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let grid = ExportGrid {
+            slew_levels: 3,
+            load_levels: 2,
+        };
+        let arcs: Vec<FittedArc> = Transition::BOTH
+            .into_iter()
+            .map(|t| FittedArc {
+                arc: TimingArc::new(cell, 0, t),
+                delay: slic_timing_model::TimingParams::initial_guess(),
+                slew: slic_timing_model::TimingParams::initial_guess(),
+            })
+            .collect();
+        // Only the fall arc gets moments: the rise group must stay purely nominal.
+        let variation = [variation_for(arcs[1].arc, 3, 2)];
+        let text = export_fitted_library_with_variation(&eng, "lvf", &arcs, &variation, grid)
+            .expect("export succeeds");
+        for group in [
+            "ocv_sigma_cell_fall",
+            "ocv_skewness_cell_fall",
+            "ocv_sigma_fall_transition",
+            "ocv_skewness_fall_transition",
+        ] {
+            assert!(text.contains(group), "missing `{group}`");
+        }
+        assert!(
+            !text.contains("ocv_sigma_cell_rise"),
+            "an arc without moments must not grow LVF groups"
+        );
+        let tables = scan_liberty_tables(&text).expect("export parses back");
+        let shape_of = |group: &str| {
+            let t = tables
+                .iter()
+                .find(|t| t.group == group)
+                .unwrap_or_else(|| panic!("table `{group}` scanned"));
+            (t.rows, t.cols)
+        };
+        assert_eq!(shape_of("cell_fall"), (3, 2));
+        assert_eq!(
+            shape_of("ocv_sigma_cell_fall"),
+            shape_of("cell_fall"),
+            "LVF tables share the nominal index grid"
+        );
+        assert_eq!(shape_of("ocv_skewness_fall_transition"), (3, 2));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        // Without variation entries the export is byte-identical to the plain path.
+        let nominal_only =
+            export_fitted_library(&eng, "lvf", &arcs, grid).expect("export succeeds");
+        let via_variation = export_fitted_library_with_variation(&eng, "lvf", &arcs, &[], grid)
+            .expect("export succeeds");
+        assert_eq!(nominal_only, via_variation);
+    }
+
+    #[test]
+    fn misshapen_variation_tables_are_rejected() {
+        let eng = engine();
+        let cell = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let arc = TimingArc::new(cell, 0, Transition::Fall);
+        let arcs = [FittedArc {
+            arc,
+            delay: slic_timing_model::TimingParams::initial_guess(),
+            slew: slic_timing_model::TimingParams::initial_guess(),
+        }];
+        let variation = [variation_for(arc, 2, 2)];
+        let err = export_fitted_library_with_variation(
+            &eng,
+            "bad",
+            &arcs,
+            &variation,
+            ExportGrid {
+                slew_levels: 4,
+                load_levels: 4,
+            },
+        )
+        .expect_err("a 2x2 moments grid cannot sit on a 4x4 template");
+        assert!(matches!(err, ExportError::VariationShape { .. }), "{err:?}");
+        assert!(err.to_string().contains("2x2"), "{err}");
+    }
+
+    #[test]
+    fn liberty_scanner_round_trips_exports_and_rejects_mangled_text() {
+        let eng = engine();
+        let lib = Library::new("mini", [Cell::new(CellKind::Inv, DriveStrength::X1)]);
+        let grid = ExportGrid {
+            slew_levels: 2,
+            load_levels: 3,
+        };
+        let text = export_library(&eng, &lib, grid).expect("export succeeds");
+        let tables = scan_liberty_tables(&text).expect("export parses back");
+        // One cell x two transitions x two tables.
+        assert_eq!(tables.len(), 4);
+        assert!(tables
+            .iter()
+            .all(|t| t.cell == "INV_X1" && t.rows == 2 && t.cols == 3));
+        // A dropped closing brace and a corrupted number must both be caught.
+        assert!(scan_liberty_tables(&text.replacen('}', "", 1))
+            .unwrap_err()
+            .contains("unbalanced braces"));
+        let first_value = text
+            .lines()
+            .find(|l| l.trim_start().starts_with('"'))
+            .unwrap()
+            .trim()
+            .trim_start_matches('"')
+            .split(',')
+            .next()
+            .unwrap()
+            .to_string();
+        let mangled = text.replacen(&first_value, "oops", 1);
+        assert!(scan_liberty_tables(&mangled)
+            .unwrap_err()
+            .contains("not a number"));
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! Run artifacts: the persistent, reloadable record of a characterization run.
 
 use crate::error::PipelineError;
+use crate::plan::{unit_identity, UnitKind};
 use serde::{Deserialize, Serialize};
-use slic::liberty::{export_fitted_library, ExportGrid, FittedArc};
+use slic::liberty::{export_fitted_library_with_variation, ArcVariation, ExportGrid, FittedArc};
 use slic::nominal::MethodKind;
 use slic::report::markdown_table;
 use slic_bayes::TimingMetric;
 use slic_cells::{TimingArc, Transition};
 use slic_spice::CharacterizationEngine;
 use slic_timing_model::TimingParams;
+use slic_variation::VariationTable;
 use std::path::Path;
 
 /// The outcome of one executed [`WorkUnit`](crate::plan::WorkUnit).
@@ -20,20 +22,27 @@ pub struct UnitResult {
     pub arc: TimingArc,
     /// The characterized metric.
     pub metric: TimingMetric,
-    /// The extraction method.
+    /// The extraction method (a placeholder for Monte Carlo units).
     pub method: MethodKind,
-    /// The extracted compact-model parameters (absent for the LUT method).
+    /// Nominal extraction or Monte Carlo variation (absent in pre-variation artifacts,
+    /// which were nominal-only).
+    pub kind: UnitKind,
+    /// The extracted compact-model parameters (absent for the LUT method and for Monte
+    /// Carlo units, whose output is a [`VariationTable`] in the artifact's variation
+    /// section).
     pub params: Option<TimingParams>,
-    /// Training conditions requested.
+    /// Training conditions requested (zero for Monte Carlo units).
     pub training_count: usize,
-    /// Validation conditions requested.
+    /// Validation conditions requested (zero for Monte Carlo units).
     pub validation_points: usize,
-    /// Mean absolute relative error against direct simulation at the validation
-    /// conditions, in percent.
+    /// For nominal units: mean absolute relative error against direct simulation at the
+    /// validation conditions, in percent.  For Monte Carlo units: the mean coefficient of
+    /// variation `σ/µ` over the grid, in percent (a spread, not an error).
     pub error_percent: f64,
-    /// Transient simulations this unit *requested* (training + validation).  The shared
-    /// engine may have answered some from the cache; the run-level
-    /// [`RunArtifact::total_simulations`] counts what was actually paid for.
+    /// Transient simulations this unit *requested* (training + validation, or
+    /// grid × seeds for Monte Carlo units).  The shared engine may have answered some
+    /// from the cache; the run-level [`RunArtifact::total_simulations`] counts what was
+    /// actually paid for.
     pub requested_simulations: u64,
 }
 
@@ -41,7 +50,7 @@ impl UnitResult {
     /// The stable identity of the work unit this result came from — the merge key used to
     /// detect overlapping shards and to order merged artifacts deterministically.
     pub fn unit_id(&self) -> String {
-        format!("{}#{}#{:?}", self.arc_id, self.metric, self.method)
+        unit_identity(&self.arc_id, self.metric, self.method, self.kind)
     }
 }
 
@@ -131,7 +140,7 @@ impl CharacterizedLibrary {
     }
 
     /// Renders the Liberty text of the characterized arcs (zero transient simulations;
-    /// see [`export_fitted_library`]).
+    /// see [`slic::liberty::export_fitted_library`]).
     ///
     /// # Errors
     ///
@@ -142,10 +151,33 @@ impl CharacterizedLibrary {
         engine: &CharacterizationEngine,
         grid: ExportGrid,
     ) -> Result<String, PipelineError> {
-        Ok(export_fitted_library(
+        Ok(export_fitted_library_with_variation(
             engine,
             &self.library,
             &self.fitted_arcs(),
+            &[],
+            grid,
+        )?)
+    }
+
+    /// [`to_liberty`](Self::to_liberty) with LVF-style `ocv_sigma_*`/`ocv_skewness_*`
+    /// groups rendered from a run's [`VariationSection`] next to each nominal table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Export`] when no arc was fully characterized, the grid
+    /// is degenerate, or a variation table does not match the grid shape.
+    pub fn to_liberty_with_variation(
+        &self,
+        engine: &CharacterizationEngine,
+        grid: ExportGrid,
+        variation: &VariationSection,
+    ) -> Result<String, PipelineError> {
+        Ok(export_fitted_library_with_variation(
+            engine,
+            &self.library,
+            &self.fitted_arcs(),
+            &variation.arc_variations(),
             grid,
         )?)
     }
@@ -155,6 +187,58 @@ impl CharacterizedLibrary {
         self.arcs
             .iter()
             .any(|a| a.arc.cell().name() == cell_name && a.arc.output_transition() == transition)
+    }
+}
+
+/// The Monte Carlo variation record of a run: the configuration the seed set derives
+/// from, plus one moment table per executed variation unit.
+///
+/// Shards of one variation run carry identical `(process_seeds, sigma_corners, seed)`
+/// triples — that is the merge criterion; shards with mismatched seed configurations
+/// describe different ensembles and must not merge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationSection {
+    /// Monte Carlo process seeds per variation unit.
+    pub process_seeds: usize,
+    /// Sigma multipliers for corner reporting.
+    pub sigma_corners: Vec<f64>,
+    /// RNG seed of the process-sample draw.
+    pub seed: u64,
+    /// Per-unit moment tables, in canonical [`VariationTable::table_id`] order.
+    pub tables: Vec<VariationTable>,
+}
+
+impl VariationSection {
+    /// Builds an [`ArcVariation`] per arc that has **both** metric tables — the
+    /// liberty-export input.  Arcs with only one metric characterized are skipped (an
+    /// LVF timing group needs sigma/skew for delay and transition alike).
+    pub fn arc_variations(&self) -> Vec<ArcVariation> {
+        let mut out = Vec::new();
+        let mut seen: Vec<TimingArc> = Vec::new();
+        for table in &self.tables {
+            if seen.contains(&table.arc) {
+                continue;
+            }
+            seen.push(table.arc);
+            let find = |metric: TimingMetric| {
+                self.tables
+                    .iter()
+                    .find(|t| t.arc == table.arc && t.metric == metric)
+            };
+            let (Some(delay), Some(slew)) =
+                (find(TimingMetric::Delay), find(TimingMetric::OutputSlew))
+            else {
+                continue;
+            };
+            out.push(ArcVariation {
+                arc: table.arc,
+                delay_sigma: delay.sigma.clone(),
+                delay_skew: delay.skewness_time_rows(),
+                slew_sigma: slew.sigma.clone(),
+                slew_skew: slew.skewness_time_rows(),
+            });
+        }
+        out
     }
 }
 
@@ -185,6 +269,9 @@ pub struct RunArtifact {
     pub cache_hits: u64,
     /// Simulation-cache misses across the run.
     pub cache_misses: u64,
+    /// Monte Carlo variation record, present exactly when the run was configured with
+    /// variation (absent in nominal-only and pre-variation artifacts).
+    pub variation: Option<VariationSection>,
 }
 
 /// Current artifact schema version.
@@ -304,6 +391,7 @@ impl RunArtifact {
                 first.planned_units
             )));
         }
+        let variation = Self::merge_variation(shards)?;
         let characterized =
             CharacterizedLibrary::from_units(&first.library, &first.technology, &units);
         Ok(RunArtifact {
@@ -318,7 +406,80 @@ impl RunArtifact {
             total_simulations: shards.iter().map(|s| s.total_simulations).sum(),
             cache_hits: shards.iter().map(|s| s.cache_hits).sum(),
             cache_misses: shards.iter().map(|s| s.cache_misses).sum(),
+            variation,
         })
+    }
+
+    /// Joins the variation sections of the shards: every shard of a variation run must
+    /// carry one, with the identical seed configuration — the tables of shards drawn from
+    /// different process-sample sets would describe different ensembles and must never be
+    /// mixed into one artifact.
+    fn merge_variation(shards: &[RunArtifact]) -> Result<Option<VariationSection>, PipelineError> {
+        let Some(reference) = &shards[0].variation else {
+            if let Some(index) = shards.iter().position(|s| s.variation.is_some()) {
+                return Err(PipelineError::config(format!(
+                    "cannot merge mismatched variation sections: artifact {index} records \
+                     a Monte Carlo variation run but artifact 0 does not; shards of one \
+                     run share one variation configuration"
+                )));
+            }
+            return Ok(None);
+        };
+        let mut tables: Vec<VariationTable> = Vec::new();
+        for (index, shard) in shards.iter().enumerate() {
+            let Some(section) = &shard.variation else {
+                return Err(PipelineError::config(format!(
+                    "cannot merge mismatched variation sections: artifact {index} has no \
+                     variation section but artifact 0 does; shards of one run share one \
+                     variation configuration"
+                )));
+            };
+            let mismatch = |field: &str, a: String, b: String| {
+                PipelineError::config(format!(
+                    "cannot merge variation shards of different ensembles: artifact \
+                     {index} has {field} {b} but artifact 0 has {a}"
+                ))
+            };
+            if section.process_seeds != reference.process_seeds {
+                return Err(mismatch(
+                    "process-seed count",
+                    reference.process_seeds.to_string(),
+                    section.process_seeds.to_string(),
+                ));
+            }
+            if section.sigma_corners != reference.sigma_corners {
+                return Err(mismatch(
+                    "sigma corners",
+                    format!("{:?}", reference.sigma_corners),
+                    format!("{:?}", section.sigma_corners),
+                ));
+            }
+            if section.seed != reference.seed {
+                return Err(mismatch(
+                    "variation seed",
+                    reference.seed.to_string(),
+                    section.seed.to_string(),
+                ));
+            }
+            tables.extend(section.tables.iter().cloned());
+        }
+        tables.sort_by_cached_key(VariationTable::table_id);
+        if let Some(pair) = tables
+            .windows(2)
+            .find(|w| w[0].table_id() == w[1].table_id())
+        {
+            return Err(PipelineError::config(format!(
+                "cannot merge overlapping shards: variation table `{}` appears more than \
+                 once",
+                pair[0].table_id()
+            )));
+        }
+        Ok(Some(VariationSection {
+            process_seeds: reference.process_seeds,
+            sigma_corners: reference.sigma_corners.clone(),
+            seed: reference.seed,
+            tables,
+        }))
     }
 
     /// Returns `true` when this artifact covers only part of its plan — i.e. it is one
@@ -330,14 +491,17 @@ impl RunArtifact {
         self.units.len() < self.planned_units
     }
 
-    /// A Markdown summary table of the run (one row per unit) with a cost footer.
+    /// A Markdown summary table of the run (one row per unit) with a cost footer; a
+    /// statistical run additionally renders its sigma/skew tables.
     ///
-    /// A shard artifact is labelled prominently as partial, so a report of one shard is
-    /// never mistaken for the whole run.
+    /// A shard artifact is labelled prominently as partial — the count covers nominal
+    /// *and* variation units alike — so a report of one shard is never mistaken for the
+    /// whole run.
     pub fn summary_markdown(&self) -> String {
         let headers = vec![
             "arc".to_string(),
             "metric".to_string(),
+            "kind".to_string(),
             "method".to_string(),
             "error (%)".to_string(),
             "requested sims".to_string(),
@@ -349,7 +513,11 @@ impl RunArtifact {
                 vec![
                     u.arc_id.clone(),
                     u.metric.to_string(),
-                    u.method.to_string(),
+                    u.kind.to_string(),
+                    match u.kind {
+                        UnitKind::Nominal => u.method.to_string(),
+                        UnitKind::MonteCarlo => "direct sampling".to_string(),
+                    },
                     format!("{:.2}", u.error_percent),
                     u.requested_simulations.to_string(),
                 ]
@@ -377,6 +545,91 @@ impl RunArtifact {
             self.cache_hits,
             self.cache_misses,
         ));
+        if let Some(variation) = &self.variation {
+            out.push_str(&self.variation_markdown(variation));
+        }
+        out
+    }
+
+    /// Renders the sigma/skew tables of a statistical run: a per-table corner summary,
+    /// then the full per-grid-point moments.
+    fn variation_markdown(&self, variation: &VariationSection) -> String {
+        let mut out = format!(
+            "\n## Process variation ({} seeds, draw seed {})\n\n",
+            variation.process_seeds, variation.seed
+        );
+        if variation.tables.is_empty() {
+            out.push_str(
+                "No variation tables in this artifact (this shard owned no Monte Carlo \
+                 units).\n",
+            );
+            return out;
+        }
+        // Corner summary: the worst mean + k·sigma view per table.
+        let mut headers = vec![
+            "arc".to_string(),
+            "metric".to_string(),
+            "max µ (ps)".to_string(),
+            "max σ (ps)".to_string(),
+        ];
+        headers.extend(
+            variation
+                .sigma_corners
+                .iter()
+                .map(|k| format!("worst µ+{k}σ (ps)")),
+        );
+        let rows: Vec<Vec<String>> = variation
+            .tables
+            .iter()
+            .map(|t| {
+                let max_of = |rows: &[Vec<f64>]| {
+                    rows.iter()
+                        .flatten()
+                        .fold(f64::NEG_INFINITY, |acc, v| acc.max(*v))
+                };
+                let mut row = vec![
+                    t.arc_id.clone(),
+                    t.metric.to_string(),
+                    format!("{:.3}", max_of(&t.mean) * 1e12),
+                    format!("{:.3}", max_of(&t.sigma) * 1e12),
+                ];
+                row.extend(
+                    variation
+                        .sigma_corners
+                        .iter()
+                        .map(|&k| format!("{:.3}", t.worst_corner(k) * 1e12)),
+                );
+                row
+            })
+            .collect();
+        out.push_str(&markdown_table(&headers, &rows));
+        // Full moment grids, one table per (arc, metric).
+        for table in &variation.tables {
+            out.push_str(&format!(
+                "\n### {} {} — µ / σ / γ per slew × load point\n\n",
+                table.arc_id, table.metric
+            ));
+            let mut headers = vec!["slew (ps) \\ load (fF)".to_string()];
+            headers.extend(table.load_axis.iter().map(|c| format!("{:.3}", c * 1e15)));
+            let rows: Vec<Vec<String>> = table
+                .slew_axis
+                .iter()
+                .enumerate()
+                .map(|(r, sin)| {
+                    let mut row = vec![format!("{:.3}", sin * 1e12)];
+                    row.extend((0..table.load_axis.len()).map(|c| {
+                        format!(
+                            "{:.3} / {:.3} / {:+.2}",
+                            table.mean[r][c] * 1e12,
+                            table.sigma[r][c] * 1e12,
+                            table.skew[r][c],
+                        )
+                    }));
+                    row
+                })
+                .collect();
+            out.push_str(&markdown_table(&headers, &rows));
+        }
         out
     }
 }

@@ -14,7 +14,12 @@ use slic_bayes::TimingMetric;
 use slic_cells::{DriveStrength, Library};
 use slic_device::TechnologyNode;
 use slic_spice::TransientConfig;
+use slic_variation::VariationConfig;
 use std::path::Path;
+
+/// Salt mixed into the run seed to derive the variation process-sample seed, so the
+/// Monte Carlo draw never collides with the training/validation sampling streams.
+const VARIATION_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// The accuracy/cost trade-off of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,6 +94,14 @@ impl RunProfile {
             },
         }
     }
+
+    /// Monte Carlo process seeds per variation work unit (when variation is enabled).
+    pub fn process_seeds(self) -> usize {
+        match self {
+            Self::Quick => 12,
+            Self::Accurate => 100,
+        }
+    }
 }
 
 /// A run configuration as written by the user.  Every field is optional; unset fields take
@@ -129,6 +142,20 @@ pub struct RunConfig {
     /// Number of local subprocess workers the farm backend spawns (the zero-config
     /// multi-process mode: `slic characterize --spawn-workers N`).
     pub spawn_workers: Option<usize>,
+    /// Monte Carlo variation knobs.  The presence of this section (or the `--variation`
+    /// CLI flag) enables variation work units; unset fields take profile defaults.
+    pub variation: Option<VariationKnobs>,
+}
+
+/// User-facing Monte Carlo variation knobs, every field optional.  In flat TOML these are
+/// the dotted `variation.*` keys (`variation.process_seeds = 100`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VariationKnobs {
+    /// Monte Carlo process seeds per variation unit; default from the profile
+    /// ([`RunProfile::process_seeds`]).
+    pub process_seeds: Option<usize>,
+    /// Sigma multipliers for corner reporting; default `[1.0, 3.0]`.
+    pub sigma_corners: Option<Vec<f64>>,
 }
 
 /// Where the run's transient simulations execute.
@@ -145,24 +172,90 @@ pub enum BackendChoice {
     },
 }
 
+/// Every key a run-config file may set.  Parsing rejects anything else: the derived
+/// deserializer silently skips unknown fields, and a typo'd knob falling back to its
+/// default is the worst kind of misconfiguration (the flags side has always had this
+/// strictness via the CLI's flag allowlist).
+const KNOWN_CONFIG_KEYS: &[&str] = &[
+    "library",
+    "technology",
+    "historical",
+    "profile",
+    "cell_pattern",
+    "drives",
+    "metrics",
+    "methods",
+    "training_count",
+    "validation_points",
+    "seed",
+    "cache",
+    "backend",
+    "workers",
+    "spawn_workers",
+    "variation",
+];
+
+/// Every key of the nested `variation` section.
+const KNOWN_VARIATION_KEYS: &[&str] = &["process_seeds", "sigma_corners"];
+
+/// Rejects unknown top-level and `variation.*` keys with a pointed error.
+fn check_config_keys(value: &serde::Value) -> Result<(), PipelineError> {
+    let Some(entries) = value.as_object() else {
+        return Ok(()); // A non-object config fails shape-checking with its own error.
+    };
+    let listing = |keys: &[&str], prefix: &str| -> String {
+        keys.iter()
+            .map(|k| format!("{prefix}{k}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    for (key, sub) in entries {
+        if !KNOWN_CONFIG_KEYS.contains(&key.as_str()) {
+            return Err(PipelineError::config(format!(
+                "unknown config key `{key}` (expected one of: {})",
+                listing(KNOWN_CONFIG_KEYS, "")
+            )));
+        }
+        if key == "variation" {
+            if let Some(inner) = sub.as_object() {
+                for (sub_key, _) in inner {
+                    if !KNOWN_VARIATION_KEYS.contains(&sub_key.as_str()) {
+                        return Err(PipelineError::config(format!(
+                            "unknown config key `variation.{sub_key}` (expected one of: {})",
+                            listing(KNOWN_VARIATION_KEYS, "variation.")
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 impl RunConfig {
-    /// Parses a configuration from JSON text.
+    /// Parses a configuration from JSON text.  Unknown keys — top-level or inside
+    /// `variation` — are rejected rather than silently ignored.
     ///
     /// # Errors
     ///
-    /// Returns a [`PipelineError::Serde`] on malformed JSON or mismatched shapes.
+    /// Returns a [`PipelineError::Serde`] on malformed JSON or mismatched shapes, and a
+    /// [`PipelineError::Config`] naming any unknown key.
     pub fn from_json(text: &str) -> Result<Self, PipelineError> {
-        Ok(serde_json::from_str(text)?)
+        let value: serde::Value = serde_json::from_str(text)?;
+        check_config_keys(&value)?;
+        Ok(<Self as Deserialize>::from_value(&value)?)
     }
 
-    /// Parses a configuration from flat-TOML text (see [`crate::toml`]).
+    /// Parses a configuration from flat-TOML text (see [`crate::toml`]).  Unknown keys —
+    /// top-level or dotted `variation.*` — are rejected rather than silently ignored.
     ///
     /// # Errors
     ///
-    /// Returns a [`PipelineError::Config`] on TOML syntax errors and a
+    /// Returns a [`PipelineError::Config`] on TOML syntax errors or unknown keys and a
     /// [`PipelineError::Serde`] on mismatched shapes.
     pub fn from_toml(text: &str) -> Result<Self, PipelineError> {
         let value = toml::parse(text)?;
+        check_config_keys(&value)?;
         Ok(<Self as Deserialize>::from_value(&value)?)
     }
 
@@ -319,6 +412,27 @@ impl RunConfig {
             }
         };
 
+        let seed = self.seed.unwrap_or(20150313);
+        let variation = match &self.variation {
+            None => None,
+            Some(knobs) => {
+                let resolved = VariationConfig {
+                    process_seeds: knobs
+                        .process_seeds
+                        .unwrap_or_else(|| profile.process_seeds()),
+                    sigma_corners: knobs
+                        .sigma_corners
+                        .clone()
+                        .unwrap_or_else(|| vec![1.0, 3.0]),
+                    seed: seed ^ VARIATION_SEED_SALT,
+                };
+                resolved
+                    .validate()
+                    .map_err(|err| PipelineError::config(err.to_string()))?;
+                Some(resolved)
+            }
+        };
+
         Ok(ResolvedConfig {
             library_name: library_name.to_string(),
             library,
@@ -337,9 +451,10 @@ impl RunConfig {
                 .max(2),
             transient: profile.transient(),
             export_grid: profile.export_grid(),
-            seed: self.seed.unwrap_or(20150313),
+            seed,
             cache_path: self.cache.clone().map(std::path::PathBuf::from),
             backend,
+            variation,
         })
     }
 }
@@ -375,6 +490,10 @@ pub struct ResolvedConfig {
     pub cache_path: Option<std::path::PathBuf>,
     /// Where transient simulations execute.
     pub backend: BackendChoice,
+    /// Monte Carlo variation workload, when enabled.  The seed set and sigma corners are
+    /// part of this configuration, so equal resolved configs on any shard draw identical
+    /// process samples.
+    pub variation: Option<VariationConfig>,
 }
 
 #[cfg(test)]
@@ -540,6 +659,94 @@ mod tests {
         assert_eq!(a, b);
         let text = serde_json::to_string(&a).unwrap();
         assert_eq!(RunConfig::from_json(&text).unwrap(), a);
+    }
+
+    #[test]
+    fn variation_resolution_applies_profile_defaults_and_validates() {
+        assert!(RunConfig::default().resolve().unwrap().variation.is_none());
+        let enabled = RunConfig {
+            variation: Some(VariationKnobs::default()),
+            ..Default::default()
+        }
+        .resolve()
+        .unwrap();
+        let variation = enabled.variation.expect("variation resolved");
+        assert_eq!(variation.process_seeds, RunProfile::Quick.process_seeds());
+        assert_eq!(variation.sigma_corners, vec![1.0, 3.0]);
+        assert_ne!(
+            variation.seed, enabled.seed,
+            "the Monte Carlo draw must not reuse the sampling seed stream"
+        );
+        let custom = RunConfig {
+            variation: Some(VariationKnobs {
+                process_seeds: Some(40),
+                sigma_corners: Some(vec![2.0]),
+            }),
+            ..Default::default()
+        }
+        .resolve()
+        .unwrap()
+        .variation
+        .unwrap();
+        assert_eq!(custom.process_seeds, 40);
+        assert_eq!(custom.sigma_corners, vec![2.0]);
+        let bad = RunConfig {
+            variation: Some(VariationKnobs {
+                process_seeds: Some(2),
+                sigma_corners: None,
+            }),
+            ..Default::default()
+        };
+        assert!(bad
+            .resolve()
+            .unwrap_err()
+            .to_string()
+            .contains("at least 3"));
+    }
+
+    #[test]
+    fn variation_config_parses_from_json_and_dotted_toml() {
+        let json = r#"{"variation": {"process_seeds": 30, "sigma_corners": [1.0, 3.0]}}"#;
+        let toml_text = "
+            variation.process_seeds = 30
+            variation.sigma_corners = [1.0, 3.0]
+        ";
+        let a = RunConfig::from_json(json).unwrap();
+        let b = RunConfig::from_toml(toml_text).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.variation,
+            Some(VariationKnobs {
+                process_seeds: Some(30),
+                sigma_corners: Some(vec![1.0, 3.0]),
+            })
+        );
+        // And the full config round-trips through JSON.
+        let text = serde_json::to_string(&a).unwrap();
+        assert_eq!(RunConfig::from_json(&text).unwrap(), a);
+    }
+
+    #[test]
+    fn unknown_config_keys_are_rejected_not_ignored() {
+        // The classic typo the strictness exists for: `variation.seeds` instead of
+        // `variation.process_seeds` must fail loudly, not run with the default count.
+        let err = RunConfig::from_toml("variation.seeds = 30").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown config key `variation.seeds`"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("variation.process_seeds"), "{err}");
+        let err = RunConfig::from_json(r#"{"variation": {"sigma": [3.0]}}"#).unwrap_err();
+        assert!(err.to_string().contains("`variation.sigma`"), "{err}");
+        // Top-level typos get the same treatment in both formats.
+        let err = RunConfig::from_toml("cach = \"warm.jsonl\"").unwrap_err();
+        assert!(
+            err.to_string().contains("unknown config key `cach`"),
+            "{err}"
+        );
+        let err = RunConfig::from_json(r#"{"librray": "standard"}"#).unwrap_err();
+        assert!(err.to_string().contains("`librray`"), "{err}");
     }
 
     #[test]

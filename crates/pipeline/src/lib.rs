@@ -57,8 +57,10 @@ pub mod plan;
 pub mod runner;
 pub mod toml;
 
-pub use artifact::{CharacterizedArc, CharacterizedLibrary, RunArtifact, UnitResult};
-pub use config::{BackendChoice, ResolvedConfig, RunConfig, RunProfile};
+pub use artifact::{
+    CharacterizedArc, CharacterizedLibrary, RunArtifact, UnitResult, VariationSection,
+};
+pub use config::{BackendChoice, ResolvedConfig, RunConfig, RunProfile, VariationKnobs};
 pub use error::PipelineError;
-pub use plan::{CharacterizationPlan, WorkUnit};
+pub use plan::{CharacterizationPlan, UnitKind, WorkUnit};
 pub use runner::PipelineRunner;

@@ -1,12 +1,80 @@
 //! Work-unit enumeration: from a library and a resolved config to a flat, parallelizable
-//! list of `(cell, arc, metric, method)` units.
+//! list of `(cell, arc, metric, method, kind)` units.
 
 use crate::config::ResolvedConfig;
 use crate::error::PipelineError;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use slic::nominal::MethodKind;
 use slic_bayes::TimingMetric;
 use slic_cells::{Cell, Library, TimingArc};
+use std::fmt;
+
+/// What a work unit characterizes: the nominal corner, or the Monte Carlo process
+/// ensemble reduced to moment tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitKind {
+    /// Nominal-corner extraction (the original workload).
+    Nominal,
+    /// Monte Carlo variation: every export-grid point under every process seed, reduced
+    /// to a mean/sigma/skew [`VariationTable`](slic_variation::VariationTable).
+    MonteCarlo,
+}
+
+impl fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitKind::Nominal => f.write_str("nominal"),
+            UnitKind::MonteCarlo => f.write_str("monte-carlo"),
+        }
+    }
+}
+
+// Hand-written (not derived) so `absent_field` can default to `Nominal`: plans and
+// artifacts persisted before the kind dimension existed were nominal-only, and must keep
+// loading.
+impl Serialize for UnitKind {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for UnitKind {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        match value
+            .as_str()
+            .ok_or_else(|| SerdeError::expected("string", value))?
+        {
+            "nominal" => Ok(UnitKind::Nominal),
+            "monte-carlo" => Ok(UnitKind::MonteCarlo),
+            other => Err(SerdeError::custom(format!(
+                "unknown unit kind `{other}` (expected `nominal` or `monte-carlo`)"
+            ))),
+        }
+    }
+
+    fn absent_field(_name: &str) -> Result<Self, SerdeError> {
+        Ok(UnitKind::Nominal)
+    }
+}
+
+/// The stable identity shared by a [`WorkUnit`] and its
+/// [`UnitResult`](crate::artifact::UnitResult) — the shard-hash input, merge key and
+/// canonical sort key.
+///
+/// Nominal units keep the pre-variation format (`"ARC#metric#Method"`) so shard
+/// assignments of existing plans are unchanged; Monte Carlo units append a kind marker
+/// (the extraction method does not apply to direct moment estimation).
+pub fn unit_identity(
+    arc_id: &str,
+    metric: TimingMetric,
+    method: MethodKind,
+    kind: UnitKind,
+) -> String {
+    match kind {
+        UnitKind::Nominal => format!("{arc_id}#{metric}#{method:?}"),
+        UnitKind::MonteCarlo => format!("{arc_id}#{metric}#MonteCarlo"),
+    }
+}
 
 /// One independently executable unit of characterization work.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -17,14 +85,18 @@ pub struct WorkUnit {
     pub arc: TimingArc,
     /// The timing quantity.
     pub metric: TimingMetric,
-    /// The extraction method.
+    /// The extraction method (for Monte Carlo units a placeholder; direct moment
+    /// estimation has no extraction method).
     pub method: MethodKind,
+    /// Nominal extraction or Monte Carlo variation.
+    pub kind: UnitKind,
 }
 
 impl WorkUnit {
-    /// Stable identifier, e.g. `"NAND2_X1/A0/FALL#delay#ProposedBayesian"`.
+    /// Stable identifier, e.g. `"NAND2_X1/A0/FALL#delay#ProposedBayesian"` (nominal) or
+    /// `"NAND2_X1/A0/FALL#delay#MonteCarlo"` (variation).
     pub fn id(&self) -> String {
-        format!("{}#{}#{:?}", self.arc.id(), self.metric, self.method)
+        unit_identity(&self.arc.id(), self.metric, self.method, self.kind)
     }
 
     /// Deterministic sampling seed shared by every unit of the same arc.
@@ -84,16 +156,24 @@ pub struct CharacterizationPlan {
 }
 
 impl CharacterizationPlan {
-    /// Enumerates `cells × primary arcs × metrics × methods` from a resolved configuration.
+    /// Enumerates `cells × primary arcs × metrics × methods` from a resolved
+    /// configuration — plus one Monte Carlo unit per `(arc, metric)` when the
+    /// configuration enables variation.
     ///
     /// # Errors
     ///
     /// Returns a [`PipelineError::Config`] when the enumeration is empty.
     pub fn from_config(config: &ResolvedConfig) -> Result<Self, PipelineError> {
-        Self::enumerate(&config.library, &config.metrics, &config.methods)
+        Self::enumerate_with_variation(
+            &config.library,
+            &config.metrics,
+            &config.methods,
+            config.variation.is_some(),
+        )
     }
 
-    /// Enumerates a plan from explicit parts (the library is assumed pre-filtered).
+    /// Enumerates a nominal-only plan from explicit parts (the library is assumed
+    /// pre-filtered).
     ///
     /// # Errors
     ///
@@ -102,6 +182,24 @@ impl CharacterizationPlan {
         library: &Library,
         metrics: &[TimingMetric],
         methods: &[MethodKind],
+    ) -> Result<Self, PipelineError> {
+        Self::enumerate_with_variation(library, metrics, methods, false)
+    }
+
+    /// [`enumerate`](Self::enumerate) with an optional Monte Carlo dimension: when
+    /// `variation` is set, every `(cell, arc, metric)` additionally plans one
+    /// [`UnitKind::MonteCarlo`] unit.  Delay and slew variation units of one arc request
+    /// identical `(seed, point)` sweeps, so — exactly like the nominal metric pairing —
+    /// the simulation cache serves the second for free.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError::Config`] when the enumeration is empty.
+    pub fn enumerate_with_variation(
+        library: &Library,
+        metrics: &[TimingMetric],
+        methods: &[MethodKind],
+        variation: bool,
     ) -> Result<Self, PipelineError> {
         let mut units = Vec::new();
         for &cell in library.cells() {
@@ -113,6 +211,18 @@ impl CharacterizationPlan {
                             arc,
                             metric,
                             method,
+                            kind: UnitKind::Nominal,
+                        });
+                    }
+                    if variation {
+                        units.push(WorkUnit {
+                            cell,
+                            arc,
+                            metric,
+                            // Direct moment estimation has no extraction method; the
+                            // placeholder never reaches the unit identity.
+                            method: MethodKind::Lut,
+                            kind: UnitKind::MonteCarlo,
                         });
                     }
                 }
@@ -329,6 +439,78 @@ mod tests {
                     .collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn variation_adds_one_monte_carlo_unit_per_arc_and_metric() {
+        let config = RunConfig {
+            variation: Some(crate::config::VariationKnobs::default()),
+            ..RunConfig::default()
+        }
+        .resolve()
+        .unwrap();
+        let plan = CharacterizationPlan::from_config(&config).unwrap();
+        // 12 nominal units + 3 cells x 2 arcs x 2 metrics Monte Carlo units.
+        assert_eq!(plan.len(), 24);
+        assert_eq!(plan.planned_units(), 24);
+        let mc: Vec<&WorkUnit> = plan
+            .units()
+            .iter()
+            .filter(|u| u.kind == UnitKind::MonteCarlo)
+            .collect();
+        assert_eq!(mc.len(), 12);
+        for unit in &mc {
+            assert!(unit.id().ends_with("#MonteCarlo"), "{}", unit.id());
+        }
+        // Nominal identities are untouched by the new dimension, so shard membership of
+        // pre-variation plans is stable.
+        let nominal_only = RunConfig::default().resolve().unwrap();
+        let nominal_plan = CharacterizationPlan::from_config(&nominal_only).unwrap();
+        for unit in nominal_plan.units() {
+            let twin = plan
+                .units()
+                .iter()
+                .find(|u| u.id() == unit.id())
+                .expect("nominal units persist in a variation plan");
+            assert_eq!(unit.shard_of(4), twin.shard_of(4));
+            assert!(!unit.id().contains("MonteCarlo"));
+        }
+        // Monte Carlo units distribute across shards like any other unit.
+        let parts = plan.split(4).unwrap();
+        let mc_shards = parts
+            .iter()
+            .filter(|p| p.units().iter().any(|u| u.kind == UnitKind::MonteCarlo))
+            .count();
+        assert!(mc_shards >= 2, "MC units must spread over shards");
+    }
+
+    #[test]
+    fn unit_kind_serializes_and_defaults_to_nominal_when_absent() {
+        let config = RunConfig {
+            variation: Some(crate::config::VariationKnobs::default()),
+            ..RunConfig::default()
+        }
+        .resolve()
+        .unwrap();
+        let plan = CharacterizationPlan::from_config(&config).unwrap();
+        let text = serde_json::to_string(&plan).unwrap();
+        let back: CharacterizationPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, plan);
+        // A unit persisted before the kind field existed deserializes as nominal.
+        let nominal = plan
+            .units()
+            .iter()
+            .find(|u| u.kind == UnitKind::Nominal)
+            .unwrap();
+        let unit_text = serde_json::to_string(nominal).unwrap();
+        let legacy_text = unit_text.replace(",\"kind\":\"nominal\"", "");
+        assert_ne!(legacy_text, unit_text, "the kind field is persisted");
+        let legacy: WorkUnit = serde_json::from_str(&legacy_text).unwrap();
+        assert_eq!(legacy, *nominal);
+        assert!(
+            serde_json::from_str::<WorkUnit>(&unit_text.replace("\"nominal\"", "\"warp\""))
+                .is_err()
+        );
     }
 
     #[test]

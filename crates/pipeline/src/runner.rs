@@ -1,10 +1,12 @@
 //! The parallel pipeline runner: one shared engine, counter and cache; work units executed
 //! with rayon; results streamed into a [`RunArtifact`].
 
-use crate::artifact::{CharacterizedLibrary, RunArtifact, UnitResult, SCHEMA_VERSION};
+use crate::artifact::{
+    CharacterizedLibrary, RunArtifact, UnitResult, VariationSection, SCHEMA_VERSION,
+};
 use crate::config::ResolvedConfig;
 use crate::error::PipelineError;
-use crate::plan::{CharacterizationPlan, WorkUnit};
+use crate::plan::{CharacterizationPlan, UnitKind, WorkUnit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -21,6 +23,7 @@ use slic_spice::{
 };
 use slic_stats::distance::mean_relative_error_percent;
 use slic_timing_model::{LeastSquaresFitter, TimingSample};
+use slic_variation::{VariationExtractor, VariationTable};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -168,23 +171,47 @@ impl PipelineRunner {
     }
 
     /// Executes every unit of `plan` in parallel against `database` and assembles the run
-    /// artifact.
+    /// artifact.  Units (and variation tables) are recorded in canonical identity order,
+    /// so a merged shard set is bit-identical to the single-process artifact.
     ///
     /// # Errors
     ///
     /// Returns a [`PipelineError::Config`] when a Bayesian unit is planned but the
-    /// database lacks records for its metric.
+    /// database lacks records for its metric, or when a Monte Carlo unit is planned but
+    /// the configuration carries no variation section (a plan from a different config).
     pub fn characterize(
         &self,
         plan: &CharacterizationPlan,
         database: &HistoricalDatabase,
     ) -> Result<RunArtifact, PipelineError> {
         let extractors = self.build_extractors(plan, database)?;
-        let units: Vec<UnitResult> = plan
+        if plan.units().iter().any(|u| u.kind == UnitKind::MonteCarlo)
+            && self.config.variation.is_none()
+        {
+            return Err(PipelineError::config(
+                "the plan contains Monte Carlo units but the runner's configuration has \
+                 no variation section; enumerate the plan from the same resolved config \
+                 the runner was built with",
+            ));
+        }
+        let mut outcomes: Vec<(UnitResult, Option<VariationTable>)> = plan
             .units()
             .par_iter()
             .map(|unit| self.run_unit(unit, &extractors))
             .collect();
+        outcomes.sort_by_cached_key(|(unit, _)| unit.unit_id());
+        let mut units = Vec::with_capacity(outcomes.len());
+        let mut tables = Vec::new();
+        for (unit, table) in outcomes {
+            units.push(unit);
+            tables.extend(table);
+        }
+        let variation = self.config.variation.as_ref().map(|vc| VariationSection {
+            process_seeds: vc.process_seeds,
+            sigma_corners: vc.sigma_corners.clone(),
+            seed: vc.seed,
+            tables,
+        });
         let characterized = CharacterizedLibrary::from_units(
             &self.config.library_name,
             self.config.technology.name(),
@@ -202,6 +229,7 @@ impl PipelineRunner {
             total_simulations: self.counter.count(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            variation,
         })
     }
 
@@ -254,12 +282,17 @@ impl PipelineRunner {
         Ok(extractors)
     }
 
-    /// Executes one work unit: sample, simulate (through the shared cache), fit, validate.
+    /// Executes one work unit.  Nominal units sample, simulate (through the shared
+    /// cache), fit and validate; Monte Carlo units sweep the export grid under every
+    /// process seed and reduce to a moment table.
     fn run_unit(
         &self,
         unit: &WorkUnit,
         extractors: &HashMap<(CellKind, TimingMetric), MapExtractor>,
-    ) -> UnitResult {
+    ) -> (UnitResult, Option<VariationTable>) {
+        if unit.kind == UnitKind::MonteCarlo {
+            return self.run_variation_unit(unit);
+        }
         let k = self.config.training_count;
         let v = self.config.validation_points;
         let space = self.engine.input_space();
@@ -324,17 +357,54 @@ impl PipelineRunner {
             }
         };
 
-        UnitResult {
-            arc_id: unit.arc.id(),
-            arc: unit.arc,
-            metric: unit.metric,
-            method: unit.method,
-            params,
-            training_count: k,
-            validation_points: v,
-            error_percent: mean_relative_error_percent(&predictions, &reference),
-            requested_simulations: (k + v) as u64,
-        }
+        (
+            UnitResult {
+                arc_id: unit.arc.id(),
+                arc: unit.arc,
+                metric: unit.metric,
+                method: unit.method,
+                kind: unit.kind,
+                params,
+                training_count: k,
+                validation_points: v,
+                error_percent: mean_relative_error_percent(&predictions, &reference),
+                requested_simulations: (k + v) as u64,
+            },
+            None,
+        )
+    }
+
+    /// Executes one Monte Carlo variation unit: every export-grid point under every
+    /// process seed (through the shared backend/counter/cache, so farm fleets, disk
+    /// caches and single-flight dedup all apply per `(seed, point)` coordinate), reduced
+    /// to a mean/sigma/skew [`VariationTable`] on the nominal tables' index grid.
+    fn run_variation_unit(&self, unit: &WorkUnit) -> (UnitResult, Option<VariationTable>) {
+        let config = self
+            .config
+            .variation
+            .clone()
+            .expect("characterize() rejects Monte Carlo units without a variation config");
+        let (slew_axis, load_axis) =
+            slic::liberty::export_axes(&self.engine, self.config.export_grid);
+        let extractor = VariationExtractor::new(&self.engine, config)
+            .expect("resolve() validated the variation configuration");
+        let requested = extractor.requested_simulations(slew_axis.len(), load_axis.len());
+        let table = extractor.extract(unit.cell, &unit.arc, unit.metric, &slew_axis, &load_axis);
+        (
+            UnitResult {
+                arc_id: unit.arc.id(),
+                arc: unit.arc,
+                metric: unit.metric,
+                method: unit.method,
+                kind: unit.kind,
+                params: None,
+                training_count: 0,
+                validation_points: 0,
+                error_percent: table.mean_cv_percent(),
+                requested_simulations: requested,
+            },
+            Some(table),
+        )
     }
 }
 

@@ -2,9 +2,11 @@
 //!
 //! The full TOML data model is far more than a run config needs, and no TOML crate is
 //! available offline, so this module accepts the practical subset: `key = value` lines with
-//! string, integer, float, boolean and homogeneous-array values, plus `#` comments and
-//! blank lines.  Tables/section headers are rejected with a pointed error so nobody
-//! discovers a silently ignored `[section]` the hard way.
+//! string, integer, float, boolean and homogeneous-array values, plus `#` comments, blank
+//! lines and **dotted keys** (`variation.process_seeds = 30` nests into a
+//! `variation` object, matching the JSON shape).  Tables/section headers are rejected with
+//! a pointed error so nobody discovers a silently ignored `[section]` the hard way; a
+//! quoted key (`"a.b" = 1`) keeps its dot literally, as TOML specifies.
 
 use crate::error::PipelineError;
 use serde::Value;
@@ -31,19 +33,60 @@ pub fn parse(text: &str) -> Result<Value, PipelineError> {
         let (key, value_text) = line.split_once('=').ok_or_else(|| {
             PipelineError::config(format!("line {lineno}: expected `key = value`"))
         })?;
-        let key = parse_key(key.trim(), lineno)?;
+        let (key, quoted) = parse_key(key.trim(), lineno)?;
         if key.is_empty() {
             return Err(PipelineError::config(format!("line {lineno}: empty key")));
         }
-        if entries.iter().any(|(k, _)| k == key) {
+        let value = parse_value(value_text.trim(), lineno)?;
+        // An unquoted dotted key (`variation.process_seeds`) nests; a quoted one is
+        // literal.
+        let segments: Vec<&str> = if quoted {
+            vec![key]
+        } else {
+            key.split('.').collect()
+        };
+        if segments.iter().any(|s| s.is_empty()) {
             return Err(PipelineError::config(format!(
-                "line {lineno}: duplicate key `{key}`"
+                "line {lineno}: empty segment in dotted key `{key}`"
             )));
         }
-        let value = parse_value(value_text.trim(), lineno)?;
-        entries.push((key.to_string(), value));
+        insert_nested(&mut entries, &segments, value, lineno)?;
     }
     Ok(Value::Object(entries))
+}
+
+/// Inserts `value` at the nested path `segments`, creating intermediate objects and
+/// rejecting conflicts (a path segment that already holds a plain value, or a duplicate
+/// leaf) instead of silently overwriting.
+fn insert_nested(
+    entries: &mut Vec<(String, Value)>,
+    segments: &[&str],
+    value: Value,
+    lineno: usize,
+) -> Result<(), PipelineError> {
+    let (head, rest) = segments.split_first().expect("segments are non-empty");
+    let existing = entries.iter_mut().find(|(k, _)| k == head);
+    if rest.is_empty() {
+        if existing.is_some() {
+            return Err(PipelineError::config(format!(
+                "line {lineno}: duplicate key `{head}`"
+            )));
+        }
+        entries.push((head.to_string(), value));
+        return Ok(());
+    }
+    match existing {
+        Some((_, Value::Object(inner))) => insert_nested(inner, rest, value, lineno),
+        Some(_) => Err(PipelineError::config(format!(
+            "line {lineno}: key `{head}` holds a value and cannot also be a dotted table"
+        ))),
+        None => {
+            let mut inner = Vec::new();
+            insert_nested(&mut inner, rest, value, lineno)?;
+            entries.push((head.to_string(), Value::Object(inner)));
+            Ok(())
+        }
+    }
 }
 
 /// Visits every character of `text` that sits *outside* quoted strings, tracking the
@@ -87,11 +130,12 @@ fn strip_comment(line: &str) -> &str {
 
 /// Validates a key: either a bare key without quotes, or a fully quoted `"key"`.  A stray
 /// or unbalanced quote (`"key`, `key"`, `ke"y`) is rejected instead of being silently
-/// trimmed into a different key than the author wrote.
-fn parse_key(raw: &str, lineno: usize) -> Result<&str, PipelineError> {
+/// trimmed into a different key than the author wrote.  The flag reports whether the key
+/// was quoted (quoted keys never split on dots).
+fn parse_key(raw: &str, lineno: usize) -> Result<(&str, bool), PipelineError> {
     if let Some(stripped) = raw.strip_prefix('"') {
         let inner = stripped.strip_suffix('"').filter(|k| !k.contains('"'));
-        return inner.ok_or_else(|| {
+        return inner.map(|k| (k, true)).ok_or_else(|| {
             PipelineError::config(format!("line {lineno}: unbalanced quotes in key `{raw}`"))
         });
     }
@@ -100,7 +144,7 @@ fn parse_key(raw: &str, lineno: usize) -> Result<&str, PipelineError> {
             "line {lineno}: unbalanced quotes in key `{raw}`"
         )));
     }
-    Ok(raw)
+    Ok((raw, false))
 }
 
 fn parse_value(text: &str, lineno: usize) -> Result<Value, PipelineError> {
@@ -282,6 +326,50 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("unescaped quote"));
+    }
+
+    #[test]
+    fn dotted_keys_nest_into_objects() {
+        let value = parse(
+            r#"
+            seed = 7
+            variation.process_seeds = 30
+            variation.sigma_corners = [1.0, 3.0]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(value.get("seed").unwrap().as_f64(), Some(7.0));
+        let variation = value.get("variation").unwrap();
+        assert_eq!(variation.get("process_seeds").unwrap().as_f64(), Some(30.0));
+        assert_eq!(
+            variation
+                .get("sigma_corners")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            2
+        );
+        // A quoted key keeps its dot literally instead of nesting.
+        let literal = parse(r#""a.b" = 1"#).unwrap();
+        assert_eq!(literal.get("a.b").unwrap().as_f64(), Some(1.0));
+        assert!(literal.get("a").is_none());
+    }
+
+    #[test]
+    fn dotted_key_conflicts_are_rejected() {
+        assert!(parse("a = 1\na.b = 2")
+            .unwrap_err()
+            .to_string()
+            .contains("cannot also be a dotted table"));
+        assert!(parse("a.b = 1\na.b = 2")
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate key `b`"));
+        assert!(parse("a..b = 1")
+            .unwrap_err()
+            .to_string()
+            .contains("empty segment"));
     }
 
     #[test]

@@ -128,6 +128,18 @@ impl SimKey {
             ],
         }
     }
+
+    /// The solver generation this key coordinates (see [`KERNEL_VERSION`]).
+    pub fn kernel(&self) -> u64 {
+        self.kernel
+    }
+
+    /// Returns `true` when the key was written by a kernel predating
+    /// [`KERNEL_VERSION`] — such records stay loadable but can never answer a
+    /// current-kernel lookup, so they are dead weight a compaction may evict.
+    pub fn is_legacy_kernel(&self) -> bool {
+        self.kernel < KERNEL_VERSION
+    }
 }
 
 /// Renders a bit-pattern array as fixed-width hexadecimal strings.

@@ -37,12 +37,25 @@ struct DiskRecord {
 }
 
 /// What [`DiskSimCache::compact`] did to a log file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CompactionReport {
     /// Records surviving in the compacted snapshot (unique keys, last value each).
     pub kept: usize,
     /// Duplicate records dropped (earlier values of keys that appear again later).
     pub dropped: usize,
+    /// Legacy-kernel records evicted because
+    /// [`CompactionOptions::drop_legacy`] was set (always zero otherwise).
+    pub dropped_legacy: usize,
+}
+
+/// Knobs of a [`DiskSimCache::compact_with`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionOptions {
+    /// Evict records whose [`SimKey`] kernel version predates the current
+    /// [`KERNEL_VERSION`](crate::cache::KERNEL_VERSION).  Such records can never answer a
+    /// lookup of this binary again; dropping them trades loadability by *older* binaries
+    /// for a smaller log.
+    pub drop_legacy: bool,
 }
 
 /// A persistent [`SimulationCache`] backed by a JSON-lines append log.
@@ -168,9 +181,9 @@ impl DiskSimCache {
     /// via rename: the file keeps its inode, so a concurrent worker blocked on the
     /// advisory lock appends to the *compacted* file when it acquires it, instead of to
     /// an unlinked orphan.  A torn final line (crashed writer) is repaired away, exactly
-    /// as [`flush`](Self::flush) would.  A legacy-kernel record is kept — its key can
-    /// never collide with a current-kernel key — so old logs stay loadable by old
-    /// binaries.
+    /// as [`flush`](Self::flush) would.  A legacy-kernel record is kept by default — its
+    /// key can never collide with a current-kernel key — so old logs stay loadable by old
+    /// binaries; [`compact_with`](Self::compact_with) can evict them instead.
     ///
     /// A missing file is an empty cache: nothing to do, zero report.
     ///
@@ -179,6 +192,23 @@ impl DiskSimCache {
     /// Returns a [`CacheError`] on filesystem failures or a corrupt non-final record
     /// (same tolerance as [`open`](Self::open)); the log is not modified in that case.
     pub fn compact(path: impl AsRef<Path>) -> Result<CompactionReport, CacheError> {
+        Self::compact_with(path, CompactionOptions::default())
+    }
+
+    /// [`compact`](Self::compact) with explicit [`CompactionOptions`] — in particular
+    /// `drop_legacy`, which additionally evicts records written by a kernel predating the
+    /// current [`KERNEL_VERSION`](crate::cache::KERNEL_VERSION) (the age-based eviction a
+    /// long-lived cache needs after a solver upgrade: those records are never consulted
+    /// again by this binary and only grow the log).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError`] on filesystem failures or a corrupt non-final record
+    /// (same tolerance as [`open`](Self::open)); the log is not modified in that case.
+    pub fn compact_with(
+        path: impl AsRef<Path>,
+        options: CompactionOptions,
+    ) -> Result<CompactionReport, CacheError> {
         let mut file = match std::fs::OpenOptions::new()
             .read(true)
             .write(true)
@@ -186,10 +216,7 @@ impl DiskSimCache {
         {
             Ok(file) => file,
             Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(CompactionReport {
-                    kept: 0,
-                    dropped: 0,
-                })
+                return Ok(CompactionReport::default())
             }
             Err(err) => return Err(err.into()),
         };
@@ -201,12 +228,17 @@ impl DiskSimCache {
         let mut latest: std::collections::HashMap<SimKey, TimingMeasurement> =
             std::collections::HashMap::new();
         let mut records = 0usize;
+        let mut dropped_legacy = 0usize;
         for (index, line) in lines.iter().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             match serde_json::from_str::<DiskRecord>(line) {
                 Ok(record) => {
+                    if options.drop_legacy && record.key.is_legacy_kernel() {
+                        dropped_legacy += 1;
+                        continue;
+                    }
                     records += 1;
                     if latest
                         .insert(record.key.clone(), record.measurement)
@@ -246,6 +278,7 @@ impl DiskSimCache {
         Ok(CompactionReport {
             kept: order.len(),
             dropped: records - order.len(),
+            dropped_legacy,
         })
     }
 
@@ -643,7 +676,8 @@ mod tests {
             report,
             CompactionReport {
                 kept: 2,
-                dropped: 1
+                dropped: 1,
+                dropped_legacy: 0
             }
         );
         let text = std::fs::read_to_string(&path).unwrap();
@@ -661,7 +695,8 @@ mod tests {
             again,
             CompactionReport {
                 kept: 2,
-                dropped: 0
+                dropped: 0,
+                dropped_legacy: 0
             }
         );
         std::fs::remove_file(&path).ok();
@@ -675,7 +710,8 @@ mod tests {
             DiskSimCache::compact(&path).expect("missing file is empty"),
             CompactionReport {
                 kept: 0,
-                dropped: 0
+                dropped: 0,
+                dropped_legacy: 0
             }
         );
         {
@@ -691,7 +727,8 @@ mod tests {
             report,
             CompactionReport {
                 kept: 1,
-                dropped: 0
+                dropped: 0,
+                dropped_legacy: 0
             }
         );
         let repaired = std::fs::read_to_string(&path).unwrap();
@@ -699,6 +736,80 @@ mod tests {
         assert!(repaired
             .lines()
             .all(|l| serde_json::from_str::<serde::Value>(l).is_ok()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_legacy_compaction_evicts_pre_upgrade_records_and_reports_them_separately() {
+        use crate::cache::KERNEL_VERSION;
+        let path = temp_path("compact-legacy.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let cache = DiskSimCache::open(&path).expect("opens");
+            cache.store(key(5.0, 2.0), measurement(12.0));
+            cache.store(key(6.0, 3.0), measurement(15.0));
+            // A benign duplicate so plain dedup drops something too.
+            cache.store(key(5.0, 2.0), measurement(13.0));
+        }
+        // Two records written by the pre-upgrade kernel: strip the kernel field, exactly
+        // as a log line from before the field existed would look.
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            let kernel_field = format!("\"kernel\":\"{KERNEL_VERSION:x}\",");
+            for (k, m) in [(7.0, 21.0), (8.0, 22.0)] {
+                let line = serde_json::to_string(&DiskRecord {
+                    key: key(k, 1.0),
+                    measurement: measurement(m),
+                })
+                .unwrap();
+                assert!(
+                    line.contains(&kernel_field),
+                    "current keys persist a version"
+                );
+                writeln!(file, "{}", line.replace(&kernel_field, "")).unwrap();
+            }
+        }
+        // A plain compaction keeps the legacy records (old binaries can still load them).
+        let plain = DiskSimCache::compact(&path).expect("compacts");
+        assert_eq!(
+            plain,
+            CompactionReport {
+                kept: 4,
+                dropped: 1,
+                dropped_legacy: 0
+            }
+        );
+        // Dropping legacy evicts exactly the pre-upgrade records, reported separately
+        // from the superseded-duplicate count.
+        let report = DiskSimCache::compact_with(&path, CompactionOptions { drop_legacy: true })
+            .expect("compacts");
+        assert_eq!(
+            report,
+            CompactionReport {
+                kept: 2,
+                dropped: 0,
+                dropped_legacy: 2
+            }
+        );
+        let survivors = DiskSimCache::open(&path).expect("compacted log loads");
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(survivors.lookup(&key(5.0, 2.0)), Some(measurement(13.0)));
+        assert_eq!(survivors.lookup(&key(6.0, 3.0)), Some(measurement(15.0)));
+        // Idempotent: nothing legacy remains.
+        let again = DiskSimCache::compact_with(&path, CompactionOptions { drop_legacy: true })
+            .expect("compacts again");
+        assert_eq!(
+            again,
+            CompactionReport {
+                kept: 2,
+                dropped: 0,
+                dropped_legacy: 0
+            }
+        );
         std::fs::remove_file(&path).ok();
     }
 

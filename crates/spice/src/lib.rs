@@ -59,7 +59,7 @@ pub use batch::{
     simulate_switching_batch, simulate_switching_batch_with_stats, simulate_switching_sweep_batch,
 };
 pub use cache::{CacheError, InMemorySimCache, SimKey, SimulationCache, KERNEL_VERSION};
-pub use disk::{CompactionReport, DiskSimCache};
+pub use disk::{CompactionOptions, CompactionReport, DiskSimCache};
 pub use engine::{CharacterizationEngine, ConfigError, SimulationCounter};
 pub use input::{InputPoint, InputSpace};
 pub use measure::TimingMeasurement;
