@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench bench-kernel lint fmt clippy clean
+.PHONY: build test bench bench-kernel bench-kernel-diff lint fmt clippy clean
 
 build:
 	$(CARGO) build --release
@@ -16,6 +16,13 @@ bench:
 # Transient-kernel throughput bench; rewrites BENCH_transient.json at the repo root.
 bench-kernel:
 	$(CARGO) bench -p slic-bench --bench transient_kernel
+
+# Reduced-mode bench into target/, then a per-variant ratio table against the
+# committed BENCH_transient.json (fails if any variant drops below half baseline).
+bench-kernel-diff:
+	BENCH_SMOKE=1 BENCH_OUT=$(CURDIR)/target/bench_fresh.json \
+		$(CARGO) bench -p slic-bench --bench transient_kernel
+	python3 tools/bench_kernel_diff.py target/bench_fresh.json BENCH_transient.json
 
 fmt:
 	$(CARGO) fmt --all -- --check

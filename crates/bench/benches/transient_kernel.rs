@@ -19,7 +19,8 @@ use slic::prelude::*;
 use slic_bench::banner;
 use slic_bench::emit::{SpeedupReport, TransientBenchReport, VariantReport};
 use slic_spice::{
-    simulate_switching_batch_with_stats, simulate_switching_rk4_with_stats,
+    simulate_switching_batch_simd_with_stats, simulate_switching_batch_with_stats,
+    simulate_switching_rk4_with_stats, simulate_switching_simd_with_stats,
     simulate_switching_with_stats, TransientStats,
 };
 
@@ -151,7 +152,7 @@ fn main() {
         // rebuild the equivalent inverter per simulation — exactly what the pre-PR engine
         // paid per `solve` — while the batched variant amortizes lane setup across points
         // the way the batch kernel's callers can.
-        let kernels: [(&str, KernelRun); 3] = [
+        let kernels: [(&str, KernelRun); 5] = [
             (
                 "rk4_scalar",
                 Box::new(|| {
@@ -200,6 +201,46 @@ fn main() {
                             simulate_switching_batch_with_stats(&w.lanes, &w.arc, p, &config)
                                 .expect("config is valid")
                         {
+                            let (m, s) = result.expect("simulation completes");
+                            total.steps += s.steps;
+                            total.rejected_steps += s.rejected_steps;
+                            total.device_evals += s.device_evals;
+                            ms.push(m);
+                        }
+                    }
+                    (ms, total)
+                }),
+            ),
+            (
+                "simd_scalar",
+                Box::new(|| {
+                    let mut total = TransientStats::default();
+                    let mut ms = Vec::with_capacity(sims);
+                    for p in &w.points {
+                        for seed in &w.seeds {
+                            let eq = EquivalentInverter::build(&w.tech, w.cell, seed);
+                            let (m, s) =
+                                simulate_switching_simd_with_stats(&eq, &w.arc, p, &config)
+                                    .expect("simulation completes");
+                            total.steps += s.steps;
+                            total.rejected_steps += s.rejected_steps;
+                            total.device_evals += s.device_evals;
+                            ms.push(m);
+                        }
+                    }
+                    (ms, total)
+                }),
+            ),
+            (
+                "simd_batch",
+                Box::new(|| {
+                    let mut total = TransientStats::default();
+                    let mut ms = Vec::with_capacity(sims);
+                    for p in &w.points {
+                        let (results, _) =
+                            simulate_switching_batch_simd_with_stats(&w.lanes, &w.arc, p, &config)
+                                .expect("config is valid");
+                        for result in results {
                             let (m, s) = result.expect("simulation completes");
                             total.steps += s.steps;
                             total.rejected_steps += s.rejected_steps;
@@ -260,6 +301,10 @@ fn main() {
         ratio("embedded_batch", "rk4_scalar", "fast"),
         ratio("embedded_scalar", "rk4_scalar", "accurate"),
         ratio("embedded_batch", "rk4_scalar", "accurate"),
+        ratio("simd_batch", "embedded_batch", "fast"),
+        ratio("simd_batch", "rk4_scalar", "fast"),
+        ratio("simd_batch", "embedded_batch", "accurate"),
+        ratio("simd_batch", "rk4_scalar", "accurate"),
     ]
     .into_iter()
     .flatten()

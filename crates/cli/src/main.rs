@@ -48,6 +48,8 @@ SUBCOMMANDS:
                     --library <name>        paper-trio (default) | standard
                     --profile <name>        quick (default) | accurate
                     --cache <file>          persistent simulation cache (JSON lines)
+                    --simd                  route batched lanes through the SIMD quad
+                                            kernel (kernel.simd = true)
                     --out <file>            output database JSON (default history.json)
 
     characterize  Run a library-scale characterization plan (or one shard of it).
@@ -75,6 +77,10 @@ SUBCOMMANDS:
                                             --variation; default from profile)
                     --variation-sigma <a,b> sigma corners reported, e.g. 1,3
                                             (implies --variation)
+                    --simd                  route batched lanes through the SIMD quad
+                                            kernel (local backend only); delays stay
+                                            within the CI-gated 0.5% accuracy envelope,
+                                            and the artifact gains a kernel cost section
                     --out <file>            run artifact JSON (default run.json)
                     --liberty <file>        also write the Liberty text here
 
@@ -144,7 +150,7 @@ fn main() -> ExitCode {
     // `slic cache <action> --flag value ...` takes a positional action before its flags.
     // `switches` are valueless boolean flags (recorded as "true" when present).
     let (flag_args, allowed, switches): (&[String], Vec<&str>, Vec<&str>) = match command {
-        "learn" => (&args[1..], CONFIG_FLAGS.to_vec(), vec![]),
+        "learn" => (&args[1..], CONFIG_FLAGS.to_vec(), vec!["simd"]),
         "characterize" => {
             let mut flags = CONFIG_FLAGS.to_vec();
             flags.extend([
@@ -154,7 +160,7 @@ fn main() -> ExitCode {
                 "variation-seeds",
                 "variation-sigma",
             ]);
-            (&args[1..], flags, vec!["variation"])
+            (&args[1..], flags, vec!["variation", "simd"])
         }
         "worker" => (&args[1..], vec!["listen", "max-batches"], vec![]),
         "merge" => (&args[1..], vec!["inputs", "out"], vec![]),
@@ -327,6 +333,11 @@ fn build_config(flags: &HashMap<String, String>) -> Result<RunConfig, PipelineEr
             knobs.sigma_corners = Some(corners);
         }
         config.variation = Some(knobs);
+    }
+    if flags.contains_key("simd") {
+        let mut knobs = config.kernel.clone().unwrap_or_default();
+        knobs.simd = Some(true);
+        config.kernel = Some(knobs);
     }
     Ok(config)
 }
@@ -542,6 +553,33 @@ fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError
             "variation: {} Monte Carlo seeds, {} sigma/skew tables",
             variation.process_seeds,
             variation.tables.len(),
+        );
+    }
+    // Post-run kernel cost summary: what the transient hot path spent per simulation
+    // and how the batched dispatcher resolved its lanes (deferred lanes included).
+    if let Some(stats) = runner.engine().backend().kernel_stats() {
+        let occupancy = stats
+            .quad_occupancy()
+            .map(|o| format!(", {:.0}% quad occupancy", o * 100.0))
+            .unwrap_or_default();
+        println!(
+            "kernel ({}): {} sims, {:.1} steps/sim, {:.1} device evals/sim, \
+             {} rejected steps{occupancy}",
+            if stats.simd { "simd" } else { "scalar" },
+            stats.sims,
+            stats.steps_per_sim(),
+            stats.device_evals_per_sim(),
+            stats.rejected_steps,
+        );
+    }
+    let dispatch = runner.engine().dispatch_stats();
+    if dispatch.lanes_dispatched > 0 {
+        println!(
+            "dispatch: {} lanes ({} solved, {} cache hits, {} deferred)",
+            dispatch.lanes_dispatched,
+            dispatch.lanes_claimed,
+            dispatch.lanes_cached,
+            dispatch.lanes_deferred,
         );
     }
     if let Some(farm) = &farm {

@@ -9,9 +9,11 @@
 
 use serde::{Deserialize, Serialize};
 use slic_bayes::{ConditionResidual, HistoricalDatabase, HistoricalRecord, TimingMetric};
-use slic_cells::{Library, TimingArc};
+use slic_cells::{Cell, Library, TimingArc};
 use slic_device::{ProcessSample, TechnologyNode};
-use slic_spice::{CharacterizationEngine, SimulationCache, SimulationCounter, TransientConfig};
+use slic_spice::{
+    CharacterizationEngine, MixedLane, SimulationCache, SimulationCounter, TransientConfig,
+};
 use slic_timing_model::{LeastSquaresFitter, TimingSample};
 use std::sync::Arc;
 
@@ -126,47 +128,63 @@ impl HistoricalLearner {
                 self.config.grid_levels.1,
                 self.config.grid_levels.2,
             );
-            for &cell in library.cells() {
-                for arc in TimingArc::primary_arcs(cell) {
-                    // One transient run per grid point yields both delay and slew.
-                    let measurements = engine.sweep_nominal(cell, &arc, &grid);
-                    let nominal = ProcessSample::nominal();
-                    let ieffs: Vec<_> = grid
+            // One mega-batch of every (cell, arc, grid point) lane at the nominal
+            // corner: training a whole node costs one mixed worklist instead of one
+            // sweep per arc, so the batched kernel stays saturated across arcs.
+            let nominal = ProcessSample::nominal();
+            let arcs: Vec<(Cell, TimingArc)> = library
+                .cells()
+                .iter()
+                .flat_map(|&cell| {
+                    TimingArc::primary_arcs(cell)
+                        .into_iter()
+                        .map(move |arc| (cell, arc))
+                })
+                .collect();
+            let lanes: Vec<MixedLane> = arcs
+                .iter()
+                .flat_map(|&(cell, arc)| grid.iter().map(move |p| (cell, arc, *p, nominal)))
+                .collect();
+            // One transient run per grid point yields both delay and slew.
+            let flat = engine.simulate_mixed(&lanes);
+            let mut per_arc = flat.chunks(grid.len().max(1));
+            for &(cell, arc) in &arcs {
+                let measurements = per_arc.next().expect("one measurement row per arc");
+                let ieffs: Vec<_> = grid
+                    .iter()
+                    .map(|p| engine.ieff(&arc, p, &nominal))
+                    .collect();
+                for metric in TimingMetric::BOTH {
+                    let samples: Vec<TimingSample> = grid
                         .iter()
-                        .map(|p| engine.ieff(&arc, p, &nominal))
+                        .zip(measurements)
+                        .zip(&ieffs)
+                        .map(|((point, m), ieff)| {
+                            let observed = match metric {
+                                TimingMetric::Delay => m.delay,
+                                TimingMetric::OutputSlew => m.output_slew,
+                            };
+                            TimingSample::new(*point, *ieff, observed)
+                        })
                         .collect();
-                    for metric in TimingMetric::BOTH {
-                        let samples: Vec<TimingSample> = grid
-                            .iter()
-                            .zip(&measurements)
-                            .zip(&ieffs)
-                            .map(|((point, m), ieff)| {
-                                let observed = match metric {
-                                    TimingMetric::Delay => m.delay,
-                                    TimingMetric::OutputSlew => m.output_slew,
-                                };
-                                TimingSample::new(*point, *ieff, observed)
-                            })
-                            .collect();
-                        let fit = LeastSquaresFitter::new().fit(&samples);
-                        let residuals: Vec<ConditionResidual> = samples
-                            .iter()
-                            .map(|s| ConditionResidual {
-                                point: s.point,
-                                relative_residual: fit.params.relative_error(s),
-                            })
-                            .collect();
-                        database.push(HistoricalRecord::new(
-                            tech.name(),
-                            tech.node_nm(),
-                            cell.name(),
-                            arc.id(),
-                            metric,
-                            fit.params,
-                            fit.params.mean_relative_error_percent(&samples),
-                            residuals,
-                        ));
-                    }
+                    let fit = LeastSquaresFitter::new().fit(&samples);
+                    let residuals: Vec<ConditionResidual> = samples
+                        .iter()
+                        .map(|s| ConditionResidual {
+                            point: s.point,
+                            relative_residual: fit.params.relative_error(s),
+                        })
+                        .collect();
+                    database.push(HistoricalRecord::new(
+                        tech.name(),
+                        tech.node_nm(),
+                        cell.name(),
+                        arc.id(),
+                        metric,
+                        fit.params,
+                        fit.params.mean_relative_error_percent(&samples),
+                        residuals,
+                    ));
                 }
             }
             simulation_cost += counter.count() - cost_before;

@@ -334,8 +334,14 @@ impl<'a> StatisticalStudy<'a> {
         let before = self.engine.simulation_count();
         let mut delay_params = Vec::with_capacity(seeds.len());
         let mut slew_params = Vec::with_capacity(seeds.len());
-        for seed in seeds {
-            let measurements = self.engine.sweep(cell, arc, training_points, seed);
+        // One cross-seed mega-batch instead of one sweep per seed: every
+        // (training point, seed) lane enters the kernel as a single worklist, so the
+        // SIMD dispatcher sees full quads even when the training grid is tiny.
+        let by_point = self
+            .engine
+            .monte_carlo_sweep(cell, arc, training_points, seeds);
+        for (s, seed) in seeds.iter().enumerate() {
+            let measurements: Vec<_> = by_point.iter().map(|row| row[s]).collect();
             let ieffs: Vec<_> = training_points
                 .iter()
                 .map(|p| self.engine.ieff(arc, p, seed))

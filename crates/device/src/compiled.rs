@@ -21,6 +21,8 @@
 //! inverter so the transient solver's derivative callback is a single call.
 
 use crate::mosfet::{DeviceParams, Mosfet, THERMAL_VOLTAGE};
+use crate::vmath;
+use crate::vmath::{exp4, ln4, softplus4, F64x4};
 
 /// A device model with all per-simulation constants hoisted, evaluated on raw `f64` volts.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +95,80 @@ impl CompiledDevice {
     }
 }
 
+/// Four [`CompiledDevice`]s packed structure-of-arrays, evaluated one lane per vector
+/// element.
+///
+/// `drain_current4` performs exactly the arithmetic of the scalar
+/// [`CompiledDevice::drain_current`] but routes every transcendental through the
+/// fixed-polynomial kernels of [`crate::vmath`], so the four lanes vectorize.  The results
+/// are *numerically equivalent* to the scalar path (relative error below `5e-8`), not
+/// bitwise identical — which is why the SIMD kernel is opt-in and carries an accuracy gate
+/// instead of the scalar path's bitwise guarantee.  Each output lane depends only on its
+/// own input lane, so values are independent of quad composition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledDeviceX4 {
+    gain: F64x4,
+    vth0: F64x4,
+    dibl: F64x4,
+    n_phit: F64x4,
+    inv_n_phit: F64x4,
+    inv_vdsat: F64x4,
+    beta_sat: F64x4,
+    inv_beta_sat: F64x4,
+}
+
+impl CompiledDeviceX4 {
+    /// Packs four compiled devices, lane `i` evaluating `devices[i]`.
+    pub fn pack(devices: [&CompiledDevice; 4]) -> Self {
+        Self {
+            gain: devices.map(|d| d.gain),
+            vth0: devices.map(|d| d.vth0),
+            dibl: devices.map(|d| d.dibl),
+            n_phit: devices.map(|d| d.n_phit),
+            inv_n_phit: devices.map(|d| d.inv_n_phit),
+            inv_vdsat: devices.map(|d| d.inv_vdsat),
+            beta_sat: devices.map(|d| d.beta_sat),
+            inv_beta_sat: devices.map(|d| d.inv_beta_sat),
+        }
+    }
+
+    /// Four lanes of drain-current magnitude; lane `i` follows the semantics of
+    /// [`CompiledDevice::drain_current`] for `(vgs[i], vds[i])`.
+    ///
+    /// The scalar path's `vds == 0` early return is subsumed by the arithmetic: the
+    /// saturation function carries a factor `r = vds/Vdsat`, which is exactly zero there
+    /// (the guarded `ln` of zero is clamped, stays finite, and is then multiplied away).
+    #[inline(always)]
+    pub fn drain_current4(&self, vgs: F64x4, vds: F64x4) -> F64x4 {
+        let mut x = [0.0_f64; 4];
+        let mut r = [0.0_f64; 4];
+        for i in 0..4 {
+            let vgs_i = vgs[i].max(0.0);
+            let vds_i = vds[i].max(0.0);
+            // Smooth overdrive argument with DIBL: (vgs − vth_eff) / nφt.
+            x[i] = (vgs_i - self.vth0[i] + self.dibl[i] * vds_i) * self.inv_n_phit[i];
+            r[i] = vds_i * self.inv_vdsat[i];
+        }
+        let q_ov = softplus4(x);
+        let ln_r = ln4(r);
+        let mut t = [0.0_f64; 4];
+        for i in 0..4 {
+            t[i] = self.beta_sat[i] * ln_r[i];
+        }
+        let log_denom = softplus4(t);
+        let mut arg = [0.0_f64; 4];
+        for i in 0..4 {
+            arg[i] = -log_denom[i] * self.inv_beta_sat[i];
+        }
+        let fsat_over_r = exp4(arg);
+        let mut out = [0.0_f64; 4];
+        for i in 0..4 {
+            out[i] = self.gain[i] * (self.n_phit[i] * q_ov[i]) * (r[i] * fsat_over_r[i]);
+        }
+        out
+    }
+}
+
 /// The compiled pull-up/pull-down pair of an equivalent inverter.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompiledInverter {
@@ -124,6 +200,176 @@ impl CompiledInverter {
     #[inline]
     pub fn output_current(&self, vdd: f64, vin: f64, vout: f64) -> f64 {
         self.pmos.drain_current(vdd - vin, vdd - vout) - self.nmos.drain_current(vin, vout)
+    }
+}
+
+/// Four [`CompiledInverter`]s packed structure-of-arrays — the SIMD quad's device model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledInverterX4 {
+    pmos: CompiledDeviceX4,
+    nmos: CompiledDeviceX4,
+}
+
+impl CompiledInverterX4 {
+    /// Packs four compiled inverters, lane `i` evaluating `inverters[i]`.
+    pub fn pack(inverters: [&CompiledInverter; 4]) -> Self {
+        Self {
+            pmos: CompiledDeviceX4::pack(inverters.map(|inv| &inv.pmos)),
+            nmos: CompiledDeviceX4::pack(inverters.map(|inv| &inv.nmos)),
+        }
+    }
+
+    /// The packed pull-up quad.
+    pub fn pmos4(&self) -> &CompiledDeviceX4 {
+        &self.pmos
+    }
+
+    /// The packed pull-down quad.
+    pub fn nmos4(&self) -> &CompiledDeviceX4 {
+        &self.nmos
+    }
+
+    /// Four lanes of net output-node current; lane `i` follows
+    /// [`CompiledInverter::output_current`] for `(vdd[i], vin[i], vout[i])`.
+    #[inline]
+    pub fn output_current4(&self, vdd: F64x4, vin: F64x4, vout: F64x4) -> F64x4 {
+        let mut vgs_p = [0.0_f64; 4];
+        let mut vds_p = [0.0_f64; 4];
+        for i in 0..4 {
+            vgs_p[i] = vdd[i] - vin[i];
+            vds_p[i] = vdd[i] - vout[i];
+        }
+        let up = self.pmos.drain_current4(vgs_p, vds_p);
+        let down = self.nmos.drain_current4(vin, vout);
+        let mut out = [0.0_f64; 4];
+        for i in 0..4 {
+            out[i] = up[i] - down[i];
+        }
+        out
+    }
+}
+
+/// Reusable intermediate buffers for [`drain_current4_batch`].
+///
+/// The sweep streams the whole worklist through each stage of the device model in turn
+/// (see [`drain_current4_batch`]), so it needs per-item staging arrays between passes.
+/// Callers keep one `SweepScratch` alive across sweeps; the buffers are resized (never
+/// shrunk below capacity) so steady-state sweeps allocate nothing.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    x: Vec<F64x4>,
+    r: Vec<F64x4>,
+    e: Vec<F64x4>,
+    u: Vec<F64x4>,
+    l: Vec<F64x4>,
+    t: Vec<F64x4>,
+}
+
+/// Evaluates a gather of packed device quads at per-item operating points in one call:
+/// `out[k] = devices[idx[k]].drain_current4(vgs[k], vds[k])`, bit for bit.
+///
+/// This is the SIMD worklist's hot primitive.  Instead of evaluating the model
+/// item-by-item, it streams the *whole worklist* through the model one stage at a time —
+/// operating-point glue, then [`vmath::exp4_batch`]/[`vmath::ln4_batch`] passes for each
+/// transcendental, then the combine — with intermediates staged in `scratch`.  Each pass
+/// is a tiny loop over contiguous `[f64; 4]` items, which is the shape the vectorizer
+/// compiles fully packed; fusing the model into one loop body (the obvious structure)
+/// exceeds the vectorizer's budget and silently degrades half the arithmetic to scalar
+/// code.  Per lane the arithmetic is exactly [`CompiledDeviceX4::drain_current4`]'s ops
+/// in dataflow order, so the results are bitwise identical to the per-item form.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or an index is out of bounds.
+pub fn drain_current4_batch(
+    devices: &[CompiledDeviceX4],
+    idx: &[u32],
+    vgs: &[F64x4],
+    vds: &[F64x4],
+    scratch: &mut SweepScratch,
+    out: &mut [F64x4],
+) {
+    let n = idx.len();
+    assert_eq!(n, vgs.len());
+    assert_eq!(n, vds.len());
+    assert_eq!(n, out.len());
+    let SweepScratch { x, r, e, u, l, t } = scratch;
+    let zero = [0.0_f64; 4];
+    x.resize(n, zero);
+    r.resize(n, zero);
+    e.resize(n, zero);
+    u.resize(n, zero);
+    l.resize(n, zero);
+    t.resize(n, zero);
+    let (x, r, e, u, l, t) = (
+        &mut x[..n],
+        &mut r[..n],
+        &mut e[..n],
+        &mut u[..n],
+        &mut l[..n],
+        &mut t[..n],
+    );
+    // Operating point: clamp terminals, overdrive argument x, saturation ratio r.
+    for k in 0..n {
+        let d = &devices[idx[k] as usize];
+        for i in 0..4 {
+            let vgs_i = vgs[k][i].max(0.0);
+            let vds_i = vds[k][i].max(0.0);
+            x[k][i] = (vgs_i - d.vth0[i] + d.dibl[i] * vds_i) * d.inv_n_phit[i];
+            r[k][i] = vds_i * d.inv_vdsat[i];
+        }
+    }
+    // q_ov/nφt = softplus(x), decomposed into vmath's exact ops: e = eˣ, u = 1 + e,
+    // l = ln u, then the tiny-argument correction and the large-x cutoff.  x is
+    // overwritten with the result once the cutoff no longer needs it.
+    vmath::exp4_batch(x, e);
+    for k in 0..n {
+        for i in 0..4 {
+            u[k][i] = 1.0 + e[k][i];
+        }
+    }
+    vmath::ln4_batch(u, l);
+    for k in 0..n {
+        for i in 0..4 {
+            let d = u[k][i] - 1.0;
+            let corrected = l[k][i] * (e[k][i] / d);
+            let sp = if d == 0.0 { e[k][i] } else { corrected };
+            x[k][i] = if x[k][i] > 30.0 { x[k][i] } else { sp };
+        }
+    }
+    // log_denom = softplus(β·ln r), same decomposition; t carries β·ln r for the cutoff
+    // and is then overwritten with the exponential's argument −log_denom/β.
+    vmath::ln4_batch(r, l);
+    for k in 0..n {
+        let d = &devices[idx[k] as usize];
+        for i in 0..4 {
+            t[k][i] = d.beta_sat[i] * l[k][i];
+        }
+    }
+    vmath::exp4_batch(t, e);
+    for k in 0..n {
+        for i in 0..4 {
+            u[k][i] = 1.0 + e[k][i];
+        }
+    }
+    vmath::ln4_batch(u, l);
+    for k in 0..n {
+        let dv = &devices[idx[k] as usize];
+        for i in 0..4 {
+            let d = u[k][i] - 1.0;
+            let corrected = l[k][i] * (e[k][i] / d);
+            let sp = if d == 0.0 { e[k][i] } else { corrected };
+            let log_denom = if t[k][i] > 30.0 { t[k][i] } else { sp };
+            t[k][i] = -log_denom * dv.inv_beta_sat[i];
+        }
+    }
+    vmath::exp4_batch(t, e);
+    // Combine: I = gain · (nφt · q_ov) · (r · Fsat/r).
+    for k in 0..n {
+        let d = &devices[idx[k] as usize];
+        for i in 0..4 {
+            out[k][i] = d.gain[i] * (d.n_phit[i] * x[k][i]) * (r[k][i] * e[k][i]);
+        }
     }
 }
 
@@ -221,7 +467,148 @@ mod tests {
         assert!(inv.output_current(0.8, 0.8, 0.4) < 0.0);
     }
 
+    /// Tolerance of the SIMD lanes against the scalar compiled model: the polynomial
+    /// kernels are sized to ~1e-9 relative (see `vmath`), and composition through the
+    /// model stays within ~5e-8 — five orders below the SIMD mode's 0.5 % gate.
+    const X4_TOLERANCE: f64 = 5e-8;
+
+    fn x4_matches_scalar(c: &CompiledDevice, vgs: f64, vds: f64) {
+        let packed = CompiledDeviceX4::pack([c; 4]);
+        let got = packed.drain_current4([vgs; 4], [vds; 4]);
+        let scalar = c.drain_current(vgs, vds);
+        for (lane, value) in got.iter().enumerate() {
+            let scale = scalar.abs().max(1e-30);
+            assert!(
+                (value - scalar).abs() / scale < X4_TOLERANCE,
+                "lane {lane} at vgs={vgs} vds={vds}: simd={value:e} scalar={scalar:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_device_tracks_scalar_across_the_operating_range() {
+        let c = CompiledDevice::from_params(&reference_params());
+        for vgs in [-0.2, 0.0, 0.05, 0.2, 0.32, 0.5, 0.8, 1.2] {
+            for vds in [0.0, 1e-9, 1e-3, 0.05, 0.22, 0.5, 0.8, 1.2] {
+                x4_matches_scalar(&c, vgs, vds);
+            }
+        }
+    }
+
+    #[test]
+    fn simd_device_is_exactly_zero_at_zero_vds() {
+        let c = CompiledDevice::from_params(&reference_params());
+        let packed = CompiledDeviceX4::pack([&c; 4]);
+        let out = packed.drain_current4([0.8; 4], [0.0, -0.3, 0.0, 0.0]);
+        assert_eq!(out, [0.0; 4], "vds ≤ 0 lanes must be exactly zero");
+    }
+
+    #[test]
+    fn simd_lanes_evaluate_distinct_devices_independently() {
+        // Four different devices in one quad: each lane must match its own scalar model,
+        // regardless of what shares the quad.
+        let mut params = [
+            reference_params(),
+            reference_params(),
+            reference_params(),
+            reference_params(),
+        ];
+        params[1].vth0 = 0.25;
+        params[2].width = 3.3e-7;
+        params[3].beta_sat = 2.4;
+        let devices = params.map(|p| CompiledDevice::from_params(&p));
+        let packed = CompiledDeviceX4::pack([&devices[0], &devices[1], &devices[2], &devices[3]]);
+        let vgs = [0.7, 0.4, 0.9, 0.55];
+        let vds = [0.3, 0.8, 0.05, 0.6];
+        let got = packed.drain_current4(vgs, vds);
+        for i in 0..4 {
+            let scalar = devices[i].drain_current(vgs[i], vds[i]);
+            let scale = scalar.abs().max(1e-30);
+            assert!(
+                (got[i] - scalar).abs() / scale < X4_TOLERANCE,
+                "lane {i}: simd={:e} scalar={scalar:e}",
+                got[i]
+            );
+        }
+    }
+
+    #[test]
+    fn simd_inverter_tracks_scalar_pair() {
+        let pm = Mosfet::pmos(reference_params());
+        let nm = Mosfet::nmos(reference_params());
+        let inv = CompiledInverter::new(&pm, &nm);
+        let packed = CompiledInverterX4::pack([&inv; 4]);
+        for (vdd, vin, vout) in [(0.8, 0.3, 0.5), (1.0, 0.0, 0.9), (0.65, 0.65, 0.1)] {
+            let got = packed.output_current4([vdd; 4], [vin; 4], [vout; 4]);
+            let scalar = inv.output_current(vdd, vin, vout);
+            let scale = scalar.abs().max(1e-30);
+            for value in got {
+                assert!(
+                    (value - scalar).abs() / scale < X4_TOLERANCE,
+                    "({vdd}, {vin}, {vout}): simd={value:e} scalar={scalar:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sweep_is_bitwise_identical_to_per_item_evaluation() {
+        let mut params = [reference_params(), reference_params(), reference_params()];
+        params[1].vth0 = 0.26;
+        params[2].beta_sat = 2.2;
+        let compiled = params.map(|p| CompiledDevice::from_params(&p));
+        let devices: Vec<CompiledDeviceX4> = compiled
+            .iter()
+            .map(|c| CompiledDeviceX4::pack([c; 4]))
+            .collect();
+        // Varied operating points including the edge lanes (vds = 0, cut-off, deep linear).
+        let idx: Vec<u32> = vec![0, 2, 1, 0, 2, 1, 0];
+        let vgs: Vec<F64x4> = vec![
+            [0.8, 0.4, -0.2, 1.2],
+            [0.0, 0.7, 0.32, 0.9],
+            [0.55, 0.05, 0.8, 0.65],
+            [1.0, 0.2, 0.45, 0.3],
+            [0.8, 0.8, 0.8, 0.8],
+            [0.15, 0.95, 0.6, 0.75],
+            [0.5, 0.5, 0.0, 1.1],
+        ];
+        let vds: Vec<F64x4> = vec![
+            [0.3, 0.0, 0.5, 1.2],
+            [0.8, 1e-9, 0.22, 0.4],
+            [0.05, 0.6, 0.9, 0.1],
+            [1e-3, 0.7, 0.0, 0.25],
+            [0.2, 0.4, 0.6, 0.8],
+            [0.45, 0.33, 1.0, 0.08],
+            [0.6, 0.12, 0.7, 0.9],
+        ];
+        let mut scratch = SweepScratch::default();
+        let mut out = vec![[0.0_f64; 4]; idx.len()];
+        drain_current4_batch(&devices, &idx, &vgs, &vds, &mut scratch, &mut out);
+        for k in 0..idx.len() {
+            let direct = devices[idx[k] as usize].drain_current4(vgs[k], vds[k]);
+            for i in 0..4 {
+                assert_eq!(
+                    out[k][i].to_bits(),
+                    direct[i].to_bits(),
+                    "item {k} lane {i}: sweep {:e} vs per-item {:e}",
+                    out[k][i],
+                    direct[i]
+                );
+            }
+        }
+        // A second sweep through the same scratch (now warm) must agree too.
+        let mut out2 = vec![[0.0_f64; 4]; idx.len()];
+        drain_current4_batch(&devices, &idx, &vgs, &vds, &mut scratch, &mut out2);
+        assert_eq!(out, out2);
+    }
+
     proptest! {
+        #[test]
+        fn prop_simd_device_tracks_scalar(vgs in -0.5f64..1.5, vds in 0.0f64..1.5) {
+            let c = CompiledDevice::from_params(&reference_params());
+            x4_matches_scalar(&c, vgs, vds);
+        }
+
         #[test]
         fn prop_compiled_tracks_reference(vgs in -0.5f64..1.5, vds in 0.0f64..1.5) {
             let p = reference_params();

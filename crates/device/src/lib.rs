@@ -38,8 +38,12 @@ pub mod compiled;
 pub mod mosfet;
 pub mod tech;
 pub mod variation;
+pub mod vmath;
 
-pub use compiled::{CompiledDevice, CompiledInverter};
+pub use compiled::{
+    drain_current4_batch, CompiledDevice, CompiledDeviceX4, CompiledInverter, CompiledInverterX4,
+    SweepScratch,
+};
 pub use mosfet::{DeviceParams, Mosfet, Polarity};
 pub use tech::{ProcessFlavor, TechnologyKind, TechnologyNode};
 pub use variation::{ProcessSample, ProcessVariation};

@@ -145,6 +145,9 @@ pub struct RunConfig {
     /// Monte Carlo variation knobs.  The presence of this section (or the `--variation`
     /// CLI flag) enables variation work units; unset fields take profile defaults.
     pub variation: Option<VariationKnobs>,
+    /// Transient-kernel knobs.  In flat TOML these are the dotted `kernel.*` keys
+    /// (`kernel.simd = true`).
+    pub kernel: Option<KernelKnobs>,
 }
 
 /// User-facing Monte Carlo variation knobs, every field optional.  In flat TOML these are
@@ -156,6 +159,16 @@ pub struct VariationKnobs {
     pub process_seeds: Option<usize>,
     /// Sigma multipliers for corner reporting; default `[1.0, 3.0]`.
     pub sigma_corners: Option<Vec<f64>>,
+}
+
+/// User-facing transient-kernel knobs, every field optional.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelKnobs {
+    /// Route batched lanes through the SIMD quad kernel (default `false`).  Off, runs
+    /// are bitwise identical to the scalar batched kernel; on, delays may differ from
+    /// the scalar path by up to the CI-gated 0.5% accuracy envelope in exchange for the
+    /// benched speedup.
+    pub simd: Option<bool>,
 }
 
 /// Where the run's transient simulations execute.
@@ -193,12 +206,16 @@ const KNOWN_CONFIG_KEYS: &[&str] = &[
     "workers",
     "spawn_workers",
     "variation",
+    "kernel",
 ];
 
 /// Every key of the nested `variation` section.
 const KNOWN_VARIATION_KEYS: &[&str] = &["process_seeds", "sigma_corners"];
 
-/// Rejects unknown top-level and `variation.*` keys with a pointed error.
+/// Every key of the nested `kernel` section.
+const KNOWN_KERNEL_KEYS: &[&str] = &["simd"];
+
+/// Rejects unknown top-level, `variation.*` and `kernel.*` keys with a pointed error.
 fn check_config_keys(value: &serde::Value) -> Result<(), PipelineError> {
     let Some(entries) = value.as_object() else {
         return Ok(()); // A non-object config fails shape-checking with its own error.
@@ -216,13 +233,18 @@ fn check_config_keys(value: &serde::Value) -> Result<(), PipelineError> {
                 listing(KNOWN_CONFIG_KEYS, "")
             )));
         }
-        if key == "variation" {
+        let nested = match key.as_str() {
+            "variation" => Some(("variation", KNOWN_VARIATION_KEYS)),
+            "kernel" => Some(("kernel", KNOWN_KERNEL_KEYS)),
+            _ => None,
+        };
+        if let Some((section, known)) = nested {
             if let Some(inner) = sub.as_object() {
                 for (sub_key, _) in inner {
-                    if !KNOWN_VARIATION_KEYS.contains(&sub_key.as_str()) {
+                    if !known.contains(&sub_key.as_str()) {
                         return Err(PipelineError::config(format!(
-                            "unknown config key `variation.{sub_key}` (expected one of: {})",
-                            listing(KNOWN_VARIATION_KEYS, "variation.")
+                            "unknown config key `{section}.{sub_key}` (expected one of: {})",
+                            listing(known, &format!("{section}."))
                         )));
                     }
                 }
@@ -412,6 +434,14 @@ impl RunConfig {
             }
         };
 
+        let simd = self.kernel.as_ref().and_then(|k| k.simd).unwrap_or(false);
+        if simd && !matches!(backend, BackendChoice::Local) {
+            return Err(PipelineError::config(
+                "`kernel.simd` applies to the local backend only; farm workers run \
+                 their own kernels — drop `kernel.simd` or the farm configuration",
+            ));
+        }
+
         let seed = self.seed.unwrap_or(20150313);
         let variation = match &self.variation {
             None => None,
@@ -455,6 +485,7 @@ impl RunConfig {
             cache_path: self.cache.clone().map(std::path::PathBuf::from),
             backend,
             variation,
+            simd,
         })
     }
 }
@@ -494,6 +525,10 @@ pub struct ResolvedConfig {
     /// part of this configuration, so equal resolved configs on any shard draw identical
     /// process samples.
     pub variation: Option<VariationConfig>,
+    /// Whether the local backend routes batched lanes through the SIMD quad kernel.
+    /// Deliberately *not* part of [`TransientConfig`]: it changes how lanes execute, not
+    /// what a simulation means, so cache keys and farm wire hashes must not move with it.
+    pub simd: bool,
 }
 
 #[cfg(test)]
@@ -747,6 +782,55 @@ mod tests {
         );
         let err = RunConfig::from_json(r#"{"librray": "standard"}"#).unwrap_err();
         assert!(err.to_string().contains("`librray`"), "{err}");
+    }
+
+    #[test]
+    fn kernel_config_parses_from_json_and_dotted_toml() {
+        let json = r#"{"kernel": {"simd": true}}"#;
+        let toml_text = "kernel.simd = true";
+        let a = RunConfig::from_json(json).unwrap();
+        let b = RunConfig::from_toml(toml_text).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.kernel, Some(KernelKnobs { simd: Some(true) }));
+        assert!(a.resolve().unwrap().simd);
+        // Absent section (or absent flag) resolves to the scalar default.
+        assert!(!RunConfig::default().resolve().unwrap().simd);
+        let off = RunConfig::from_toml("kernel.simd = false").unwrap();
+        assert!(!off.resolve().unwrap().simd);
+        // And the section round-trips through JSON.
+        let text = serde_json::to_string(&a).unwrap();
+        assert_eq!(RunConfig::from_json(&text).unwrap(), a);
+    }
+
+    #[test]
+    fn unknown_kernel_keys_are_rejected_not_ignored() {
+        let err = RunConfig::from_toml("kernel.simds = true").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown config key `kernel.simds`"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("kernel.simd"), "{err}");
+        let err = RunConfig::from_json(r#"{"kernel": {"vectorize": true}}"#).unwrap_err();
+        assert!(err.to_string().contains("`kernel.vectorize`"), "{err}");
+    }
+
+    #[test]
+    fn simd_with_the_farm_backend_is_rejected() {
+        let bad = RunConfig {
+            kernel: Some(KernelKnobs { simd: Some(true) }),
+            spawn_workers: Some(2),
+            ..Default::default()
+        };
+        let err = bad.resolve().unwrap_err().to_string();
+        assert!(err.contains("local backend only"), "{err}");
+        // simd = false alongside the farm is fine: nothing was requested.
+        let ok = RunConfig {
+            kernel: Some(KernelKnobs { simd: Some(false) }),
+            spawn_workers: Some(2),
+            ..Default::default()
+        };
+        assert!(!ok.resolve().unwrap().simd);
     }
 
     #[test]

@@ -20,9 +20,11 @@
 use crate::batch::integrate_batch;
 use crate::input::InputPoint;
 use crate::measure::TimingMeasurement;
+use crate::simd::integrate_batch_simd;
 use crate::transient::{TransientConfig, TransientProblem};
 use slic_cells::{Cell, EquivalentInverter, TimingArc};
 use slic_device::{ProcessSample, TechnologyNode};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One fully-specified transient simulation: everything a backend — in-process or on the
@@ -65,27 +67,139 @@ pub trait SimulationBackend: Send + Sync {
 
     /// Solves every request, returning one result per lane in request order.
     fn solve_batch(&self, requests: &[SimRequest]) -> Vec<SimResult>;
+
+    /// Aggregate kernel work counters across every batch this backend has solved, when
+    /// the backend instruments its kernel ([`LocalBackend`] does; remote backends, which
+    /// cannot see their workers' counters, report `None`).
+    fn kernel_stats(&self) -> Option<KernelStatsSnapshot> {
+        None
+    }
 }
 
-/// The in-process backend: the batched Bogacki–Shampine kernel of [`crate::batch`].
+/// Aggregate kernel work counters of a backend, for the post-run summary: how many
+/// simulations the kernel integrated and how much work each cost on average.
+///
+/// Lanes that fail to complete their transition surface as lane errors before their
+/// counters are folded in, so the aggregates cover completed simulations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStatsSnapshot {
+    /// Whether the SIMD quad kernel produced these numbers.
+    pub simd: bool,
+    /// Completed simulations.
+    pub sims: u64,
+    /// Accepted integration steps.
+    pub steps: u64,
+    /// Step attempts rejected by the embedded error estimate.
+    pub rejected_steps: u64,
+    /// Transistor-model evaluations.
+    pub device_evals: u64,
+    /// SIMD quad step attempts (zero for the scalar kernel).
+    pub quad_rounds: u64,
+    /// Real lanes advanced by those quad attempts.
+    pub active_lane_rounds: u64,
+}
+
+impl KernelStatsSnapshot {
+    /// Accepted steps per completed simulation.
+    pub fn steps_per_sim(&self) -> f64 {
+        if self.sims == 0 {
+            0.0
+        } else {
+            self.steps as f64 / self.sims as f64
+        }
+    }
+
+    /// Transistor-model evaluations per completed simulation.
+    pub fn device_evals_per_sim(&self) -> f64 {
+        if self.sims == 0 {
+            0.0
+        } else {
+            self.device_evals as f64 / self.sims as f64
+        }
+    }
+
+    /// Fraction of SIMD quad slots occupied by real lanes, when the SIMD kernel ran.
+    pub fn quad_occupancy(&self) -> Option<f64> {
+        if self.quad_rounds == 0 {
+            None
+        } else {
+            Some(self.active_lane_rounds as f64 / (4 * self.quad_rounds) as f64)
+        }
+    }
+}
+
+/// Thread-safe accumulator behind [`LocalBackend`]: one relaxed atomic add per counter
+/// per batch, so instrumenting the kernel costs nothing on the per-lane hot path.
+#[derive(Debug, Default)]
+struct KernelStatsCell {
+    sims: AtomicU64,
+    steps: AtomicU64,
+    rejected_steps: AtomicU64,
+    device_evals: AtomicU64,
+    quad_rounds: AtomicU64,
+    active_lane_rounds: AtomicU64,
+}
+
+/// The in-process backend: the batched Bogacki–Shampine kernel of [`crate::batch`], or —
+/// when constructed with [`LocalBackend::with_simd`] — the SIMD quad worklist of
+/// [`crate::simd`].
 ///
 /// The equivalent inverter is rebuilt only when the `(tech, cell, seed)` triple changes
 /// between consecutive lanes (sweeps share one seed across every lane), mirroring what the
 /// engine did before the backend boundary existed — so measurements are bitwise identical
-/// to every artifact produced since.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct LocalBackend;
+/// to every artifact produced since.  Clones share one kernel-stats accumulator, so
+/// engines fanning batches out across threads still aggregate into one snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct LocalBackend {
+    simd: bool,
+    stats: Arc<KernelStatsCell>,
+}
 
 impl LocalBackend {
-    /// Creates the in-process backend.
+    /// Creates the in-process backend running the scalar batched kernel (the bitwise
+    /// reference every other backend must match).
     pub fn new() -> Self {
-        Self
+        Self::default()
+    }
+
+    /// Creates the in-process backend with the SIMD quad kernel enabled or disabled.
+    ///
+    /// With `simd = true` the backend's measurements carry the SIMD accuracy contract
+    /// (≤0.5 % of golden) instead of the scalar path's bitwise guarantee; the flag is
+    /// deliberately *not* part of [`TransientConfig`] so enabling it cannot move any
+    /// simulation cache key.
+    pub fn with_simd(simd: bool) -> Self {
+        Self {
+            simd,
+            stats: Arc::default(),
+        }
+    }
+
+    /// Whether this backend runs the SIMD quad kernel.
+    pub fn simd_enabled(&self) -> bool {
+        self.simd
     }
 }
 
 impl SimulationBackend for LocalBackend {
     fn name(&self) -> &str {
-        "local"
+        if self.simd {
+            "local-simd"
+        } else {
+            "local"
+        }
+    }
+
+    fn kernel_stats(&self) -> Option<KernelStatsSnapshot> {
+        Some(KernelStatsSnapshot {
+            simd: self.simd,
+            sims: self.stats.sims.load(Ordering::Relaxed),
+            steps: self.stats.steps.load(Ordering::Relaxed),
+            rejected_steps: self.stats.rejected_steps.load(Ordering::Relaxed),
+            device_evals: self.stats.device_evals.load(Ordering::Relaxed),
+            quad_rounds: self.stats.quad_rounds.load(Ordering::Relaxed),
+            active_lane_rounds: self.stats.active_lane_rounds.load(Ordering::Relaxed),
+        })
     }
 
     fn solve_batch(&self, requests: &[SimRequest]) -> Vec<SimResult> {
@@ -115,9 +229,40 @@ impl SimulationBackend for LocalBackend {
             problems.push(TransientProblem::new(eq, &req.arc, &req.point, &req.config));
             lanes.push(i);
         }
-        for (result, i) in integrate_batch(&problems).into_iter().zip(lanes) {
-            results[i] = Some(result.map(|(m, _)| m).map_err(|err| err.to_string()));
+        let lane_results = if self.simd {
+            let (lane_results, simd_stats) = integrate_batch_simd(&problems);
+            self.stats
+                .quad_rounds
+                .fetch_add(simd_stats.quad_rounds, Ordering::Relaxed);
+            self.stats
+                .active_lane_rounds
+                .fetch_add(simd_stats.active_lane_rounds, Ordering::Relaxed);
+            lane_results
+        } else {
+            integrate_batch(&problems)
+        };
+        let mut batch_stats = crate::transient::TransientStats::default();
+        let mut completed = 0u64;
+        for (result, i) in lane_results.into_iter().zip(lanes) {
+            results[i] = Some(match result {
+                Ok((m, stats)) => {
+                    batch_stats.merge(&stats);
+                    completed += 1;
+                    Ok(m)
+                }
+                Err(err) => Err(err.to_string()),
+            });
         }
+        self.stats.sims.fetch_add(completed, Ordering::Relaxed);
+        self.stats
+            .steps
+            .fetch_add(batch_stats.steps, Ordering::Relaxed);
+        self.stats
+            .rejected_steps
+            .fetch_add(batch_stats.rejected_steps, Ordering::Relaxed);
+        self.stats
+            .device_evals
+            .fetch_add(batch_stats.device_evals, Ordering::Relaxed);
         results
             .into_iter()
             .map(|r| r.expect("every lane resolved"))

@@ -29,6 +29,12 @@ use std::sync::{Arc, Condvar, Mutex};
 /// One batched-simulation request: an input point under one process seed.
 type Lane = (InputPoint, ProcessSample);
 
+/// One fully-specified lane of a mixed worklist: cell, arc, input point and process seed.
+///
+/// Mixed lanes let callers batch across *everything* that varies — arcs, grid points and
+/// seeds — into one kernel worklist, instead of issuing one batch per arc or per seed.
+pub type MixedLane = (Cell, TimingArc, InputPoint, ProcessSample);
+
 /// Lanes per batched-kernel call when a lane list is fanned out across worker threads:
 /// small enough that chunk count keeps every core busy, large enough that the batched
 /// worklist amortizes setup.
@@ -85,6 +91,37 @@ impl SimulationCounter {
     pub fn reset(&self) -> u64 {
         self.count.swap(0, Ordering::Relaxed)
     }
+}
+
+/// Shared dispatch counters of one engine (and its clones): how batched lanes were
+/// resolved.  Every lane that enters batched dispatch lands in exactly one bucket, so
+/// `dispatched == cached + claimed + deferred` at any quiescent point — the invariant the
+/// post-run dispatch summary and the deferral regression tests check.
+#[derive(Debug, Default)]
+struct DispatchCounters {
+    dispatched: AtomicU64,
+    cached: AtomicU64,
+    claimed: AtomicU64,
+    deferred: AtomicU64,
+}
+
+/// A point-in-time copy of an engine's dispatch counters.
+///
+/// `lanes_deferred` counts lanes that arrived in a batch while another worker already
+/// held their coordinate in flight: they fall back to the scalar single-flight path
+/// (waiting on the owner, then reading the cache).  Before this counter existed those
+/// lanes bypassed batch accounting entirely, making dispatch summaries under-report
+/// contended cross-seed batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchSnapshot {
+    /// Lanes submitted through batched dispatch.
+    pub lanes_dispatched: u64,
+    /// Lanes answered from the simulation cache without solving.
+    pub lanes_cached: u64,
+    /// Lanes this engine claimed and solved in a batched worklist.
+    pub lanes_claimed: u64,
+    /// Lanes deferred to the scalar path because their coordinate was in flight elsewhere.
+    pub lanes_deferred: u64,
 }
 
 /// The set of cache coordinates currently being solved, shared by every clone of one
@@ -147,6 +184,7 @@ pub struct CharacterizationEngine {
     cache: Option<Arc<dyn SimulationCache>>,
     backend: Arc<dyn SimulationBackend>,
     inflight: Arc<InFlight>,
+    dispatch: Arc<DispatchCounters>,
 }
 
 impl fmt::Debug for CharacterizationEngine {
@@ -182,6 +220,7 @@ impl CharacterizationEngine {
             cache: None,
             backend: Arc::new(LocalBackend::new()),
             inflight: Arc::new(InFlight::default()),
+            dispatch: Arc::new(DispatchCounters::default()),
         })
     }
 
@@ -239,6 +278,16 @@ impl CharacterizationEngine {
     /// Total number of transient simulations run so far (across clones of this engine).
     pub fn simulation_count(&self) -> u64 {
         self.counter.count()
+    }
+
+    /// Snapshot of the batched-dispatch counters (shared across clones of this engine).
+    pub fn dispatch_stats(&self) -> DispatchSnapshot {
+        DispatchSnapshot {
+            lanes_dispatched: self.dispatch.dispatched.load(Ordering::Relaxed),
+            lanes_cached: self.dispatch.cached.load(Ordering::Relaxed),
+            lanes_claimed: self.dispatch.claimed.load(Ordering::Relaxed),
+            lanes_deferred: self.dispatch.deferred.load(Ordering::Relaxed),
+        }
     }
 
     /// The default characterization input space of this technology (paper ranges for slew
@@ -357,32 +406,34 @@ impl CharacterizationEngine {
             })
     }
 
-    /// Solves one batch of lanes through the batched kernel, preserving the scalar path's
-    /// counter, cache and single-flight semantics: each lane counts and caches as one
-    /// simulation, repeated coordinates are answered from the cache, and a coordinate
-    /// being solved elsewhere is never paid for twice.
+    /// Solves one batch of mixed lanes through the batched kernel, preserving the scalar
+    /// path's counter, cache and single-flight semantics: each lane counts and caches as
+    /// one simulation, repeated coordinates are answered from the cache, and a coordinate
+    /// being solved elsewhere is never paid for twice.  Every lane is recorded in the
+    /// dispatch counters under exactly one of cached/claimed/deferred.
     ///
     /// Lanes whose coordinate is already in flight on another worker are *deferred*: the
     /// batch first solves the lanes it could claim (holding their claims), releases them,
     /// and only then waits on the stragglers through the scalar path — waiting while
     /// holding claims could deadlock two batches against each other.
-    fn simulate_lane_batch(
-        &self,
-        cell: Cell,
-        arc: &TimingArc,
-        lanes: &[Lane],
-    ) -> Vec<TimingMeasurement> {
-        let solve_batch = |subset: &[Lane]| -> Vec<TimingMeasurement> {
+    fn simulate_mixed_lane_batch(&self, lanes: &[MixedLane]) -> Vec<TimingMeasurement> {
+        self.dispatch
+            .dispatched
+            .fetch_add(lanes.len() as u64, Ordering::Relaxed);
+        let solve_batch = |subset: &[MixedLane]| -> Vec<TimingMeasurement> {
             let requests: Vec<SimRequest> = subset
                 .iter()
-                .map(|(point, seed)| self.request(cell, arc, point, seed))
+                .map(|(cell, arc, point, seed)| self.request(*cell, arc, point, seed))
                 .collect();
             self.counter.add(subset.len() as u64);
+            self.dispatch
+                .claimed
+                .fetch_add(subset.len() as u64, Ordering::Relaxed);
             self.backend
                 .solve_batch(&requests)
                 .into_iter()
                 .zip(subset)
-                .map(|(result, (point, _))| {
+                .map(|(result, (_, arc, point, _))| {
                     result.unwrap_or_else(|err| {
                         panic!(
                             "transient simulation failed for {} at {point}: {err}",
@@ -399,7 +450,9 @@ impl CharacterizationEngine {
 
         let keys: Vec<SimKey> = lanes
             .iter()
-            .map(|(point, seed)| SimKey::new(self.tech.name(), arc, point, seed, &self.config))
+            .map(|(_, arc, point, seed)| {
+                SimKey::new(self.tech.name(), arc, point, seed, &self.config)
+            })
             .collect();
         let mut results: Vec<Option<TimingMeasurement>> = vec![None; lanes.len()];
         let mut misses: Vec<usize> = Vec::new();
@@ -427,13 +480,20 @@ impl CharacterizationEngine {
                 }
             }
         }
+        let cached = lanes.len() - claimed.len() - deferred.len();
+        self.dispatch
+            .cached
+            .fetch_add(cached as u64, Ordering::Relaxed);
+        self.dispatch
+            .deferred
+            .fetch_add(deferred.len() as u64, Ordering::Relaxed);
 
         if !claimed.is_empty() {
             let claims = BatchClaims {
                 inflight: &self.inflight,
                 keys: claimed.iter().map(|&i| keys[i].clone()).collect(),
             };
-            let subset: Vec<Lane> = claimed.iter().map(|&i| lanes[i]).collect();
+            let subset: Vec<MixedLane> = claimed.iter().map(|&i| lanes[i]).collect();
             let solved = solve_batch(&subset);
             for (&i, m) in claimed.iter().zip(solved) {
                 cache.store(keys[i].clone(), m);
@@ -443,14 +503,40 @@ impl CharacterizationEngine {
         }
 
         for i in deferred {
-            let (point, seed) = &lanes[i];
-            results[i] = Some(self.simulate(cell, arc, point, seed));
+            let (cell, arc, point, seed) = &lanes[i];
+            results[i] = Some(self.simulate(*cell, arc, point, seed));
         }
 
         results
             .into_iter()
             .map(|m| m.expect("every lane resolved"))
             .collect()
+    }
+
+    /// Solves one batch of same-arc lanes as one worklist (see
+    /// [`simulate_mixed_lane_batch`](Self::simulate_mixed_lane_batch)).
+    fn simulate_lane_batch(
+        &self,
+        cell: Cell,
+        arc: &TimingArc,
+        lanes: &[Lane],
+    ) -> Vec<TimingMeasurement> {
+        let mixed: Vec<MixedLane> = lanes
+            .iter()
+            .map(|(point, seed)| (cell, *arc, *point, *seed))
+            .collect();
+        self.simulate_mixed_lane_batch(&mixed)
+    }
+
+    /// Fans a mixed lane list out across worker threads in batched chunks, preserving
+    /// order.
+    fn simulate_mixed_lanes(&self, lanes: &[MixedLane]) -> Vec<TimingMeasurement> {
+        let chunks: Vec<&[MixedLane]> = lanes.chunks(batch_width(lanes.len())).collect();
+        let per_chunk: Vec<Vec<TimingMeasurement>> = chunks
+            .par_iter()
+            .map(|chunk| self.simulate_mixed_lane_batch(chunk))
+            .collect();
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Fans a lane list out across worker threads in batched chunks, preserving order.
@@ -460,12 +546,27 @@ impl CharacterizationEngine {
         arc: &TimingArc,
         lanes: &[Lane],
     ) -> Vec<TimingMeasurement> {
-        let chunks: Vec<&[Lane]> = lanes.chunks(batch_width(lanes.len())).collect();
-        let per_chunk: Vec<Vec<TimingMeasurement>> = chunks
-            .par_iter()
-            .map(|chunk| self.simulate_lane_batch(cell, arc, chunk))
+        let mixed: Vec<MixedLane> = lanes
+            .iter()
+            .map(|(point, seed)| (cell, *arc, *point, *seed))
             .collect();
-        per_chunk.into_iter().flatten().collect()
+        self.simulate_mixed_lanes(&mixed)
+    }
+
+    /// Simulates an arbitrary mixed worklist — lanes spanning cells, arcs, input points
+    /// and process seeds — in parallel through the batched kernel.  Result `i`
+    /// corresponds to `lanes[i]` and is bitwise identical to
+    /// [`simulate`](Self::simulate) with the same coordinates: mega-batching across
+    /// seeds or arcs changes only how the work is grouped, never what a run pays for or
+    /// produces.
+    pub fn simulate_mixed(&self, lanes: &[MixedLane]) -> Vec<TimingMeasurement> {
+        self.simulate_mixed_lanes(lanes)
+    }
+
+    /// As [`simulate_mixed`](Self::simulate_mixed), but as **one** batched worklist on
+    /// the calling thread — for callers that already parallelize at a coarser grain.
+    pub fn simulate_mixed_batch(&self, lanes: &[MixedLane]) -> Vec<TimingMeasurement> {
+        self.simulate_mixed_lane_batch(lanes)
     }
 
     /// Runs one transient simulation at the nominal process corner.
@@ -771,6 +872,178 @@ mod tests {
             "warm batch pays zero simulations"
         );
         assert_eq!(cache.hits(), 12);
+    }
+
+    #[test]
+    fn mixed_worklist_matches_scalar_simulations_bitwise() {
+        let eng = engine();
+        let inv = Cell::new(CellKind::Inv, DriveStrength::X1);
+        let nand = Cell::new(CellKind::Nand2, DriveStrength::X2);
+        let mut rng = StdRng::seed_from_u64(41);
+        let seeds = eng.tech().variation().sample_n(&mut rng, 3);
+        // Lanes spanning cells, arcs, input points and seeds in one worklist.
+        let mut lanes: Vec<MixedLane> = Vec::new();
+        for (cell, pin) in [(inv, 0), (nand, 1)] {
+            for transition in [Transition::Fall, Transition::Rise] {
+                let arc = TimingArc::new(cell, pin, transition);
+                for (i, seed) in seeds.iter().enumerate() {
+                    lanes.push((cell, arc, pt(2.0 + 3.0 * i as f64, 1.5, 0.8), *seed));
+                }
+            }
+        }
+        let batched = eng.simulate_mixed(&lanes);
+        assert_eq!(eng.simulation_count(), lanes.len() as u64);
+        let reference = engine();
+        for ((cell, arc, point, seed), m) in lanes.iter().zip(&batched) {
+            let scalar = reference.simulate(*cell, arc, point, seed);
+            assert_eq!(
+                *m, scalar,
+                "mixed lane must be bitwise equal to its scalar sim"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_counters_cover_every_lane_exactly_once() {
+        use crate::cache::InMemorySimCache;
+        let cache = Arc::new(InMemorySimCache::new());
+        let eng = engine().with_cache(cache.clone());
+        let (cell, arc) = inv_fall();
+        let nominal = ProcessSample::nominal();
+        // A duplicated coordinate inside one batch exercises the deferral path
+        // deterministically: the first copy claims the key, so by the time the second
+        // copy is inspected under the in-flight lock it is "owned elsewhere" and must be
+        // deferred to the scalar path.
+        let lanes: Vec<MixedLane> = vec![
+            (cell, arc, pt(5.0, 2.0, 0.8), nominal),
+            (cell, arc, pt(9.0, 4.0, 0.7), nominal),
+            (cell, arc, pt(5.0, 2.0, 0.8), nominal),
+        ];
+        let first = eng.simulate_mixed_batch(&lanes);
+        assert_eq!(
+            first[0], first[2],
+            "deferred duplicate resolves to the same measurement"
+        );
+        let stats = eng.dispatch_stats();
+        assert_eq!(stats.lanes_dispatched, 3);
+        assert_eq!(stats.lanes_cached, 0);
+        assert_eq!(stats.lanes_claimed, 2);
+        assert_eq!(
+            stats.lanes_deferred, 1,
+            "the in-flight duplicate must be accounted as deferred"
+        );
+        assert_eq!(eng.simulation_count(), 2, "the duplicate is never re-paid");
+        // A warm replay of the same batch resolves every lane from the cache.
+        let second = eng.simulate_mixed_batch(&lanes);
+        assert_eq!(second, first);
+        let stats = eng.dispatch_stats();
+        assert_eq!(stats.lanes_dispatched, 6);
+        assert_eq!(stats.lanes_cached, 3);
+        assert_eq!(stats.lanes_claimed, 2);
+        assert_eq!(stats.lanes_deferred, 1);
+        assert_eq!(
+            stats.lanes_dispatched,
+            stats.lanes_cached + stats.lanes_claimed + stats.lanes_deferred,
+            "every dispatched lane lands in exactly one bucket"
+        );
+    }
+
+    /// A backend that blocks every solve until the test opens a gate, so the test can
+    /// pin one coordinate "in flight" while a batch on another thread dispatches it.
+    #[derive(Debug)]
+    struct GatedBackend {
+        state: Mutex<(u64, bool)>,
+        changed: Condvar,
+        inner: LocalBackend,
+    }
+
+    impl GatedBackend {
+        fn new() -> Self {
+            Self {
+                state: Mutex::new((0, false)),
+                changed: Condvar::new(),
+                inner: LocalBackend::new(),
+            }
+        }
+
+        /// Blocks until `n` solve calls have entered the gate.
+        fn wait_entered(&self, n: u64) {
+            let mut state = self.state.lock().unwrap();
+            while state.0 < n {
+                state = self.changed.wait(state).unwrap();
+            }
+        }
+
+        /// Opens the gate, releasing every blocked solve.
+        fn release(&self) {
+            self.state.lock().unwrap().1 = true;
+            self.changed.notify_all();
+        }
+    }
+
+    impl SimulationBackend for GatedBackend {
+        fn name(&self) -> &str {
+            "gated"
+        }
+
+        fn solve_batch(&self, requests: &[SimRequest]) -> Vec<crate::backend::SimResult> {
+            let mut state = self.state.lock().unwrap();
+            state.0 += 1;
+            self.changed.notify_all();
+            while !state.1 {
+                state = self.changed.wait(state).unwrap();
+            }
+            drop(state);
+            self.inner.solve_batch(requests)
+        }
+    }
+
+    #[test]
+    fn cross_thread_deferral_is_counted_and_bitwise_consistent() {
+        use crate::cache::InMemorySimCache;
+        let backend = Arc::new(GatedBackend::new());
+        let cache = Arc::new(InMemorySimCache::new());
+        let eng = engine()
+            .with_cache(cache.clone())
+            .with_backend(backend.clone());
+        let (cell, arc) = inv_fall();
+        let nominal = ProcessSample::nominal();
+        let contended = pt(5.0, 2.0, 0.8);
+        let fresh = pt(9.0, 4.0, 0.7);
+
+        // Worker A claims the contended coordinate through the scalar path and blocks
+        // inside the backend, holding its in-flight claim.
+        let eng_a = eng.clone();
+        let a = std::thread::spawn(move || eng_a.simulate(cell, &arc, &contended, &nominal));
+        backend.wait_entered(1);
+
+        // Worker B's cross-seed batch includes the contended coordinate: it must defer
+        // that lane, claim and solve the fresh one, then wait for A's result.
+        let eng_b = eng.clone();
+        let b = std::thread::spawn(move || {
+            eng_b.simulate_mixed_batch(&[
+                (cell, arc, contended, nominal),
+                (cell, arc, fresh, nominal),
+            ])
+        });
+        backend.wait_entered(2);
+        backend.release();
+
+        let from_a = a.join().expect("worker A completes");
+        let from_b = b.join().expect("worker B completes");
+        assert_eq!(
+            from_b[0], from_a,
+            "the deferred lane resolves to the claim owner's measurement"
+        );
+        let stats = eng.dispatch_stats();
+        assert_eq!(stats.lanes_dispatched, 2, "only the batch dispatches lanes");
+        assert_eq!(stats.lanes_cached, 0);
+        assert_eq!(stats.lanes_claimed, 1);
+        assert_eq!(
+            stats.lanes_deferred, 1,
+            "the lane owned by worker A must be accounted as deferred"
+        );
+        assert_eq!(eng.simulation_count(), 2, "the contended lane is paid once");
     }
 
     /// A backend that counts the lanes it is asked to solve and delegates to the local

@@ -52,17 +52,24 @@ pub mod disk;
 pub mod engine;
 pub mod input;
 pub mod measure;
+pub mod simd;
 pub mod transient;
 
-pub use backend::{LocalBackend, SimRequest, SimResult, SimulationBackend};
+pub use backend::{KernelStatsSnapshot, LocalBackend, SimRequest, SimResult, SimulationBackend};
 pub use batch::{
     simulate_switching_batch, simulate_switching_batch_with_stats, simulate_switching_sweep_batch,
 };
 pub use cache::{CacheError, InMemorySimCache, SimKey, SimulationCache, KERNEL_VERSION};
 pub use disk::{CompactionOptions, CompactionReport, DiskSimCache};
-pub use engine::{CharacterizationEngine, ConfigError, SimulationCounter};
+pub use engine::{
+    CharacterizationEngine, ConfigError, DispatchSnapshot, MixedLane, SimulationCounter,
+};
 pub use input::{InputPoint, InputSpace};
 pub use measure::TimingMeasurement;
+pub use simd::{
+    simulate_switching_batch_simd, simulate_switching_batch_simd_with_stats,
+    simulate_switching_simd_with_stats, SimdBatchStats,
+};
 pub use transient::{
     simulate_switching, simulate_switching_rk4, simulate_switching_rk4_with_stats,
     simulate_switching_with_stats, TransientConfig, TransientStats,

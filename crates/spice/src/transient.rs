@@ -164,8 +164,15 @@ pub struct TransientStats {
 }
 
 impl TransientStats {
-    fn add_derivative_evals(&mut self, n: u64) {
+    pub(crate) fn add_derivative_evals(&mut self, n: u64) {
         self.device_evals += 2 * n;
+    }
+
+    /// Folds another simulation's counters into this aggregate.
+    pub fn merge(&mut self, other: &TransientStats) {
+        self.steps += other.steps;
+        self.rejected_steps += other.rejected_steps;
+        self.device_evals += other.device_evals;
     }
 }
 
@@ -192,16 +199,16 @@ const HERMITE_BISECTIONS: u32 = 32;
 /// is constant across integration steps, pre-computed once per lane.
 #[derive(Debug, Clone)]
 pub(crate) struct TransientProblem {
-    vdd: f64,
-    ramp_time: f64,
-    inv_ramp_time: f64,
+    pub(crate) vdd: f64,
+    pub(crate) ramp_time: f64,
+    pub(crate) inv_ramp_time: f64,
     /// Signed `dVin/dt` during the ramp.
-    ramp_slope: f64,
-    input_rising: bool,
+    pub(crate) ramp_slope: f64,
+    pub(crate) input_rising: bool,
     output_rising: bool,
-    cm: f64,
-    inv_c_total: f64,
-    inv: CompiledInverter,
+    pub(crate) cm: f64,
+    pub(crate) inv_c_total: f64,
+    pub(crate) inv: CompiledInverter,
     horizon: f64,
     dv_max: f64,
     dt_min: f64,
@@ -319,12 +326,12 @@ impl TransientProblem {
 /// identical to the scalar simulation of the same problem.
 #[derive(Debug, Clone)]
 pub(crate) struct LaneState {
-    t: f64,
-    v: f64,
+    pub(crate) t: f64,
+    pub(crate) v: f64,
     /// Proposed size of the next step.
     dt: f64,
     /// FSAL derivative: `f(t, v)`, carried over from the last accepted step.
-    k1: f64,
+    pub(crate) k1: f64,
     /// Error norm of the previous accepted step (PI controller memory).
     err_prev: f64,
     crossings: [Option<f64>; 3],
@@ -361,17 +368,7 @@ impl LaneState {
     pub(crate) fn step(&mut self, p: &TransientProblem) {
         debug_assert!(!self.finished, "stepping a retired lane");
         loop {
-            // Clamp the proposal into the regime cap, then land exactly on the ramp-end
-            // derivative kink when the step would straddle it.
-            let dt_cap = if self.t < p.ramp_time {
-                p.dt_ramp_relaxed
-            } else {
-                p.dt_tail_cap
-            };
-            let mut dt = self.dt.clamp(p.dt_min, dt_cap);
-            if self.t < p.ramp_time && self.t + dt > p.ramp_time {
-                dt = p.ramp_time - self.t;
-            }
+            let dt = self.propose_dt(p);
 
             // Bogacki–Shampine 3(2) stages; k1 is inherited (FSAL).
             let k1 = self.k1;
@@ -380,40 +377,82 @@ impl LaneState {
             let v_next = self.v + dt * ((2.0 / 9.0) * k1 + (1.0 / 3.0) * k2 + (4.0 / 9.0) * k3);
             let t_next = self.t + dt;
             let k4 = p.f(t_next, v_next);
-            self.stats.add_derivative_evals(3);
 
-            // Embedded second-order error estimate.
-            let err = (dt
-                * ((-5.0 / 72.0) * k1 + (1.0 / 12.0) * k2 + (1.0 / 9.0) * k3 - (1.0 / 8.0) * k4))
-                .abs();
-            let err_norm = err / p.err_tol;
-
-            if err_norm <= 1.0 || dt <= p.dt_min {
-                // Accept.  PI controller proposes the next step from this error and the
-                // previous accepted one.
-                self.stats.steps += 1;
-                let growth = if err_norm > 0.0 {
-                    (SAFETY * err_norm.powf(-PI_ALPHA) * self.err_prev.powf(PI_BETA))
-                        .clamp(MIN_SHRINK, MAX_GROWTH)
-                } else {
-                    MAX_GROWTH
-                };
-                self.dt = dt * growth;
-                self.err_prev = err_norm.max(1e-4);
-
-                self.record_crossings(p, dt, v_next, k1, k4);
-                self.t = t_next;
-                self.v = v_next;
-                self.k1 = k4;
-                if self.crossings.iter().all(Option::is_some) || self.t >= p.horizon {
-                    self.finished = true;
-                }
+            if self.finish_attempt(p, dt, k2, k3, k4, v_next, t_next) {
                 return;
             }
-            // Reject: shrink and retry from the same state (k1 stays valid).
-            self.stats.rejected_steps += 1;
-            self.dt = dt * (SAFETY * err_norm.powf(-PI_ALPHA)).clamp(MIN_SHRINK, 1.0);
         }
+    }
+
+    /// The step size the next attempt will actually take: the stored proposal clamped into
+    /// the regime cap, then truncated to land exactly on the ramp-end derivative kink when
+    /// the step would straddle it.
+    pub(crate) fn propose_dt(&self, p: &TransientProblem) -> f64 {
+        let dt_cap = if self.t < p.ramp_time {
+            p.dt_ramp_relaxed
+        } else {
+            p.dt_tail_cap
+        };
+        let mut dt = self.dt.clamp(p.dt_min, dt_cap);
+        if self.t < p.ramp_time && self.t + dt > p.ramp_time {
+            dt = p.ramp_time - self.t;
+        }
+        dt
+    }
+
+    /// Completes one step attempt whose stages were already evaluated (by the scalar
+    /// derivative or by the SIMD quad kernel): error estimate, accept/reject decision, PI
+    /// controller update, crossing recording and retirement.  Returns `true` when the
+    /// attempt was accepted.
+    ///
+    /// The scalar [`step`](Self::step) loop and the SIMD worklist share this method, so
+    /// the two modes differ *only* in how the stage derivatives are computed.
+    #[allow(clippy::too_many_arguments)] // the flat stage bundle is the point: no per-attempt struct allocation
+    pub(crate) fn finish_attempt(
+        &mut self,
+        p: &TransientProblem,
+        dt: f64,
+        k2: f64,
+        k3: f64,
+        k4: f64,
+        v_next: f64,
+        t_next: f64,
+    ) -> bool {
+        let k1 = self.k1;
+        self.stats.add_derivative_evals(3);
+
+        // Embedded second-order error estimate.
+        let err = (dt
+            * ((-5.0 / 72.0) * k1 + (1.0 / 12.0) * k2 + (1.0 / 9.0) * k3 - (1.0 / 8.0) * k4))
+            .abs();
+        let err_norm = err / p.err_tol;
+
+        if err_norm <= 1.0 || dt <= p.dt_min {
+            // Accept.  PI controller proposes the next step from this error and the
+            // previous accepted one.
+            self.stats.steps += 1;
+            let growth = if err_norm > 0.0 {
+                (SAFETY * err_norm.powf(-PI_ALPHA) * self.err_prev.powf(PI_BETA))
+                    .clamp(MIN_SHRINK, MAX_GROWTH)
+            } else {
+                MAX_GROWTH
+            };
+            self.dt = dt * growth;
+            self.err_prev = err_norm.max(1e-4);
+
+            self.record_crossings(p, dt, v_next, k1, k4);
+            self.t = t_next;
+            self.v = v_next;
+            self.k1 = k4;
+            if self.crossings.iter().all(Option::is_some) || self.t >= p.horizon {
+                self.finished = true;
+            }
+            return true;
+        }
+        // Reject: shrink and retry from the same state (k1 stays valid).
+        self.stats.rejected_steps += 1;
+        self.dt = dt * (SAFETY * err_norm.powf(-PI_ALPHA)).clamp(MIN_SHRINK, 1.0);
+        false
     }
 
     /// Records any thresholds crossed inside the accepted step `[t, t + dt]` by bisecting

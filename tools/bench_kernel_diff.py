@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare a fresh transient-kernel bench run against the committed baseline.
+
+Usage: bench_kernel_diff.py <fresh.json> [committed.json]
+
+Prints one row per (variant, preset) with the committed and fresh throughput and
+their ratio, then the derived speedup keys from both artifacts.  Exits non-zero
+when a fresh variant falls below half its committed throughput — the same
+noise-tolerant floor the CI gate applies to the speedup ratios — so the target
+doubles as a local pre-push regression check.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh = json.load(open(sys.argv[1]))
+    committed_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_transient.json"
+    committed = json.load(open(committed_path))
+
+    def by_key(report):
+        return {(v["name"], v["config"]): v for v in report["variants"]}
+
+    committed_variants = by_key(committed)
+    fresh_variants = by_key(fresh)
+    modes = (
+        "committed " + ("reduced" if committed.get("reduced") else "full"),
+        "fresh " + ("reduced" if fresh.get("reduced") else "full"),
+    )
+    print(f"transient-kernel diff vs {committed_path} ({modes[0]}, {modes[1]})\n")
+    header = f"{'variant':<17}{'preset':<10}{'committed':>14}{'fresh':>14}{'ratio':>8}"
+    print(header)
+    print("-" * len(header))
+    regressed = []
+    for key in committed_variants:
+        name, config = key
+        base = committed_variants[key]["sims_per_sec"]
+        if key not in fresh_variants:
+            print(f"{name:<17}{config:<10}{base:>14.0f}{'(missing)':>14}{'':>8}")
+            continue
+        now = fresh_variants[key]["sims_per_sec"]
+        ratio = now / base
+        flag = "  <-- regressed" if ratio < 0.5 else ""
+        if ratio < 0.5:
+            regressed.append(key)
+        print(f"{name:<17}{config:<10}{base:>14.0f}{now:>14.0f}{ratio:>7.2f}x{flag}")
+
+    print(f"\n{'speedup':<44}{'committed':>10}{'fresh':>10}")
+    print("-" * 64)
+    for key, base in committed["speedups"].items():
+        now = fresh["speedups"].get(key)
+        now_text = f"{now:>9.2f}x" if now is not None else f"{'(missing)':>10}"
+        print(f"{key:<44}{base:>9.2f}x{now_text}")
+
+    if regressed:
+        names = ", ".join(f"{n}/{c}" for n, c in regressed)
+        print(f"\nREGRESSION: {names} below half the committed throughput")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
