@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench bench-kernel bench-kernel-diff lint fmt clippy clean
+.PHONY: build test bench bench-kernel bench-kernel-diff lint slic-lint lint-baseline fmt clippy clean
 
 build:
 	$(CARGO) build --release
@@ -30,7 +30,16 @@ fmt:
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 
-lint: fmt clippy
+lint: fmt clippy slic-lint
+
+# Workspace invariant checker: determinism, float hygiene, panic policy, lock
+# discipline (crates/lint).  Fails on new violations and on stale baseline entries.
+slic-lint:
+	$(CARGO) run --release -p slic-cli -- lint
+
+# Rewrite lint-baseline.json from the current tree (deny-class rules still fail).
+lint-baseline:
+	$(CARGO) run --release -p slic-cli -- lint --update-baseline
 
 clean:
 	$(CARGO) clean

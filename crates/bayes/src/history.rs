@@ -12,7 +12,7 @@ use slic_timing_model::TimingParams;
 use std::fmt;
 
 /// Which timing quantity a record (or prior, or extraction) refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum TimingMetric {
     /// Propagation delay `Td`.
     Delay,

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Direction of a signal transition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Transition {
     /// Low-to-high transition.
     Rise,
@@ -39,7 +39,7 @@ impl fmt::Display for Transition {
 ///
 /// Following the paper, only one timing arc is modelled at a time (no simultaneous input
 /// switching); the other inputs are held at their non-controlling values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TimingArc {
     cell: Cell,
     input_pin: usize,

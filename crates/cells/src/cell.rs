@@ -8,7 +8,7 @@ use std::fmt;
 /// Each kind is a static CMOS gate; its pull-up and pull-down networks are described by
 /// [`CellKind::pull_up_topology`] / [`CellKind::pull_down_topology`], which is all the
 /// equivalent-inverter reduction needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CellKind {
     /// Single-input inverter.
     Inv,
@@ -139,7 +139,9 @@ impl fmt::Display for CellKind {
 }
 
 /// Drive strength multiplier of a cell instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum DriveStrength {
     /// Unit drive.
     #[default]
@@ -189,7 +191,7 @@ impl fmt::Display for DriveStrength {
 }
 
 /// A concrete cell: a kind at a drive strength.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Cell {
     kind: CellKind,
     drive: DriveStrength,

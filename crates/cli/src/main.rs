@@ -12,6 +12,7 @@
 //! slic export       # run artifact -> Liberty text
 //! slic report       # run artifact -> Markdown summary
 //! slic cache        # cache maintenance (compact)
+//! slic lint         # workspace invariant checker (slic-lint)
 //! ```
 //!
 //! Run `slic help` for the full flag reference.  Argument parsing is hand-rolled
@@ -25,14 +26,14 @@ use slic_pipeline::{
     RunProfile,
 };
 use slic_spice::{CharacterizationEngine, CompactionOptions, DiskSimCache};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 const USAGE: &str = "slic — statistical library characterization pipeline
 
 USAGE:
-    slic <learn|characterize|worker|merge|export|report|cache|help> [--flag value]...
+    slic <learn|characterize|worker|merge|export|report|cache|lint|help> [--flag value]...
 
 FARM FLAGS (learn and characterize):
     --backend <name>        local (default) | farm
@@ -118,6 +119,17 @@ SUBCOMMANDS:
                                             kernel predating this binary's (they can
                                             never answer a lookup again); reported
                                             separately from the duplicate count
+
+    lint          Run the workspace invariant checker (determinism, float hygiene,
+                  panic policy, lock discipline) against the committed baseline.
+                  Exits nonzero on any new violation or stale baseline entry.
+                    --root <dir>            workspace root (default .)
+                    --config <file>         policy file (default configs/lint.toml)
+                    --baseline <file>       baseline (default lint-baseline.json)
+                    --format <name>         human (default) | json
+                    --update-baseline       rewrite the baseline from this run's
+                                            baselineable findings (still fails on
+                                            deny-class D1/F1/S1 violations)
 ";
 
 fn main() -> ExitCode {
@@ -163,6 +175,11 @@ fn main() -> ExitCode {
             (&args[1..], flags, vec!["variation", "simd"])
         }
         "worker" => (&args[1..], vec!["listen", "max-batches"], vec![]),
+        "lint" => (
+            &args[1..],
+            vec!["root", "config", "baseline", "format"],
+            vec!["update-baseline"],
+        ),
         "merge" => (&args[1..], vec!["inputs", "out"], vec![]),
         "export" => (&args[1..], vec!["run", "out"], vec!["variation"]),
         "report" => (&args[1..], vec!["run"], vec![]),
@@ -198,6 +215,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(&flags),
         "report" => cmd_report(&flags),
         "cache" => cmd_cache_compact(&flags),
+        "lint" => return cmd_lint(&flags),
         _ => unreachable!("unknown subcommands rejected above"),
     };
     match outcome {
@@ -209,6 +227,80 @@ fn main() -> ExitCode {
     }
 }
 
+/// `slic lint`: run the workspace invariant checker against the committed baseline.
+fn cmd_lint(flags: &BTreeMap<String, String>) -> ExitCode {
+    let root = std::path::PathBuf::from(flags.get("root").map_or(".", String::as_str));
+    let config_path = root.join(
+        flags
+            .get("config")
+            .map_or("configs/lint.toml", String::as_str),
+    );
+    let baseline_path = root.join(
+        flags
+            .get("baseline")
+            .map_or("lint-baseline.json", String::as_str),
+    );
+    let format = flags.get("format").map_or("human", String::as_str);
+    if !matches!(format, "human" | "json") {
+        eprintln!("error: unknown lint format `{format}` (expected human or json)");
+        return ExitCode::from(2);
+    }
+    let fail = |err: &dyn std::fmt::Display| {
+        eprintln!("error: {err}");
+        ExitCode::from(2)
+    };
+    let config = match slic_lint::config::LintConfig::load(&config_path) {
+        Ok(config) => config,
+        Err(err) => return fail(&err),
+    };
+    if flags.contains_key("update-baseline") {
+        let run = match slic_lint::run(&root, &config) {
+            Ok(run) => run,
+            Err(err) => return fail(&err),
+        };
+        let baseline = slic_lint::baseline::Baseline::from_violations(&run.violations);
+        if let Err(err) = std::fs::write(&baseline_path, baseline.to_json()) {
+            eprintln!("error: cannot write `{}`: {err}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        let deny: Vec<_> = run.violations.iter().filter(|v| v.rule.is_deny()).collect();
+        for violation in &deny {
+            eprintln!("{violation}");
+        }
+        eprintln!(
+            "baseline rewritten: {} entr(ies) at `{}`",
+            run.violations.len() - deny.len(),
+            baseline_path.display()
+        );
+        if deny.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "{} deny-class violation(s) remain (D1/F1/S1 are never baselineable)",
+            deny.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let baseline = match slic_lint::baseline::Baseline::load(&baseline_path) {
+        Ok(baseline) => baseline,
+        Err(err) => return fail(&err),
+    };
+    let outcome = match slic_lint::check(&root, &config, &baseline) {
+        Ok(outcome) => outcome,
+        Err(err) => return fail(&err),
+    };
+    let report = match format {
+        "json" => slic_lint::render_json(&outcome.run, &outcome.diff),
+        _ => slic_lint::render_human(&outcome.run, &outcome.diff),
+    };
+    print!("{report}");
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Parses `--flag value` pairs plus valueless `switches` (recorded as `"true"`); rejects
 /// stray positionals, missing values, and flags the subcommand does not consume (a typo'd
 /// flag must not silently fall back to a default).
@@ -216,8 +308,8 @@ fn parse_flags(
     args: &[String],
     allowed: &[&str],
     switches: &[&str],
-) -> Result<HashMap<String, String>, String> {
-    let mut flags = HashMap::new();
+) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let name = arg
@@ -256,7 +348,7 @@ fn comma_list(text: &str) -> Vec<String> {
 }
 
 /// Builds the run configuration from an optional `--config` file plus CLI overrides.
-fn build_config(flags: &HashMap<String, String>) -> Result<RunConfig, PipelineError> {
+fn build_config(flags: &BTreeMap<String, String>) -> Result<RunConfig, PipelineError> {
     let mut config = match flags.get("config") {
         Some(path) => RunConfig::load(path)?,
         None => RunConfig::default(),
@@ -408,7 +500,7 @@ fn parse_shard_spec(text: &str) -> Result<(usize, usize), PipelineError> {
     Ok((index, count))
 }
 
-fn cmd_learn(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+fn cmd_learn(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     let config = build_config(flags)?.resolve()?;
     let (runner, farm) = build_runner(config)?;
     let learning = runner.learn();
@@ -432,7 +524,7 @@ fn cmd_learn(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
     Ok(())
 }
 
-fn cmd_worker(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+fn cmd_worker(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     let max_batches = match flags.get("max-batches") {
         Some(v) => Some(v.parse::<u64>().map_err(|_| {
             PipelineError::config(format!("`--max-batches {v}` is not an integer"))
@@ -473,7 +565,7 @@ fn cmd_worker(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
     }
 }
 
-fn cmd_cache_compact(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+fn cmd_cache_compact(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     let path = flags
         .get("cache")
         .ok_or_else(|| PipelineError::config("`slic cache compact` needs `--cache <file>`"))?;
@@ -489,7 +581,7 @@ fn cmd_cache_compact(flags: &HashMap<String, String>) -> Result<(), PipelineErro
     Ok(())
 }
 
-fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     if flags.contains_key("shard") && flags.contains_key("liberty") {
         return Err(PipelineError::config(
             "`--liberty` with `--shard` would silently export a partial library; run the \
@@ -607,7 +699,7 @@ fn cmd_characterize(flags: &HashMap<String, String>) -> Result<(), PipelineError
     Ok(())
 }
 
-fn cmd_merge(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+fn cmd_merge(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     let inputs = flags
         .get("inputs")
         .ok_or_else(|| PipelineError::config("`slic merge` needs `--inputs a.json,b.json,...`"))?;
@@ -661,7 +753,7 @@ fn engine_for(
     Ok((engine, profile))
 }
 
-fn cmd_export(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+fn cmd_export(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     let run_path = flags.get("run").map(String::as_str).unwrap_or("run.json");
     let artifact = RunArtifact::load(run_path)?;
     if artifact.is_partial() {
@@ -714,7 +806,7 @@ fn cmd_export(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
     Ok(())
 }
 
-fn cmd_report(flags: &HashMap<String, String>) -> Result<(), PipelineError> {
+fn cmd_report(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     let run_path = flags.get("run").map(String::as_str).unwrap_or("run.json");
     let artifact = RunArtifact::load(run_path)?;
     print!("{}", artifact.summary_markdown());

@@ -121,7 +121,12 @@ impl JobQueue {
     /// failed back onto the queue.  Returns `None` only when the queue is drained and
     /// nothing is in flight.
     fn next(&self) -> Option<Job> {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        // A poisoned queue means a dispatcher panicked; every mutation below is a single
+        // statement, so the state is still consistent — recover it and keep dispatching.
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         loop {
             if let Some(job) = state.jobs.pop_front() {
                 state.in_flight += 1;
@@ -130,20 +135,29 @@ impl JobQueue {
             if state.in_flight == 0 {
                 return None;
             }
-            state = self.ready.wait(state).expect("job queue poisoned");
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
     /// Marks a held job finished (solved, or handed to the stranded list).
     fn done(&self) {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         state.in_flight -= 1;
         self.ready.notify_all();
     }
 
     /// Returns a held job to the queue for another dispatcher — the failover path.
     fn requeue(&self, job: Job) {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         state.in_flight -= 1;
         state.jobs.push_back(job);
         self.ready.notify_all();
@@ -151,7 +165,10 @@ impl JobQueue {
 
     /// Drains whatever is left once every dispatcher has exited.
     fn drain(&self) -> Vec<Job> {
-        let mut state = self.state.lock().expect("job queue poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         state.jobs.drain(..).collect()
     }
 }
@@ -294,7 +311,7 @@ impl FarmBackend {
     pub fn live_workers(&self) -> usize {
         self.workers
             .iter()
-            .filter(|w| w.conn.lock().expect("worker slot poisoned").is_some())
+            .filter(|w| w.conn.lock().is_ok_and(|conn| conn.is_some()))
             .count()
     }
 
@@ -321,7 +338,14 @@ impl FarmBackend {
         slot: &WorkerSlot,
         requests: &[WireRequest],
     ) -> Result<Vec<SimResult>, FarmError> {
-        let mut guard = slot.conn.lock().expect("worker slot poisoned");
+        let mut guard = match slot.conn.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                return Err(FarmError::WorkerDown(slot.name.clone()));
+            }
+        };
         let outcome = (|| -> Result<Vec<SimResult>, FarmError> {
             let conn = guard
                 .as_mut()
@@ -342,6 +366,7 @@ impl FarmBackend {
             let mut line = String::new();
             let read = conn
                 .reader
+                // slic-lint: allow(L1) -- the protocol is strictly alternating per connection, so the slot lock must span the write+read round trip; other workers use other slots and the read has a deadline.
                 .read_line(&mut line)
                 .map_err(|err| FarmError::Transport(slot.name.clone(), err.to_string()))?;
             if read == 0 {
@@ -457,7 +482,7 @@ impl SimulationBackend for FarmBackend {
 
         std::thread::scope(|scope| {
             for slot in &self.workers {
-                if slot.conn.lock().expect("worker slot poisoned").is_none() {
+                if !slot.conn.lock().is_ok_and(|conn| conn.is_some()) {
                     continue;
                 }
                 let queue = &queue;
@@ -469,6 +494,7 @@ impl SimulationBackend for FarmBackend {
                     while let Some(mut job) = queue.next() {
                         let wire: Vec<WireRequest> = lanes[job.start..job.end]
                             .iter()
+                            // slic-lint: allow(P1) -- structural: `lanes` holds exactly the indices whose encoding succeeded.
                             .map(|&i| encoded[i].clone().expect("encodable lane"))
                             .collect();
                         match self.roundtrip(slot, &wire) {
@@ -478,7 +504,7 @@ impl SimulationBackend for FarmBackend {
                                     .fetch_add(solved.len() as u64, Ordering::Relaxed);
                                 completed
                                     .lock()
-                                    .expect("completed list poisoned")
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                                     .push((job, solved));
                                 queue.done();
                             }
@@ -490,7 +516,10 @@ impl SimulationBackend for FarmBackend {
                                 self.failovers.fetch_add(1, Ordering::Relaxed);
                                 job.attempts += 1;
                                 if job.attempts >= max_attempts {
-                                    stranded.lock().expect("stranded list poisoned").push(job);
+                                    stranded
+                                        .lock()
+                                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                        .push(job);
                                     queue.done();
                                 } else {
                                     queue.requeue(job);
@@ -506,7 +535,9 @@ impl SimulationBackend for FarmBackend {
 
         // Anything the fleet could not finish — stranded jobs, or a queue abandoned when
         // the last worker died — is solved in-process so the run still completes.
-        let mut leftovers = stranded.into_inner().expect("stranded list poisoned");
+        let mut leftovers = stranded
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         leftovers.extend(queue.drain());
         for job in &leftovers {
             let subset: Vec<SimRequest> = lanes[job.start..job.end]
@@ -520,7 +551,10 @@ impl SimulationBackend for FarmBackend {
                 results[lane] = Some(result);
             }
         }
-        for (job, solved) in completed.into_inner().expect("completed list poisoned") {
+        let completed = completed
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for (job, solved) in completed {
             for (&lane, result) in lanes[job.start..job.end].iter().zip(solved) {
                 results[lane] = Some(result);
             }
@@ -539,6 +573,7 @@ impl SimulationBackend for FarmBackend {
         }
         results
             .into_iter()
+            // slic-lint: allow(P1) -- structural: every lane is either untransportable, stranded, or completed, and each path fills its slot.
             .map(|r| r.expect("every lane resolved"))
             .collect()
     }
@@ -547,7 +582,15 @@ impl SimulationBackend for FarmBackend {
 impl Drop for FarmBackend {
     fn drop(&mut self) {
         for slot in &self.workers {
-            let mut guard = slot.conn.lock().expect("worker slot poisoned");
+            // A poisoned slot's connection state is unknown; drop it without the
+            // orderly shutdown message (the Drop on WorkerConn still reaps a child).
+            let mut guard = match slot.conn.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => {
+                    *poisoned.into_inner() = None;
+                    continue;
+                }
+            };
             if let Some(conn) = guard.as_mut() {
                 // Orderly shutdown; a worker that already died ignores us.
                 let _ = writeln!(conn.writer, "{}", encode_message(&Message::Shutdown));

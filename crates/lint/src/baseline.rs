@@ -1,0 +1,280 @@
+//! The committed baseline (`lint-baseline.json`): pre-existing baselineable violations,
+//! frozen so CI fails only on *new* debt — and on *stale* entries, so a fixed violation
+//! must also be deleted from the baseline instead of silently reserving headroom.
+//!
+//! Entries are keyed by `(file, rule, excerpt)` — the trimmed source line — with a count,
+//! so unrelated edits that shift line numbers do not churn the baseline, while adding a
+//! second identical violation on another line still fails.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use crate::rules::{Rule, Violation};
+
+/// One frozen violation class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub file: String,
+    pub rule: Rule,
+    pub excerpt: String,
+    pub count: usize,
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: BTreeMap<(String, Rule, String), usize>,
+}
+
+/// A malformed baseline file.
+#[derive(Debug, Clone)]
+pub struct BaselineError(String);
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid baseline: {}", self.0)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// How one run's findings compare against the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings beyond the baselined count — these fail the run.
+    pub fresh: Vec<Violation>,
+    /// Findings absorbed by the baseline.
+    pub absorbed: usize,
+    /// Baseline entries whose counted violations no longer all exist — these fail the
+    /// run too (the fix must also shrink the baseline).
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the baseline JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BaselineError`] on malformed JSON, a bad version, or entries that do
+    /// not match the schema (deny-class rules are rejected outright — they are never
+    /// baselineable).
+    pub fn parse(text: &str) -> Result<Self, BaselineError> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|err| BaselineError(err.to_string()))?;
+        let version = value
+            .get("version")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| BaselineError("missing `version`".to_string()))?;
+        if version != 1.0 {
+            return Err(BaselineError(format!("unsupported version {version}")));
+        }
+        let raw_entries = value
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| BaselineError("missing `entries` array".to_string()))?;
+        let mut entries = BTreeMap::new();
+        for raw in raw_entries {
+            let field = |name: &str| {
+                raw.get(name)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| BaselineError(format!("entry missing string `{name}`")))
+            };
+            let file = field("file")?;
+            let code = field("rule")?;
+            let excerpt = field("excerpt")?;
+            let rule = Rule::from_code(&code)
+                .ok_or_else(|| BaselineError(format!("unknown rule code `{code}`")))?;
+            if rule.is_deny() {
+                return Err(BaselineError(format!(
+                    "rule {code} is deny-class and cannot be baselined ({file}: {excerpt})"
+                )));
+            }
+            let count = raw
+                .get("count")
+                .and_then(Value::as_f64)
+                .filter(|c| *c >= 1.0 && c.fract() == 0.0)
+                .ok_or_else(|| {
+                    BaselineError("entry missing positive integer `count`".to_string())
+                })? as usize;
+            if entries.insert((file, rule, excerpt), count).is_some() {
+                return Err(BaselineError("duplicate entry".to_string()));
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Loads the baseline at `path`; a missing file is an empty baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BaselineError`] when the file exists but cannot be read or parsed.
+    pub fn load(path: &std::path::Path) -> Result<Self, BaselineError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(err) => Err(BaselineError(format!(
+                "cannot read `{}`: {err}",
+                path.display()
+            ))),
+        }
+    }
+
+    /// Builds a baseline from one run's findings, keeping only baselineable rules.
+    pub fn from_violations<'a>(violations: impl IntoIterator<Item = &'a Violation>) -> Self {
+        let mut entries: BTreeMap<(String, Rule, String), usize> = BTreeMap::new();
+        for violation in violations {
+            if violation.rule.is_deny() {
+                continue;
+            }
+            *entries
+                .entry((
+                    violation.file.clone(),
+                    violation.rule,
+                    violation.excerpt.clone(),
+                ))
+                .or_insert(0) += 1;
+        }
+        Self { entries }
+    }
+
+    /// Splits findings into fresh (beyond the baselined count) and absorbed, and reports
+    /// stale baseline entries.  Findings arrive sorted by line per file, so when a class
+    /// has more hits than baseline headroom the *later* lines are the fresh ones.
+    pub fn diff(&self, violations: &[Violation]) -> BaselineDiff {
+        let mut budget: BTreeMap<(String, Rule, String), usize> = self.entries.clone();
+        let mut diff = BaselineDiff::default();
+        for violation in violations {
+            if violation.rule.is_deny() {
+                diff.fresh.push(violation.clone());
+                continue;
+            }
+            let key = (
+                violation.file.clone(),
+                violation.rule,
+                violation.excerpt.clone(),
+            );
+            match budget.get_mut(&key) {
+                Some(remaining) if *remaining > 0 => {
+                    *remaining -= 1;
+                    diff.absorbed += 1;
+                }
+                _ => diff.fresh.push(violation.clone()),
+            }
+        }
+        for ((file, rule, excerpt), remaining) in budget {
+            if remaining > 0 {
+                diff.stale.push(BaselineEntry {
+                    file,
+                    rule,
+                    excerpt,
+                    count: remaining,
+                });
+            }
+        }
+        diff
+    }
+
+    /// The baseline as a stable, diffable JSON document (sorted entries, one per line).
+    pub fn to_json(&self) -> String {
+        let entries: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|((file, rule, excerpt), count)| {
+                Value::Object(vec![
+                    ("file".to_string(), Value::String(file.clone())),
+                    ("rule".to_string(), Value::String(rule.code().to_string())),
+                    ("excerpt".to_string(), Value::String(excerpt.clone())),
+                    ("count".to_string(), Value::Number(*count as f64)),
+                ])
+            })
+            .collect();
+        let document = Value::Object(vec![
+            ("version".to_string(), Value::Number(1.0)),
+            ("entries".to_string(), Value::Array(entries)),
+        ]);
+        let mut text = serde_json::to_string_pretty(&document).unwrap_or_else(|_| "{}".to_string()); // slic-lint: allow(P1) -- Value serialization to a String is infallible in the compat layer.
+        text.push('\n');
+        text
+    }
+
+    /// Total baselined violation count, per rule.
+    pub fn counts(&self) -> BTreeMap<Rule, usize> {
+        let mut counts = BTreeMap::new();
+        for ((_, rule, _), count) in &self.entries {
+            *counts.entry(*rule).or_insert(0) += count;
+        }
+        counts
+    }
+
+    /// Whether the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(file: &str, rule: Rule, line: u32, excerpt: &str) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let violations = vec![
+            violation("a.rs", Rule::P1, 3, "x.unwrap()"),
+            violation("a.rs", Rule::P1, 9, "x.unwrap()"),
+            violation("b.rs", Rule::L1, 2, "solve_batch(reqs)"),
+        ];
+        let baseline = Baseline::from_violations(&violations);
+        let parsed = Baseline::parse(&baseline.to_json()).expect("roundtrip");
+        assert_eq!(parsed.entries, baseline.entries);
+        let diff = parsed.diff(&violations);
+        assert!(diff.fresh.is_empty(), "{:?}", diff.fresh);
+        assert!(diff.stale.is_empty(), "{:?}", diff.stale);
+        assert_eq!(diff.absorbed, 3);
+    }
+
+    #[test]
+    fn extra_hits_are_fresh_and_missing_hits_are_stale() {
+        let baseline = Baseline::from_violations(&[
+            violation("a.rs", Rule::P1, 3, "x.unwrap()"),
+            violation("a.rs", Rule::P1, 9, "x.unwrap()"),
+        ]);
+        // Three identical hits against a budget of two: the last line is fresh.
+        let now = vec![
+            violation("a.rs", Rule::P1, 3, "x.unwrap()"),
+            violation("a.rs", Rule::P1, 9, "x.unwrap()"),
+            violation("a.rs", Rule::P1, 12, "x.unwrap()"),
+        ];
+        let diff = baseline.diff(&now);
+        assert_eq!(diff.fresh.len(), 1);
+        assert_eq!(diff.fresh[0].line, 12);
+        // One hit against a budget of two: one stale unit remains.
+        let diff = baseline.diff(&now[..1]);
+        assert!(diff.fresh.is_empty());
+        assert_eq!(diff.stale.len(), 1);
+        assert_eq!(diff.stale[0].count, 1);
+    }
+
+    #[test]
+    fn deny_rules_are_never_absorbed_or_baselined() {
+        let d1 = violation("a.rs", Rule::D1, 1, "HashMap::new()");
+        let baseline = Baseline::from_violations(std::slice::from_ref(&d1));
+        assert!(baseline.is_empty());
+        let diff = baseline.diff(std::slice::from_ref(&d1));
+        assert_eq!(diff.fresh.len(), 1);
+        let hand_written = r#"{"version":1,"entries":[
+            {"file":"a.rs","rule":"D1","excerpt":"HashMap::new()","count":1}]}"#;
+        assert!(Baseline::parse(hand_written).is_err());
+    }
+}

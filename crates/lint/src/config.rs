@@ -1,0 +1,245 @@
+//! The lint policy file (`configs/lint.toml`): which paths each rule covers.
+//!
+//! The format is the TOML subset the workspace already uses elsewhere — `[section]`
+//! headers, `key = "string"`, `key = ["a", "b"]`, `#` comments — parsed by hand because
+//! the build environment vendors no TOML crate.  Unknown sections and keys are rejected:
+//! a typo'd policy key silently linting nothing would defeat the whole tool.
+
+use std::fmt;
+
+/// A malformed or unreadable policy file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid lint configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The whole lint policy.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Directories (relative to the workspace root) scanned for `.rs` files.
+    pub roots: Vec<String>,
+    /// Path substrings that exclude a file from scanning entirely (compat shims,
+    /// fixtures, generated code).
+    pub skip: Vec<String>,
+    /// D1 determinism scope: artifact-producing paths where `HashMap`/`HashSet` and
+    /// wall-clock/thread-identity reads are denied.
+    pub d1_paths: Vec<String>,
+    /// F1 float-equality scope.
+    pub f1_eq_paths: Vec<String>,
+    /// F1 derive-hygiene scope (derive(Hash)/derive(Eq) over float fields).
+    pub f1_derive_paths: Vec<String>,
+    /// Wire/cache modules where floats must cross boundaries as hex bit patterns.
+    pub f1_wire_paths: Vec<String>,
+    /// Named wrapper types known to hold floats (`Seconds(f64)`, ...), treated as float
+    /// fields by the derive rule.
+    pub f1_float_wrappers: Vec<String>,
+    /// P1 panic-policy scope (library crates).
+    pub p1_paths: Vec<String>,
+    /// L1 lock-discipline scope.
+    pub l1_paths: Vec<String>,
+    /// Calls considered blocking for L1 (solver entry points and wire I/O).
+    pub l1_blocking_calls: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self {
+            roots: vec!["crates".to_string(), "src".to_string()],
+            skip: vec!["crates/compat".to_string()],
+            d1_paths: Vec::new(),
+            f1_eq_paths: Vec::new(),
+            f1_derive_paths: Vec::new(),
+            f1_wire_paths: Vec::new(),
+            f1_float_wrappers: Vec::new(),
+            p1_paths: Vec::new(),
+            l1_paths: Vec::new(),
+            l1_blocking_calls: Vec::new(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// Parses the policy text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first malformed line, unknown section or
+    /// unknown key.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut config = Self::default();
+        let mut section = String::new();
+        // Logical lines: a `key = [` array may span physical lines until its `]`.
+        let mut lines = text.lines().enumerate();
+        while let Some((index, raw)) = lines.next() {
+            let mut line = strip_comment(raw).trim().to_string();
+            let lineno = index + 1;
+            while line.contains('[') && !line.starts_with('[') && !line.contains(']') {
+                let Some((_, continuation)) = lines.next() else {
+                    return Err(ConfigError::new(format!("line {lineno}: unclosed array")));
+                };
+                line.push(' ');
+                line.push_str(strip_comment(continuation).trim());
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| ConfigError::new(format!("line {lineno}: unclosed section")))?;
+                section = header.trim().to_string();
+                const SECTIONS: &[&str] = &["scan", "rules.D1", "rules.F1", "rules.P1", "rules.L1"];
+                if !SECTIONS.contains(&section.as_str()) {
+                    return Err(ConfigError::new(format!(
+                        "line {lineno}: unknown section `[{section}]` (expected one of {})",
+                        SECTIONS.join(", ")
+                    )));
+                }
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                ConfigError::new(format!("line {lineno}: expected `key = value`"))
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            let slot = match (section.as_str(), key) {
+                ("scan", "roots") => &mut config.roots,
+                ("scan", "skip") => &mut config.skip,
+                ("rules.D1", "paths") => &mut config.d1_paths,
+                ("rules.F1", "eq_paths") => &mut config.f1_eq_paths,
+                ("rules.F1", "derive_paths") => &mut config.f1_derive_paths,
+                ("rules.F1", "wire_paths") => &mut config.f1_wire_paths,
+                ("rules.F1", "float_wrappers") => &mut config.f1_float_wrappers,
+                ("rules.P1", "paths") => &mut config.p1_paths,
+                ("rules.L1", "paths") => &mut config.l1_paths,
+                ("rules.L1", "blocking_calls") => &mut config.l1_blocking_calls,
+                _ => {
+                    return Err(ConfigError::new(format!(
+                        "line {lineno}: unknown key `{key}` in section `[{section}]`"
+                    )))
+                }
+            };
+            *slot = parse_string_array(value).ok_or_else(|| {
+                ConfigError::new(format!(
+                    "line {lineno}: `{key}` expects a `[\"...\"]` string array"
+                ))
+            })?;
+        }
+        Ok(config)
+    }
+
+    /// Loads and parses the policy file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the file cannot be read or parsed.
+    pub fn load(path: &std::path::Path) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| ConfigError::new(format!("cannot read `{}`: {err}", path.display())))?;
+        Self::parse(&text)
+    }
+}
+
+/// Drops a trailing `#` comment, honouring `"` quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut previous_backslash = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' if !previous_backslash => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        previous_backslash = ch == '\\' && !previous_backslash;
+    }
+    line
+}
+
+/// Parses `["a", "b"]` into its elements; `None` when the value is not a string array.
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?;
+    let mut items = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let unquoted = part.strip_prefix('"')?.strip_suffix('"')?;
+        items.push(unquoted.to_string());
+    }
+    Some(items)
+}
+
+/// Splits on commas outside quotes.
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut previous_backslash = false;
+    for (i, ch) in text.char_indices() {
+        match ch {
+            '"' if !previous_backslash => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        previous_backslash = ch == '\\' && !previous_backslash;
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let config = LintConfig::parse(
+            r#"
+            # policy
+            [scan]
+            roots = ["crates", "src"]   # scanned
+            skip = ["crates/compat"]
+
+            [rules.D1]
+            paths = ["crates/pipeline", "crates/farm"]
+
+            [rules.L1]
+            blocking_calls = ["solve_batch"]
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(config.roots, vec!["crates", "src"]);
+        assert_eq!(config.d1_paths, vec!["crates/pipeline", "crates/farm"]);
+        assert_eq!(config.l1_blocking_calls, vec!["solve_batch"]);
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_are_rejected() {
+        let err = LintConfig::parse("[rules.Z9]\npaths = []").expect_err("unknown section");
+        assert!(err.to_string().contains("unknown section"), "{err}");
+        let err = LintConfig::parse("[scan]\nrooots = []").expect_err("unknown key");
+        assert!(err.to_string().contains("unknown key"), "{err}");
+        let err = LintConfig::parse("[scan]\nroots = \"crates\"").expect_err("not an array");
+        assert!(err.to_string().contains("string array"), "{err}");
+    }
+}

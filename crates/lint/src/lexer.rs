@@ -1,0 +1,516 @@
+//! A small token-level Rust lexer — just enough structure for the lint rules.
+//!
+//! In the spirit of the workspace's other hand-rolled parsers (the serde derive macro,
+//! the flat-TOML reader) this does not build a syntax tree: it splits source text into
+//! identifiers, literals, punctuation and comments, with a line number on every token.
+//! The rules in [`crate::rules`] pattern-match over this stream.
+//!
+//! The lexer must never panic or loop forever, whatever bytes it is fed — it runs over
+//! every file in the workspace, including fixtures that are deliberately malformed, and
+//! a linter that dies on weird input is worse than no linter.  Anything it cannot
+//! classify becomes a one-character [`TokenKind::Unknown`] token and scanning continues.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// An integer literal, including hex/octal/binary forms and suffixes.
+    Int,
+    /// A floating-point literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// A string literal: plain, raw (`r#"..."#`) or byte, escapes resolved lexically only.
+    Str,
+    /// A character or byte-character literal.
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character; multi-character operators arrive as a sequence.
+    Punct,
+    /// A `// ...` comment (text includes the slashes, excludes the newline).
+    LineComment,
+    /// A `/* ... */` comment, nesting honoured; may span lines.
+    BlockComment,
+    /// A byte the lexer cannot classify — consumed one character at a time.
+    Unknown,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` for the kinds the rule matcher walks (everything but comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// The token's single punctuation character, if it is punctuation.
+    pub fn punct(&self) -> Option<char> {
+        if self.kind == TokenKind::Punct {
+            self.text.chars().next()
+        } else {
+            None
+        }
+    }
+}
+
+/// Lexes `source` into a flat token list.  Whitespace is dropped; everything else —
+/// comments included — is kept, so suppression comments stay addressable by line.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    source: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            source: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, keeping the line count in step.
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+        }
+        Some(ch)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(ch) = self.peek(0) {
+            let line = self.line;
+            match ch {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                '"' => self.string_literal(line),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c if c.is_ascii_punctuation() => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Unknown, c.to_string(), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(ch) = self.peek(0) {
+            if ch == '\n' {
+                break;
+            }
+            text.push(ch);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(ch) = self.peek(0) {
+            if ch == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if ch == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(ch);
+                self.bump();
+            }
+        }
+        // An unterminated comment swallows the rest of the file — same as rustc.
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br##"..."##` and `b'x'`.  Returns `false`
+    /// (consuming nothing) when the `r`/`b` starts a plain identifier instead.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let mut ahead = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            // Byte character: consume the `b`, then lex like a char literal.
+            self.bump();
+            self.char_or_lifetime(line);
+            return true;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some('"') {
+            return false;
+        }
+        let raw = ahead + hashes > 1 || self.peek(0) == Some('r');
+        let mut text = String::new();
+        for _ in 0..ahead + hashes + 1 {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        // Inside a raw string escapes are inert; a plain `b"..."` honours them.
+        let escapes = !raw;
+        self.string_body(&mut text, hashes, escapes);
+        self.push(TokenKind::Str, text, line);
+        true
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        if let Some(c) = self.bump() {
+            text.push(c);
+        }
+        self.string_body(&mut text, 0, true);
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Consumes up to (and including) the closing quote plus `hashes` trailing `#`s.
+    fn string_body(&mut self, text: &mut String, hashes: usize, escapes: bool) {
+        while let Some(ch) = self.peek(0) {
+            if escapes && ch == '\\' {
+                text.push(ch);
+                self.bump();
+                if let Some(next) = self.bump() {
+                    text.push(next);
+                }
+                continue;
+            }
+            if ch == '"' {
+                let mut matched = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some('#') {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    for _ in 0..=hashes {
+                        if let Some(c) = self.bump() {
+                            text.push(c);
+                        }
+                    }
+                    return;
+                }
+            }
+            text.push(ch);
+            self.bump();
+        }
+        // Unterminated string: the token runs to end of file.
+    }
+
+    /// Distinguishes `'a'` / `'\n'` (char literals) from `'a` / `'static` (lifetimes).
+    fn char_or_lifetime(&mut self, line: u32) {
+        let mut text = String::new();
+        if let Some(c) = self.bump() {
+            text.push(c);
+        }
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal.
+                text.push('\\');
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+                if self.peek(0) == Some('\'') {
+                    text.push('\'');
+                    self.bump();
+                }
+                self.push(TokenKind::Char, text, line);
+            }
+            Some(c) if self.peek(1) == Some('\'') && c != '\'' => {
+                // A single-character literal of any punctuation or space: `'"'`, `'/'`,
+                // `' '` — must consume the closing quote, or the payload character leaks
+                // back into the stream (a leaked `"` would open a phantom string).
+                self.bump();
+                text.push(c);
+                self.bump();
+                text.push('\'');
+                self.push(TokenKind::Char, text, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // Could be `'x'` (char) or `'ident` (lifetime): read the ident run and
+                // decide by whether a closing quote follows one character.
+                let mut run = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        run.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') && run.chars().count() == 1 {
+                    self.bump();
+                    text.push_str(&run);
+                    text.push('\'');
+                    self.push(TokenKind::Char, text, line);
+                } else {
+                    text.push_str(&run);
+                    self.push(TokenKind::Lifetime, text, line);
+                }
+            }
+            Some('\'') => {
+                // `''` — an empty char literal is not valid Rust; classify and move on.
+                self.bump();
+                text.push('\'');
+                self.push(TokenKind::Char, text, line);
+            }
+            _ => self.push(TokenKind::Unknown, text, line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'))
+        {
+            // Prefixed integer: digits, underscores and hex letters until the run ends.
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_ascii_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Int, text, line);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A dot continues the literal only when it cannot start a method call, a field
+        // access or a range (`1.max(2)`, `1..9` stay integers; `1.` and `1.5` are floats).
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    text.push('.');
+                    self.bump();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Some('.') => {}
+                Some(c) if c == '_' || c.is_alphabetic() => {}
+                _ => {
+                    float = true;
+                    text.push('.');
+                    self.bump();
+                }
+            }
+        }
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            // An exponent makes it a float — but only when digits actually follow
+            // (`1e9` yes; `1e` would be the integer `1` and the ident `e`).
+            let sign = matches!(self.peek(1), Some('+' | '-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if matches!(self.peek(digit_at), Some(c) if c.is_ascii_digit()) {
+                float = true;
+                text.push(self.bump().unwrap_or('e'));
+                if sign {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (`1f64`, `10u32`).
+        if matches!(self.peek(0), Some(c) if c == '_' || c.is_alphabetic()) {
+            let mut suffix = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    suffix.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if suffix.starts_with('f') {
+                float = true;
+            }
+            text.push_str(&suffix);
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        lex(source).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let toks = kinds("let x = 42 + 1.5;");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".to_string()));
+        assert_eq!(toks[2], (TokenKind::Punct, "=".to_string()));
+        assert_eq!(toks[3], (TokenKind::Int, "42".to_string()));
+        assert_eq!(toks[5], (TokenKind::Float, "1.5".to_string()));
+    }
+
+    #[test]
+    fn method_calls_and_ranges_keep_integers_integral() {
+        assert_eq!(kinds("1.max(2)")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0..16")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1.")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2e-3")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("0x1f")[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn strings_and_chars_and_lifetimes() {
+        assert_eq!(kinds(r#""a \" b""#)[0].0, TokenKind::Str);
+        assert_eq!(kinds(r##"r#"raw "quoted" text"#"##)[0].0, TokenKind::Str);
+        assert_eq!(kinds("'x'")[0].0, TokenKind::Char);
+        assert_eq!(kinds(r"'\n'")[0].0, TokenKind::Char);
+        assert_eq!(kinds("'static")[0].0, TokenKind::Lifetime);
+        assert_eq!(kinds("b'q'")[0].0, TokenKind::Char);
+        assert_eq!(kinds(r#"b"bytes""#)[0].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn punctuation_char_literals_do_not_leak_their_payload() {
+        // `'"'` must consume its closing quote — a leaked `"` would open a phantom
+        // string and swallow the rest of the file.
+        let toks = kinds(r#"match c { '"' => a, '/' => b, ' ' => d }"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3,
+            "{toks:?}"
+        );
+        assert!(
+            !toks.iter().any(|(k, _)| *k == TokenKind::Str),
+            "no phantom strings: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn comments_keep_their_lines() {
+        let toks = lex("// one\nfn two() {}\n/* three\nstill three */ four");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text, "fn");
+        assert_eq!(toks[1].line, 2);
+        let block = toks.iter().find(|t| t.kind == TokenKind::BlockComment);
+        assert_eq!(block.map(|t| t.line), Some(3));
+        let last = toks.last().expect("tokens present");
+        assert_eq!((last.text.as_str(), last.line), ("four", 4));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = lex("/* a /* b */ c */ after");
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[1].text, "after");
+    }
+
+    #[test]
+    fn hostile_inputs_lex_without_panicking() {
+        for source in [
+            "\"unterminated",
+            "r#\"unterminated raw",
+            "/* unterminated",
+            "'",
+            "b",
+            "br####",
+            "1e",
+            "0x",
+            "\u{0}\u{1}\u{2}",
+            "r#invalid",
+            "''",
+            "'\\",
+        ] {
+            let _ = lex(source);
+        }
+    }
+}

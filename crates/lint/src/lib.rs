@@ -1,0 +1,236 @@
+//! `slic-lint`: a hand-rolled static-analysis pass over the workspace's own Rust sources.
+//!
+//! The library-characterization pipeline's correctness rests on invariants no compiler
+//! checks — bit-identical shard merges and farm replays, stable SimKeys and wire hashes,
+//! panic-free library crates.  This crate enforces them at the source level with a small
+//! token lexer ([`lexer`]), a per-path policy ([`config`]), four rules plus suppression
+//! hygiene ([`rules`]), and a committed baseline that freezes pre-existing debt
+//! ([`baseline`]).  No `syn`, no `dylint`: the build environment is offline, and the
+//! token-level approach matches the repo's hand-rolled derive macro.
+//!
+//! Run it as `slic lint`, or `make lint`.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde::Value;
+
+use baseline::{Baseline, BaselineDiff};
+use config::LintConfig;
+use rules::{FilePolicy, Rule, Violation};
+
+/// One full lint run over a workspace tree.
+#[derive(Debug, Default)]
+pub struct LintRun {
+    /// Every unsuppressed violation, in (file, line, rule) order.
+    pub violations: Vec<Violation>,
+    /// Findings silenced by well-formed suppression comments.
+    pub suppressed: usize,
+    /// Number of `.rs` files analyzed.
+    pub files_scanned: usize,
+}
+
+/// A failure to walk or read the tree.
+#[derive(Debug)]
+pub struct ScanError(String);
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint scan failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Directory names never scanned regardless of policy: test/bench/example code answers to
+/// `cargo test`, not to library invariants, and fixtures are deliberately violating.
+const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
+
+/// Collects the workspace-relative `.rs` files to lint, in sorted (deterministic) order.
+///
+/// # Errors
+///
+/// Returns a [`ScanError`] when a configured root cannot be walked.
+pub fn collect_files(root: &Path, config: &LintConfig) -> Result<Vec<PathBuf>, ScanError> {
+    let mut files = Vec::new();
+    for scan_root in &config.roots {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut relative: Vec<PathBuf> = files
+        .into_iter()
+        .filter_map(|path| path.strip_prefix(root).ok().map(Path::to_path_buf))
+        .filter(|path| {
+            let text = path.to_string_lossy().replace('\\', "/");
+            !config.skip.iter().any(|skip| text.contains(skip.as_str()))
+        })
+        .collect();
+    relative.sort();
+    Ok(relative)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> Result<(), ScanError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|err| ScanError(format!("cannot read `{}`: {err}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+            let name = name.as_deref().unwrap_or("");
+            if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                walk(&path, files)?;
+            }
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace tree at `root` under `config`.
+///
+/// # Errors
+///
+/// Returns a [`ScanError`] when the tree cannot be walked or a file cannot be read.
+pub fn run(root: &Path, config: &LintConfig) -> Result<LintRun, ScanError> {
+    let mut run = LintRun::default();
+    for relative in collect_files(root, config)? {
+        let text = std::fs::read_to_string(root.join(&relative))
+            .map_err(|err| ScanError(format!("cannot read `{}`: {err}", relative.display())))?;
+        let rel = relative.to_string_lossy().replace('\\', "/");
+        let policy = FilePolicy::for_path(&rel, config);
+        let report = rules::analyze_file(&rel, &text, &policy, config);
+        run.files_scanned += 1;
+        run.suppressed += report.suppressed;
+        run.violations.extend(report.violations);
+    }
+    run.violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(run)
+}
+
+/// The human report: `file:line: rule[code]: message` lines plus a baseline summary.
+pub fn render_human(run: &LintRun, diff: &BaselineDiff) -> String {
+    let mut out = String::new();
+    for violation in &diff.fresh {
+        out.push_str(&violation.to_string());
+        out.push('\n');
+    }
+    for stale in &diff.stale {
+        out.push_str(&format!(
+            "{}: stale baseline entry: {}[{}] `{}` x{} no longer found — remove it \
+             (run with --update-baseline)\n",
+            stale.file,
+            stale.rule.name(),
+            stale.rule.code(),
+            stale.excerpt,
+            stale.count,
+        ));
+    }
+    let mut per_rule: BTreeMap<Rule, usize> = BTreeMap::new();
+    for violation in &diff.fresh {
+        *per_rule.entry(violation.rule).or_insert(0) += 1;
+    }
+    let breakdown: Vec<String> = per_rule
+        .iter()
+        .map(|(rule, count)| format!("{count} {}", rule.code()))
+        .collect();
+    out.push_str(&format!(
+        "{} file(s) scanned: {} new violation(s){}, {} baselined, {} suppressed, {} stale \
+         baseline entr(ies)\n",
+        run.files_scanned,
+        diff.fresh.len(),
+        if breakdown.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", breakdown.join(", "))
+        },
+        diff.absorbed,
+        run.suppressed,
+        diff.stale.len(),
+    ));
+    out
+}
+
+/// The machine report for CI: stable JSON with the same content as [`render_human`].
+pub fn render_json(run: &LintRun, diff: &BaselineDiff) -> String {
+    let violation_value = |v: &Violation| {
+        Value::Object(vec![
+            ("file".to_string(), Value::String(v.file.clone())),
+            ("line".to_string(), Value::Number(f64::from(v.line))),
+            ("rule".to_string(), Value::String(v.rule.code().to_string())),
+            ("name".to_string(), Value::String(v.rule.name().to_string())),
+            ("message".to_string(), Value::String(v.message.clone())),
+            ("excerpt".to_string(), Value::String(v.excerpt.clone())),
+        ])
+    };
+    let stale_value = |s: &baseline::BaselineEntry| {
+        Value::Object(vec![
+            ("file".to_string(), Value::String(s.file.clone())),
+            ("rule".to_string(), Value::String(s.rule.code().to_string())),
+            ("excerpt".to_string(), Value::String(s.excerpt.clone())),
+            ("count".to_string(), Value::Number(s.count as f64)),
+        ])
+    };
+    let document = Value::Object(vec![
+        (
+            "files_scanned".to_string(),
+            Value::Number(run.files_scanned as f64),
+        ),
+        (
+            "violations".to_string(),
+            Value::Array(diff.fresh.iter().map(violation_value).collect()),
+        ),
+        (
+            "stale_baseline".to_string(),
+            Value::Array(diff.stale.iter().map(stale_value).collect()),
+        ),
+        ("baselined".to_string(), Value::Number(diff.absorbed as f64)),
+        (
+            "suppressed".to_string(),
+            Value::Number(run.suppressed as f64),
+        ),
+        (
+            "ok".to_string(),
+            Value::Bool(diff.fresh.is_empty() && diff.stale.is_empty()),
+        ),
+    ]);
+    let mut text = serde_json::to_string_pretty(&document).unwrap_or_else(|_| "{}".to_string()); // slic-lint: allow(P1) -- Value serialization to a String is infallible in the compat layer.
+    text.push('\n');
+    text
+}
+
+/// Convenience used by tests and the CLI: run, diff against a baseline, and decide.
+pub struct Outcome {
+    pub run: LintRun,
+    pub diff: BaselineDiff,
+}
+
+impl Outcome {
+    /// A run passes when nothing new was found and no baseline entry went stale.
+    pub fn is_clean(&self) -> bool {
+        self.diff.fresh.is_empty() && self.diff.stale.is_empty()
+    }
+}
+
+/// Runs the linter and compares against `baseline`.
+///
+/// # Errors
+///
+/// Returns a [`ScanError`] when the tree cannot be walked or read.
+pub fn check(root: &Path, config: &LintConfig, baseline: &Baseline) -> Result<Outcome, ScanError> {
+    let run = run(root, config)?;
+    let diff = baseline.diff(&run.violations);
+    Ok(Outcome { run, diff })
+}

@@ -1,0 +1,670 @@
+//! The lint rules: a single pass over one file's token stream with a lightweight
+//! item/attribute tracker — enough structure to know the current brace depth, whether we
+//! are inside `#[cfg(test)]` code, what the pending `#[derive(...)]` list is, and which
+//! `MutexGuard` bindings are live.  No syntax tree, no type information: every rule is a
+//! documented token-level approximation, and the fixture corpus in `tests/` pins down
+//! exactly what each one does and does not catch.
+
+use crate::config::LintConfig;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The shipped rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Determinism: no `HashMap`/`HashSet`, wall-clock reads or thread identity in
+    /// artifact-producing code.
+    D1,
+    /// Float hygiene: no `==`/`!=` against float literals, no `derive(Hash)`/`derive(Eq)`
+    /// over float fields, no decimal float serialization in wire/cache modules.
+    F1,
+    /// Panic policy: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in library code.
+    P1,
+    /// Lock discipline: no solver or wire-I/O call while a `MutexGuard` binding is live.
+    L1,
+    /// Lint hygiene: malformed suppression comments (missing rule list or justification).
+    S1,
+}
+
+impl Rule {
+    /// The short code used in output, baselines and suppression comments.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::F1 => "F1",
+            Rule::P1 => "P1",
+            Rule::L1 => "L1",
+            Rule::S1 => "S1",
+        }
+    }
+
+    /// The human name printed alongside the code.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "determinism",
+            Rule::F1 => "float-hygiene",
+            Rule::P1 => "panic-policy",
+            Rule::L1 => "lock-discipline",
+            Rule::S1 => "suppression",
+        }
+    }
+
+    /// Deny rules fail a run even when baselined: the baseline mechanism exists to freeze
+    /// pre-existing debt, and determinism/float-hygiene debt in artifact crates is never
+    /// acceptable debt.
+    pub fn is_deny(self) -> bool {
+        matches!(self, Rule::D1 | Rule::F1 | Rule::S1)
+    }
+
+    /// Parses a rule code as written in a suppression comment.
+    pub fn from_code(code: &str) -> Option<Self> {
+        match code {
+            "D1" => Some(Rule::D1),
+            "F1" => Some(Rule::F1),
+            "P1" => Some(Rule::P1),
+            "L1" => Some(Rule::L1),
+            "S1" => Some(Rule::S1),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.name(), self.code())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+    /// The trimmed source line — the baseline key component that survives line drift.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules apply to one file, resolved from the policy's path lists.
+#[derive(Debug, Clone, Default)]
+pub struct FilePolicy {
+    pub d1: bool,
+    pub f1_eq: bool,
+    pub f1_derive: bool,
+    pub f1_wire: bool,
+    pub p1: bool,
+    pub l1: bool,
+}
+
+impl FilePolicy {
+    /// Resolves the policy for a workspace-relative path.
+    pub fn for_path(path: &str, config: &LintConfig) -> Self {
+        let matches = |prefixes: &[String]| prefixes.iter().any(|p| path.starts_with(p.as_str()));
+        Self {
+            d1: matches(&config.d1_paths),
+            f1_eq: matches(&config.f1_eq_paths),
+            f1_derive: matches(&config.f1_derive_paths),
+            f1_wire: matches(&config.f1_wire_paths),
+            p1: matches(&config.p1_paths),
+            l1: matches(&config.l1_paths),
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.d1 || self.f1_eq || self.f1_derive || self.f1_wire || self.p1 || self.l1
+    }
+}
+
+/// The outcome of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub violations: Vec<Violation>,
+    /// Findings silenced by a well-formed `// slic-lint: allow(...) -- reason` comment.
+    pub suppressed: usize,
+}
+
+/// A parsed suppression comment: which rules it allows, anchored to its line.
+struct Suppression {
+    line: u32,
+    rules: Vec<Rule>,
+}
+
+/// A live `let guard = ...lock()...` binding.
+struct Guard {
+    name: String,
+    depth: i32,
+    line: u32,
+}
+
+/// Analyzes one file under `policy`.
+pub fn analyze_file(
+    path: &str,
+    source: &str,
+    policy: &FilePolicy,
+    config: &LintConfig,
+) -> FileReport {
+    let mut report = FileReport::default();
+    let tokens = lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let excerpt = |line: u32| -> String {
+        lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    // Pass 1: suppression comments (they apply even to files no rule covers — a stale
+    // malformed suppression should fail everywhere the scanner looks).
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    for token in tokens.iter().filter(|t| t.kind == TokenKind::LineComment) {
+        let body = token.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("slic-lint:") else {
+            continue;
+        };
+        match parse_suppression(rest) {
+            Some(rules) => suppressions.push(Suppression {
+                line: token.line,
+                rules,
+            }),
+            None => report.violations.push(Violation {
+                file: path.to_string(),
+                line: token.line,
+                rule: Rule::S1,
+                message: "malformed suppression; write `// slic-lint: allow(<rule>) -- <reason>` \
+                          (the justification is mandatory)"
+                    .to_string(),
+                excerpt: excerpt(token.line),
+            }),
+        }
+    }
+    if !policy.any() {
+        return report;
+    }
+
+    // Pass 2: the rules, over code tokens only.
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let mut findings: Vec<Violation> = Vec::new();
+    let mut emit = |rule: Rule, line: u32, message: String| {
+        findings.push(Violation {
+            file: path.to_string(),
+            line,
+            rule,
+            message,
+            excerpt: excerpt(line),
+        });
+    };
+
+    let mut depth: i32 = 0;
+    let mut test_scopes: Vec<i32> = Vec::new();
+    let mut pending_cfg_test: Option<i32> = None;
+    let mut pending_derive: Vec<String> = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+
+    let punct = |i: usize| code.get(i).and_then(|t| t.punct());
+    let ident = |i: usize| {
+        code.get(i)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+    };
+
+    let mut i = 0usize;
+    while i < code.len() {
+        let token = code[i];
+        let in_test = !test_scopes.is_empty();
+        match token.kind {
+            TokenKind::Punct => match token.text.as_bytes()[0] {
+                b'#' if punct(i + 1) == Some('[') => {
+                    // Attribute: collect to the matching `]`, inspect, and skip past it so
+                    // `#[should_panic]` or `#[cfg(test)]` internals never reach the rules.
+                    let (attr, next) = collect_attr(&code, i + 1);
+                    let has = |name: &str| attr.iter().any(|t| t.text == name);
+                    if has("derive") {
+                        pending_derive.extend(
+                            attr.iter()
+                                .filter(|t| t.kind == TokenKind::Ident && t.text != "derive")
+                                .map(|t| t.text.clone()),
+                        );
+                    }
+                    if has("cfg") && has("test") && !has("not") {
+                        pending_cfg_test = Some(depth);
+                    }
+                    i = next;
+                    continue;
+                }
+                b'{' => {
+                    depth += 1;
+                    if pending_cfg_test.take().is_some() {
+                        test_scopes.push(depth);
+                    }
+                }
+                b'}' => {
+                    depth -= 1;
+                    test_scopes.retain(|&entered| entered <= depth);
+                    guards.retain(|g| g.depth <= depth);
+                }
+                b';' => {
+                    if pending_cfg_test == Some(depth) {
+                        pending_cfg_test = None;
+                    }
+                    pending_derive.clear();
+                }
+                b'=' if punct(i + 1) == Some('=') => {
+                    if policy.f1_eq && !in_test && float_operand(&code, i, 2) {
+                        emit(
+                            Rule::F1,
+                            token.line,
+                            "`==` against a float; exact float equality is not a stable \
+                             predicate — compare with a tolerance or match on bit patterns"
+                                .to_string(),
+                        );
+                    }
+                    i += 2;
+                    continue;
+                }
+                b'!' if punct(i + 1) == Some('=') => {
+                    if policy.f1_eq && !in_test && float_operand(&code, i, 2) {
+                        emit(
+                            Rule::F1,
+                            token.line,
+                            "`!=` against a float; exact float equality is not a stable \
+                             predicate — compare with a tolerance or match on bit patterns"
+                                .to_string(),
+                        );
+                    }
+                    i += 2;
+                    continue;
+                }
+                _ => {}
+            },
+            TokenKind::Ident => {
+                let text = token.text.as_str();
+                match text {
+                    "struct" | "enum" if !pending_derive.is_empty() => {
+                        if policy.f1_derive && !in_test {
+                            check_float_derive(&code, i, &pending_derive, config, &mut emit);
+                        }
+                        pending_derive.clear();
+                    }
+                    "fn" | "impl" | "mod" | "trait" | "union" | "type" | "const" | "static" => {
+                        pending_derive.clear();
+                    }
+                    "let" => {
+                        if policy.l1 && !in_test {
+                            if let Some(guard) = guard_binding(&code, i, depth) {
+                                guards.push(guard);
+                            }
+                        }
+                    }
+                    "drop" if punct(i + 1) == Some('(') => {
+                        if let Some(name) = ident(i + 2) {
+                            guards.retain(|g| g.name != name);
+                        }
+                    }
+                    "HashMap" | "HashSet" if policy.d1 && !in_test => emit(
+                        Rule::D1,
+                        token.line,
+                        format!(
+                            "`{text}` in an artifact-producing crate: iteration order varies \
+                             per process and can leak into artifacts, reports or wire bytes — \
+                             use BTreeMap/BTreeSet, or sort before emitting"
+                        ),
+                    ),
+                    "Instant" | "SystemTime" if policy.d1 && !in_test => emit(
+                        Rule::D1,
+                        token.line,
+                        format!(
+                            "`{text}` in an artifact-producing crate: wall-clock reads must \
+                             not influence result paths (bit-identical replays would break)"
+                        ),
+                    ),
+                    "current"
+                        if policy.d1
+                            && !in_test
+                            && punct(i.wrapping_sub(1)) == Some(':')
+                            && punct(i.wrapping_sub(2)) == Some(':')
+                            && ident(i.wrapping_sub(3)) == Some("thread") =>
+                    {
+                        emit(
+                            Rule::D1,
+                            token.line,
+                            "`thread::current()` in an artifact-producing crate: thread \
+                             identity must not influence result paths"
+                                .to_string(),
+                        )
+                    }
+                    "unwrap" | "expect"
+                        if policy.p1
+                            && !in_test
+                            && punct(i.wrapping_sub(1)) == Some('.')
+                            && punct(i + 1) == Some('(') =>
+                    {
+                        emit(
+                            Rule::P1,
+                            token.line,
+                            format!(
+                                "`.{text}()` in library code can panic; return a typed error \
+                                 or recover, or suppress with a justification when the \
+                                 invariant is structural"
+                            ),
+                        )
+                    }
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                        if policy.p1 && !in_test && punct(i + 1) == Some('!') =>
+                    {
+                        emit(
+                            Rule::P1,
+                            token.line,
+                            format!(
+                                "`{text}!` in library code; return a typed error, or suppress \
+                                 with a justification when failing loudly is the contract"
+                            ),
+                        )
+                    }
+                    "format" | "write" | "writeln" | "print" | "println"
+                        if policy.f1_wire
+                            && !in_test
+                            && punct(i + 1) == Some('!')
+                            && punct(i + 2) == Some('(') =>
+                    {
+                        if let Some(line) = float_in_macro_args(&code, i + 2) {
+                            emit(
+                                Rule::F1,
+                                line,
+                                "float literal formatted as decimal text in a wire/cache \
+                                 module; floats cross serialization boundaries as hex bit \
+                                 patterns only (see SimKey)"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                    "to_string"
+                        if policy.f1_wire
+                            && !in_test
+                            && punct(i.wrapping_sub(1)) == Some('.')
+                            && code
+                                .get(i.wrapping_sub(2))
+                                .is_some_and(|t| t.kind == TokenKind::Float) =>
+                    {
+                        emit(
+                            Rule::F1,
+                            token.line,
+                            "float serialized via `to_string` in a wire/cache module; use \
+                             hex bit patterns"
+                                .to_string(),
+                        )
+                    }
+                    _ => {
+                        if policy.l1
+                            && !in_test
+                            && !guards.is_empty()
+                            && config.l1_blocking_calls.iter().any(|c| c == text)
+                            && punct(i + 1) == Some('(')
+                        {
+                            let held: Vec<String> = guards
+                                .iter()
+                                .map(|g| format!("`{}` (line {})", g.name, g.line))
+                                .collect();
+                            emit(
+                                Rule::L1,
+                                token.line,
+                                format!(
+                                    "`{text}` called while a lock guard is live ({}); a \
+                                     blocked call stalls every thread contending on that \
+                                     lock — drop the guard first, or suppress with the \
+                                     reason the lock must span the call",
+                                    held.join(", ")
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            TokenKind::Str
+                if policy.f1_wire
+                    && !in_test
+                    && (token.text.contains("{:.")
+                        || token.text.contains("{:e}")
+                        || token.text.contains("{:E}")) =>
+            {
+                emit(
+                    Rule::F1,
+                    token.line,
+                    "precision/exponent float formatting in a wire/cache module; floats \
+                     cross serialization boundaries as hex bit patterns only"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Apply suppressions: a comment covers its own line (trailing form) and the line
+    // directly below (stand-alone form).
+    for violation in findings {
+        let allowed = suppressions.iter().any(|s| {
+            (s.line == violation.line || s.line + 1 == violation.line)
+                && s.rules.contains(&violation.rule)
+        });
+        if allowed {
+            report.suppressed += 1;
+        } else {
+            report.violations.push(violation);
+        }
+    }
+    report.violations.sort_by_key(|v| (v.line, v.rule));
+    report
+}
+
+/// Parses the tail of a suppression comment: `allow(P1, L1) -- reason`.  `None` when the
+/// rule list or the justification is missing or empty.
+fn parse_suppression(rest: &str) -> Option<Vec<Rule>> {
+    let rest = rest.trim();
+    let inner = rest.strip_prefix("allow")?.trim_start();
+    let inner = inner.strip_prefix('(')?;
+    let (list, tail) = inner.split_once(')')?;
+    let rules: Option<Vec<Rule>> = list
+        .split(',')
+        .map(|code| Rule::from_code(code.trim()))
+        .collect();
+    let rules = rules?;
+    if rules.is_empty() {
+        return None;
+    }
+    let reason = tail.trim().strip_prefix("--")?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some(rules)
+}
+
+/// Collects the tokens of a `#[...]` attribute starting at the `[`; returns the inner
+/// tokens and the index just past the closing `]`.
+fn collect_attr<'a>(code: &[&'a Token], open: usize) -> (Vec<&'a Token>, usize) {
+    let mut inner = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < code.len() {
+        match code[i].punct() {
+            Some('[') => depth += 1,
+            Some(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (inner, i + 1);
+                }
+            }
+            _ => {}
+        }
+        if depth >= 1 && i > open {
+            inner.push(code[i]);
+        }
+        i += 1;
+    }
+    (inner, i)
+}
+
+/// Is either operand of the comparison operator at `i` (of `width` punct tokens) a float
+/// literal?  A unary minus in front of the literal is looked through.
+fn float_operand(code: &[&Token], i: usize, width: usize) -> bool {
+    let is_float = |index: usize| code.get(index).is_some_and(|t| t.kind == TokenKind::Float);
+    if i > 0 && is_float(i - 1) {
+        return true;
+    }
+    let mut right = i + width;
+    if code.get(right).and_then(|t| t.punct()) == Some('-') {
+        right += 1;
+    }
+    is_float(right)
+}
+
+/// Scans a format-macro argument list starting at its `(` for a float literal (or the
+/// `f64`/`f32` type names, which only appear in casts of values being stringified);
+/// returns the line of the first hit.
+fn float_in_macro_args(code: &[&Token], open: usize) -> Option<u32> {
+    let mut depth = 0i32;
+    let mut i = open;
+    while let Some(token) = code.get(i) {
+        match token.punct() {
+            Some('(' | '{' | '[') => depth += 1,
+            Some(')' | '}' | ']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return None;
+                }
+            }
+            _ => {}
+        }
+        if i > open
+            && (token.kind == TokenKind::Float
+                || (token.kind == TokenKind::Ident && (token.text == "f64" || token.text == "f32")))
+        {
+            return Some(token.line);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// From a `struct`/`enum` keyword with a pending Hash/Eq derive, looks ahead into the
+/// item body for float-typed fields (raw `f32`/`f64`, or configured wrapper types).
+fn check_float_derive(
+    code: &[&Token],
+    keyword: usize,
+    derives: &[String],
+    config: &LintConfig,
+    emit: &mut impl FnMut(Rule, u32, String),
+) {
+    let hash_or_eq: Vec<&str> = derives
+        .iter()
+        .map(String::as_str)
+        .filter(|d| *d == "Hash" || *d == "Eq")
+        .collect();
+    if hash_or_eq.is_empty() {
+        return;
+    }
+    // Find the body: `{ ... }` (named fields) or `( ... )` (tuple), stopping at `;`.
+    let mut i = keyword + 1;
+    let (open, close) = loop {
+        // Non-punct tokens (the item name, generics idents) are stepped over; only a
+        // unit-struct `;` or the end of the stream means there is no body to scan.
+        let Some(token) = code.get(i) else { return };
+        match token.punct() {
+            Some('{') => break ('{', '}'),
+            Some('(') => break ('(', ')'),
+            Some(';') => return,
+            _ => i += 1,
+        }
+    };
+    let mut depth = 0i32;
+    let mut floaty: Option<(u32, String)> = None;
+    while i < code.len() {
+        let token = code[i];
+        match token.punct() {
+            Some(c) if c == open => depth += 1,
+            Some(c) if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if token.kind == TokenKind::Ident
+            && (token.text == "f32"
+                || token.text == "f64"
+                || config.f1_float_wrappers.contains(&token.text))
+        {
+            floaty.get_or_insert((token.line, token.text.clone()));
+        }
+        i += 1;
+    }
+    if let Some((_, type_name)) = floaty {
+        let line = code[keyword].line;
+        emit(
+            Rule::F1,
+            line,
+            format!(
+                "derive({}) on an item with float-bearing field type `{type_name}`; float \
+                 payloads have no total equality or stable hash — key by bit patterns \
+                 instead",
+                hash_or_eq.join("/")
+            ),
+        );
+    }
+}
+
+/// Does the `let` statement starting at `i` bind a `.lock()` result?  Returns the guard
+/// to track: the first pattern identifier, at the current depth.
+fn guard_binding(code: &[&Token], let_index: usize, depth: i32) -> Option<Guard> {
+    // Pattern: first ident after `let`, skipping `mut`.
+    let mut i = let_index + 1;
+    let mut name: Option<(String, u32)> = None;
+    while let Some(token) = code.get(i) {
+        match token.kind {
+            TokenKind::Ident if token.text == "mut" => {}
+            TokenKind::Ident => {
+                name = Some((token.text.clone(), token.line));
+                break;
+            }
+            _ => return None,
+        }
+        i += 1;
+    }
+    let (name, line) = name?;
+    // Scan the statement (to the `;` at this nesting level) for `.lock(`.
+    let mut nest = 0i32;
+    while let Some(token) = code.get(i) {
+        match token.punct() {
+            Some('(' | '{' | '[') => nest += 1,
+            Some(')' | '}' | ']') => {
+                if nest == 0 {
+                    return None;
+                }
+                nest -= 1;
+            }
+            Some(';') if nest == 0 => return None,
+            _ => {}
+        }
+        if token.kind == TokenKind::Ident
+            && token.text == "lock"
+            && code.get(i.wrapping_sub(1)).and_then(|t| t.punct()) == Some('.')
+            && code.get(i + 1).and_then(|t| t.punct()) == Some('(')
+        {
+            return Some(Guard { name, depth, line });
+        }
+        i += 1;
+    }
+    None
+}

@@ -1,0 +1,25 @@
+//! D1 must-not-fire: the ordered replacements and test-scoped uses are all fine.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+fn order_independent() -> Vec<String> {
+    let table: BTreeMap<String, f64> = BTreeMap::new();
+    let seen: BTreeSet<u32> = BTreeSet::new();
+    let _ = seen;
+    table.keys().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside test code, wall-clock timing and hash containers are allowed.
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let started = Instant::now();
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        assert!(started.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,15 @@
+//! D1 must-fire: every construct this rule exists to keep out of artifact code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::{Instant, SystemTime};
+
+fn order_dependent() -> Vec<String> {
+    let table: HashMap<String, f64> = HashMap::new();
+    let seen: HashSet<u32> = HashSet::new();
+    let started = Instant::now();
+    let stamp = SystemTime::now();
+    let who = std::thread::current();
+    let _ = (seen, started, stamp, who);
+    table.keys().cloned().collect()
+}

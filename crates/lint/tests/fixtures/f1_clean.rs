@@ -1,0 +1,15 @@
+//! F1 must-not-fire: integer equality, non-float derives, epsilon comparisons.
+
+#[derive(Hash, PartialEq, Eq)]
+struct IntKeyed {
+    width_nm: u64,
+    name: String,
+}
+
+fn compare(x: f64, y: f64, n: u32) -> bool {
+    if n == 3 {
+        return true;
+    }
+    // The sanctioned float comparison: tolerance, not equality.
+    (x - y).abs() < 1e-12
+}

@@ -1,0 +1,22 @@
+//! F1 must-fire: float equality comparisons and float-keyed derives.
+
+#[derive(Hash, PartialEq, Eq)]
+struct Keyed {
+    width: f64,
+    name: String,
+}
+
+#[derive(Hash)]
+struct Wrapped {
+    delay: Seconds,
+}
+
+fn compare(x: f64, y: f64) -> bool {
+    if x == 0.25 {
+        return true;
+    }
+    if y != 1.0 {
+        return false;
+    }
+    x == y
+}

@@ -1,0 +1,9 @@
+//! F1 wire must-not-fire: floats cross the boundary as hex bit patterns.
+
+fn encode(delay: f64) -> String {
+    format!("{:016x}", delay.to_bits())
+}
+
+fn decode(text: &str) -> Option<f64> {
+    u64::from_str_radix(text, 16).ok().map(f64::from_bits)
+}

@@ -1,0 +1,8 @@
+//! F1 wire must-fire: decimal float serialization in a wire/cache module.
+
+fn encode(delay: f64, slew: f64) -> String {
+    let mut out = format!("{:.12}", delay);
+    out.push_str(&format!("{:e}", slew));
+    out.push_str(&format!("magic {}", 0.5));
+    out
+}

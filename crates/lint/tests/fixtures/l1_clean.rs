@@ -1,0 +1,18 @@
+//! L1 must-not-fire: the guard is dropped before the blocking call, or its scope
+//! closes first.
+
+fn drain_dropped(queue: &std::sync::Mutex<Vec<u32>>, solver: &Solver) {
+    let mut guard = queue.lock().unwrap_or_else(|p| p.into_inner());
+    let batch = guard.split_off(0);
+    drop(guard);
+    let _results = solver.solve_batch(&batch);
+}
+
+fn drain_scoped(queue: &std::sync::Mutex<Vec<u32>>, solver: &Solver) {
+    let mut batch = Vec::new();
+    {
+        let mut guard = queue.lock().unwrap_or_else(|p| p.into_inner());
+        batch.append(&mut *guard);
+    }
+    let _results = solver.solve_batch(&batch);
+}

@@ -1,0 +1,8 @@
+//! L1 must-fire: a MutexGuard held across a blocking solver call.
+
+fn drain(queue: &std::sync::Mutex<Vec<u32>>, solver: &Solver) {
+    let mut guard = queue.lock().unwrap_or_else(|p| p.into_inner());
+    let batch = guard.split_off(0);
+    let _results = solver.solve_batch(&batch);
+    guard.clear();
+}

@@ -1,0 +1,24 @@
+//! P1 must-not-fire: fallible style in library code, panics confined to tests.
+
+fn lookup(values: &[f64], index: usize) -> Option<f64> {
+    values.get(index).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_the_whole_point_of_a_test() {
+        let values = [1.0, 2.0];
+        let v = lookup(&values, 1).unwrap();
+        assert_eq!(v, 2.0);
+        lookup(&values, 9).ok_or("missing").expect_err("out of range");
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_are_assertable() {
+        panic!("expected");
+    }
+}

@@ -1,0 +1,21 @@
+//! P1 must-fire: the full catalogue of panicking constructs in library code.
+
+fn lookup(values: &[f64], index: usize) -> f64 {
+    let first = values.first().unwrap();
+    let indexed = values.get(index).expect("index in range");
+    if *first > *indexed {
+        panic!("unsorted");
+    }
+    match index {
+        0 => *first,
+        _ => unreachable!(),
+    }
+}
+
+fn later() -> f64 {
+    todo!()
+}
+
+fn never() -> f64 {
+    unimplemented!()
+}

@@ -1,0 +1,18 @@
+//! Suppression hygiene: a justification-free allow is itself a violation (S1),
+//! and it does not silence the finding it hovers over.
+
+fn no_reason(values: &[f64]) -> f64 {
+    // slic-lint: allow(P1)
+    *values.first().unwrap()
+}
+
+fn unknown_rule(values: &[f64]) -> f64 {
+    // slic-lint: allow(Q7) -- not a rule we ship.
+    *values.first().unwrap()
+}
+
+fn too_far(values: &[f64]) -> f64 {
+    // slic-lint: allow(P1) -- the blank line below breaks adjacency.
+
+    *values.first().unwrap()
+}

@@ -1,0 +1,13 @@
+//! Suppression must-not-fire: well-formed allow comments silence their line and the next.
+
+fn epsilon_free(mean: f64) -> f64 {
+    // slic-lint: allow(F1) -- exact-zero sentinel guarding the division below.
+    if mean == 0.0 {
+        return 0.0;
+    }
+    1.0 / mean
+}
+
+fn trailing(values: &[f64]) -> f64 {
+    *values.first().unwrap() // slic-lint: allow(P1) -- caller guarantees non-empty.
+}

@@ -1,0 +1,63 @@
+//! Property tests: the lexer must be total.  Whatever bytes a source file contains —
+//! truncated strings, stray quotes, non-UTF-8 salvaged by `from_utf8_lossy`, unclosed
+//! block comments — `lex` returns a token stream and never panics, and the line numbers
+//! it reports stay inside the input.
+
+use proptest::prelude::*;
+use slic_lint::lexer::lex;
+
+/// Shared postcondition: lexing terminated and produced sane line numbers.
+fn check_totality(text: &str) -> Result<(), TestCaseError> {
+    let tokens = lex(text);
+    let line_count = text.lines().count().max(1) as u32;
+    for token in &tokens {
+        if token.line == 0 || token.line > line_count {
+            return Err(TestCaseError::fail(format!(
+                "token {:?} reports line {} of {}",
+                token.text, token.line, line_count
+            )));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(
+        raw in proptest::collection::vec(0u32..256u32, 0..256usize),
+    ) {
+        let bytes: Vec<u8> = raw.iter().map(|b| *b as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        check_totality(&text)?;
+    }
+
+    #[test]
+    fn lexer_never_panics_on_printable_ascii(
+        raw in proptest::collection::vec(32u32..127u32, 0..256usize),
+    ) {
+        // Printable ASCII exercises the interesting paths — quote pairing, comment
+        // openers, numeric literals, lifetimes — far more often than random bytes do.
+        let bytes: Vec<u8> = raw.iter().map(|b| *b as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        check_totality(&text)?;
+    }
+
+    #[test]
+    fn lexer_never_panics_on_token_fragments(
+        picks in proptest::collection::vec(0u32..16u32, 0..64usize),
+    ) {
+        // Adversarial fragments glued together: the constructs whose lookahead has bitten
+        // before (char vs lifetime, raw strings, escapes, trailing dots).
+        const FRAGMENTS: [&str; 16] = [
+            "'a", "'a'", "'\\''", "'\"'", "\"", "\\\"", "r#\"", "\"#", "//", "/*", "*/",
+            "1.5e", "0x", "1.", "b'", "\n",
+        ];
+        let text: String = picks
+            .iter()
+            .map(|p| FRAGMENTS[*p as usize % FRAGMENTS.len()])
+            .collect();
+        check_totality(&text)?;
+    }
+}

@@ -1,0 +1,287 @@
+//! The fixture corpus: every rule has a must-fire and a must-not-fire snippet, and the
+//! suppression / `cfg(test)` machinery is pinned down exactly.  The fixtures live in
+//! `tests/fixtures/` — a directory the real scan skips (`SKIP_DIRS`), so deliberately
+//! violating code never leaks into the workspace lint run.
+
+use slic_lint::config::LintConfig;
+use slic_lint::rules::{analyze_file, FilePolicy, FileReport, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("cannot read fixture `{}`: {err}", path.display()))
+}
+
+fn config() -> LintConfig {
+    LintConfig {
+        f1_float_wrappers: vec!["Seconds".to_string()],
+        l1_blocking_calls: vec!["solve_batch".to_string(), "read_line".to_string()],
+        ..LintConfig::default()
+    }
+}
+
+fn analyze(name: &str, policy: &FilePolicy) -> FileReport {
+    analyze_file(name, &fixture(name), policy, &config())
+}
+
+fn rules_of(report: &FileReport) -> Vec<Rule> {
+    report.violations.iter().map(|v| v.rule).collect()
+}
+
+fn messages(report: &FileReport) -> String {
+    report
+        .violations
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn d1_fires_on_every_nondeterminism_source() {
+    let policy = FilePolicy {
+        d1: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("d1_fire.rs", &policy);
+    assert!(
+        report.violations.len() >= 8,
+        "one finding per occurrence:\n{}",
+        messages(&report)
+    );
+    assert!(report.violations.iter().all(|v| v.rule == Rule::D1));
+    let text = messages(&report);
+    for needle in [
+        "HashMap",
+        "HashSet",
+        "Instant",
+        "SystemTime",
+        "thread::current",
+    ] {
+        assert!(text.contains(needle), "missing {needle} finding:\n{text}");
+    }
+}
+
+#[test]
+fn d1_ignores_btree_code_and_test_modules() {
+    let policy = FilePolicy {
+        d1: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("d1_clean.rs", &policy);
+    // The fixture *contains* HashMap and Instant — inside `#[cfg(test)]`, where wall
+    // clocks and hash containers are legitimate.
+    assert!(
+        report.violations.is_empty(),
+        "false positives:\n{}",
+        messages(&report)
+    );
+}
+
+#[test]
+fn f1_fires_on_float_equality_and_float_keyed_derives() {
+    let policy = FilePolicy {
+        f1_eq: true,
+        f1_derive: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("f1_fire.rs", &policy);
+    // Two derives (raw f64 field; `Seconds` wrapper field) + two literal comparisons.
+    // `x == y` with no float *literal* is a documented miss of the token-level rule.
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::F1; 4],
+        "expected exactly 4 F1:\n{}",
+        messages(&report)
+    );
+    let text = messages(&report);
+    assert!(text.contains("derive(Hash/Eq)"), "{text}");
+    assert!(
+        text.contains("`Seconds`"),
+        "wrapper types count as floats: {text}"
+    );
+    assert!(
+        !text.contains("x == y"),
+        "no type info, no `x == y` finding: {text}"
+    );
+}
+
+#[test]
+fn f1_allows_integer_equality_and_tolerance_comparisons() {
+    let policy = FilePolicy {
+        f1_eq: true,
+        f1_derive: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("f1_clean.rs", &policy);
+    assert!(
+        report.violations.is_empty(),
+        "false positives:\n{}",
+        messages(&report)
+    );
+}
+
+#[test]
+fn f1_wire_fires_on_decimal_float_serialization() {
+    let policy = FilePolicy {
+        f1_wire: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("f1_wire_fire.rs", &policy);
+    // `{:.12}`, `{:e}`, and a float literal fed to `format!`.
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::F1; 3],
+        "expected exactly 3 F1:\n{}",
+        messages(&report)
+    );
+}
+
+#[test]
+fn f1_wire_allows_hex_bit_patterns() {
+    let policy = FilePolicy {
+        f1_wire: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("f1_wire_clean.rs", &policy);
+    assert!(
+        report.violations.is_empty(),
+        "false positives:\n{}",
+        messages(&report)
+    );
+}
+
+#[test]
+fn p1_fires_on_every_panicking_construct() {
+    let policy = FilePolicy {
+        p1: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("p1_fire.rs", &policy);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::P1; 6],
+        "unwrap, expect, panic!, unreachable!, todo!, unimplemented!:\n{}",
+        messages(&report)
+    );
+    let text = messages(&report);
+    for needle in [
+        ".unwrap()",
+        ".expect()",
+        "`panic!`",
+        "`unreachable!`",
+        "`todo!`",
+        "`unimplemented!`",
+    ] {
+        assert!(text.contains(needle), "missing {needle} finding:\n{text}");
+    }
+}
+
+#[test]
+fn p1_ignores_test_modules_and_fallible_style() {
+    let policy = FilePolicy {
+        p1: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("p1_clean.rs", &policy);
+    // The fixture unwraps and panics — inside `#[cfg(test)]`, where that is the point.
+    assert!(
+        report.violations.is_empty(),
+        "false positives:\n{}",
+        messages(&report)
+    );
+}
+
+#[test]
+fn l1_fires_when_a_guard_spans_a_blocking_call() {
+    let policy = FilePolicy {
+        l1: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("l1_fire.rs", &policy);
+    assert_eq!(
+        rules_of(&report),
+        vec![Rule::L1],
+        "expected exactly 1 L1:\n{}",
+        messages(&report)
+    );
+    let text = messages(&report);
+    assert!(text.contains("solve_batch"), "{text}");
+    assert!(text.contains("`guard`"), "names the live guard: {text}");
+}
+
+#[test]
+fn l1_allows_dropped_and_scope_closed_guards() {
+    let policy = FilePolicy {
+        l1: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("l1_clean.rs", &policy);
+    assert!(
+        report.violations.is_empty(),
+        "false positives:\n{}",
+        messages(&report)
+    );
+}
+
+#[test]
+fn wellformed_suppressions_silence_their_line_and_the_next() {
+    let policy = FilePolicy {
+        f1_eq: true,
+        p1: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("suppress_ok.rs", &policy);
+    assert!(
+        report.violations.is_empty(),
+        "suppressions must hold:\n{}",
+        messages(&report)
+    );
+    assert_eq!(
+        report.suppressed, 2,
+        "one stand-alone (line above) and one trailing suppression"
+    );
+}
+
+#[test]
+fn malformed_suppressions_are_violations_and_silence_nothing() {
+    let policy = FilePolicy {
+        p1: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("suppress_bad.rs", &policy);
+    let s1 = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::S1)
+        .count();
+    let p1 = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::P1)
+        .count();
+    // Missing justification and unknown rule code are each S1; neither silences its
+    // unwrap, and a well-formed comment one blank line too far silences nothing either.
+    assert_eq!(s1, 2, "two malformed comments:\n{}", messages(&report));
+    assert_eq!(p1, 3, "all three unwraps must fire:\n{}", messages(&report));
+    assert_eq!(report.suppressed, 0);
+}
+
+#[test]
+fn the_scanner_never_walks_the_fixture_corpus() {
+    let config = LintConfig {
+        roots: vec!["tests".to_string()],
+        skip: Vec::new(),
+        ..LintConfig::default()
+    };
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = slic_lint::collect_files(root, &config).expect("walkable");
+    assert!(
+        files
+            .iter()
+            .all(|f| !f.to_string_lossy().contains("fixtures")),
+        "fixtures must stay out of real scans: {files:?}"
+    );
+}

@@ -97,6 +97,7 @@ impl CharacterizedLibrary {
                     MethodKind::ProposedLse => 1,
                     MethodKind::Lut => 2,
                 })
+                // slic-lint: allow(P1) -- structural: the iterator is filtered on params.is_some() two lines up.
                 .map(|u| (u.params.expect("filtered on is_some"), u.error_percent))
         };
         let mut arcs = Vec::new();

@@ -24,7 +24,9 @@ use slic_spice::{
 use slic_stats::distance::mean_relative_error_percent;
 use slic_timing_model::{LeastSquaresFitter, TimingSample};
 use slic_variation::{VariationExtractor, VariationTable};
-use std::collections::HashMap;
+// BTreeMap (not HashMap) everywhere a collection can feed an artifact: iteration order
+// must be process-independent (lint rule D1).
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Executes characterization plans against one target technology.
@@ -198,11 +200,14 @@ impl PipelineRunner {
                  the runner was built with",
             ));
         }
-        let mut outcomes: Vec<(UnitResult, Option<VariationTable>)> = plan
+        let outcomes: Vec<Result<(UnitResult, Option<VariationTable>), PipelineError>> = plan
             .units()
             .par_iter()
             .map(|unit| self.run_unit(unit, &extractors))
             .collect();
+        let mut outcomes = outcomes
+            .into_iter()
+            .collect::<Result<Vec<_>, PipelineError>>()?;
         outcomes.sort_by_cached_key(|(unit, _)| unit.unit_id());
         let mut units = Vec::with_capacity(outcomes.len());
         let mut tables = Vec::new();
@@ -278,8 +283,8 @@ impl PipelineRunner {
         &self,
         plan: &CharacterizationPlan,
         database: &HistoricalDatabase,
-    ) -> Result<HashMap<(CellKind, TimingMetric), MapExtractor>, PipelineError> {
-        let mut extractors = HashMap::new();
+    ) -> Result<BTreeMap<(CellKind, TimingMetric), MapExtractor>, PipelineError> {
+        let mut extractors = BTreeMap::new();
         for unit in plan.units() {
             if unit.method != MethodKind::ProposedBayesian {
                 continue;
@@ -315,8 +320,8 @@ impl PipelineRunner {
     fn run_unit(
         &self,
         unit: &WorkUnit,
-        extractors: &HashMap<(CellKind, TimingMetric), MapExtractor>,
-    ) -> (UnitResult, Option<VariationTable>) {
+        extractors: &BTreeMap<(CellKind, TimingMetric), MapExtractor>,
+    ) -> Result<(UnitResult, Option<VariationTable>), PipelineError> {
         if unit.kind == UnitKind::MonteCarlo {
             return self.run_variation_unit(unit);
         }
@@ -354,7 +359,14 @@ impl PipelineRunner {
                 let params = if unit.method == MethodKind::ProposedBayesian {
                     extractors
                         .get(&(unit.cell.kind(), unit.metric))
-                        .expect("extractor prebuilt for every Bayesian unit")
+                        .ok_or_else(|| {
+                            PipelineError::config(format!(
+                                "no prebuilt extractor for {} / {}; the plan and the \
+                                 extractor table were built from different configs",
+                                unit.cell.kind().name(),
+                                unit.metric
+                            ))
+                        })?
                         .extract(&samples)
                         .params
                 } else {
@@ -384,7 +396,7 @@ impl PipelineRunner {
             }
         };
 
-        (
+        Ok((
             UnitResult {
                 arc_id: unit.arc.id(),
                 arc: unit.arc,
@@ -398,26 +410,30 @@ impl PipelineRunner {
                 requested_simulations: (k + v) as u64,
             },
             None,
-        )
+        ))
     }
 
     /// Executes one Monte Carlo variation unit: every export-grid point under every
     /// process seed (through the shared backend/counter/cache, so farm fleets, disk
     /// caches and single-flight dedup all apply per `(seed, point)` coordinate), reduced
     /// to a mean/sigma/skew [`VariationTable`] on the nominal tables' index grid.
-    fn run_variation_unit(&self, unit: &WorkUnit) -> (UnitResult, Option<VariationTable>) {
-        let config = self
-            .config
-            .variation
-            .clone()
-            .expect("characterize() rejects Monte Carlo units without a variation config");
+    fn run_variation_unit(
+        &self,
+        unit: &WorkUnit,
+    ) -> Result<(UnitResult, Option<VariationTable>), PipelineError> {
+        let config = self.config.variation.clone().ok_or_else(|| {
+            PipelineError::config(
+                "Monte Carlo unit reached the runner without a variation config; \
+                 characterize() should have rejected the plan",
+            )
+        })?;
         let (slew_axis, load_axis) =
             slic::liberty::export_axes(&self.engine, self.config.export_grid);
         let extractor = VariationExtractor::new(&self.engine, config)
-            .expect("resolve() validated the variation configuration");
+            .map_err(|err| PipelineError::config(format!("invalid variation config: {err}")))?;
         let requested = extractor.requested_simulations(slew_axis.len(), load_axis.len());
         let table = extractor.extract(unit.cell, &unit.arc, unit.metric, &slew_axis, &load_axis);
-        (
+        Ok((
             UnitResult {
                 arc_id: unit.arc.id(),
                 arc: unit.arc,
@@ -431,7 +447,7 @@ impl PipelineRunner {
                 requested_simulations: requested,
             },
             Some(table),
-        )
+        ))
     }
 }
 

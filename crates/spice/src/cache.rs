@@ -27,7 +27,7 @@ use crate::transient::TransientConfig;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use slic_cells::TimingArc;
 use slic_device::ProcessSample;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -59,7 +59,7 @@ const LEGACY_KERNEL_VERSION: u64 = 1;
 /// keying them apart would silently miss the cache.
 ///
 /// The solver generation is part of the key (see [`KERNEL_VERSION`]).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimKey {
     kernel: u64,
     tech: String,
@@ -81,6 +81,7 @@ fn key_bits(value: f64) -> u64 {
         !value.is_nan(),
         "NaN is not a valid simulation-cache coordinate"
     );
+    // slic-lint: allow(F1) -- exact IEEE 754 `-0.0 == 0.0` is the fold being implemented; a tolerance would alias distinct coordinates.
     if value == 0.0 {
         0.0f64.to_bits()
     } else {
@@ -321,7 +322,7 @@ const SHARDS: usize = 16;
 /// A sharded in-memory [`SimulationCache`] with hit/miss accounting.
 #[derive(Debug, Default)]
 pub struct InMemorySimCache {
-    shards: [Mutex<HashMap<SimKey, TimingMeasurement>>; SHARDS],
+    shards: [Mutex<BTreeMap<SimKey, TimingMeasurement>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -336,7 +337,11 @@ impl InMemorySimCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .len()
+            })
             .sum()
     }
 
@@ -354,9 +359,11 @@ impl InMemorySimCache {
         measurement: TimingMeasurement,
     ) -> Option<TimingMeasurement> {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // A poisoned shard only means another thread panicked mid-`insert`; the map
+        // itself is never left half-written, so recover it rather than cascade.
         self.shard(&key)
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .insert(key, measurement)
     }
 
@@ -365,11 +372,11 @@ impl InMemorySimCache {
     pub fn insert_warm(&self, key: SimKey, measurement: TimingMeasurement) {
         self.shard(&key)
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .insert(key, measurement);
     }
 
-    fn shard(&self, key: &SimKey) -> &Mutex<HashMap<SimKey, TimingMeasurement>> {
+    fn shard(&self, key: &SimKey) -> &Mutex<BTreeMap<SimKey, TimingMeasurement>> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % SHARDS]
@@ -381,7 +388,7 @@ impl SimulationCache for InMemorySimCache {
         let found = self
             .shard(key)
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .get(key)
             .copied();
         if found.is_some() {

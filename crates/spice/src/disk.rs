@@ -129,7 +129,7 @@ impl DiskSimCache {
                         cache
                             .pending
                             .lock()
-                            .expect("disk cache pending poisoned")
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
                             .push((*line).to_string());
                     }
                     cache.memory.insert_warm(record.key, record.measurement);
@@ -225,8 +225,8 @@ impl DiskSimCache {
         let lines: Vec<&str> = text.lines().collect();
         // First-appearance order of unique keys; last-record-wins value per key.
         let mut order: Vec<SimKey> = Vec::new();
-        let mut latest: std::collections::HashMap<SimKey, TimingMeasurement> =
-            std::collections::HashMap::new();
+        let mut latest: std::collections::BTreeMap<SimKey, TimingMeasurement> =
+            std::collections::BTreeMap::new();
         let mut records = 0usize;
         let mut dropped_legacy = 0usize;
         for (index, line) in lines.iter().enumerate() {
@@ -266,6 +266,7 @@ impl DiskSimCache {
                 measurement: latest[key],
             };
             snapshot.push_str(
+                // slic-lint: allow(P1) -- structural: SimKey construction rejects NaN, so a stored record always serializes.
                 &serde_json::to_string(&record).expect("cache records contain only finite numbers"),
             );
             snapshot.push('\n');
@@ -297,7 +298,10 @@ impl DiskSimCache {
     /// Returns a [`CacheError::Io`] when the log cannot be appended; the pending records
     /// are kept for a retry.
     pub fn flush(&self) -> Result<(), CacheError> {
-        let mut pending = self.pending.lock().expect("disk cache pending poisoned");
+        let mut pending = self
+            .pending
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if pending.is_empty() {
             return Ok(());
         }
@@ -361,13 +365,14 @@ impl SimulationCache for DiskSimCache {
             key: key.clone(),
             measurement,
         })
+        // slic-lint: allow(P1) -- structural: SimKey construction rejects NaN, so a stored record always serializes.
         .expect("cache records contain only finite numbers");
         // Re-storing the identical value (a benign replay) keeps the log clean; a changed
         // value must be appended because loading is last-record-wins.
         if self.memory.archive(key, measurement) != Some(measurement) {
             self.pending
                 .lock()
-                .expect("disk cache pending poisoned")
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .push(line);
         }
     }

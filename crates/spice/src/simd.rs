@@ -386,6 +386,7 @@ pub fn simulate_switching_simd_with_stats(
     config.validate().map_err(TransientError::InvalidConfig)?;
     let problems = [TransientProblem::new(eq, arc, point, config)];
     let (mut results, _) = integrate_batch_simd(&problems);
+    // slic-lint: allow(P1) -- structural: integrate_batch_simd returns one result per problem and one problem was passed.
     results.pop().expect("one problem yields one result")
 }
 

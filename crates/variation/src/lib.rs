@@ -193,6 +193,7 @@ impl VariationTable {
         let mut count = 0usize;
         for (m_row, s_row) in self.mean.iter().zip(&self.sigma) {
             for (m, s) in m_row.iter().zip(s_row) {
+                // slic-lint: allow(F1) -- exact-zero test guarding the division below; any nonzero mean, however small, has a well-defined CV.
                 if *m != 0.0 {
                     total += (s / m).abs() * 100.0;
                     count += 1;

@@ -1,0 +1,45 @@
+//! Regression test for run-to-run determinism (lint rule D1's runtime contract).
+//!
+//! The characterization pipeline used to iterate `HashMap`s when assembling unit
+//! results, Liberty groups, and cache shards, so two identical runs could emit
+//! differently-ordered (though semantically equal) artifacts.  After the BTree
+//! conversion sweep, identical configurations must produce *byte-identical*
+//! artifacts: equality of parsed structures is not enough, because downstream
+//! consumers diff, hash, and cache the serialized files themselves.
+
+use slic_pipeline::{PipelineRunner, RunConfig};
+
+fn quick_config() -> RunConfig {
+    RunConfig {
+        seed: Some(7),
+        ..RunConfig::default()
+    }
+}
+
+/// One complete cold run: learn, characterize, serialize, export.
+fn run_once() -> (String, String) {
+    let resolved = quick_config().resolve().expect("quick config resolves");
+    let runner = PipelineRunner::new(resolved).expect("runner builds");
+    let (_, artifact) = runner.run().expect("pipeline runs");
+    let json = artifact.to_json().expect("artifact serializes");
+    let liberty = artifact
+        .characterized
+        .to_liberty(runner.engine(), runner.config().export_grid)
+        .expect("fitted arcs exist");
+    (json, liberty)
+}
+
+#[test]
+fn repeated_runs_emit_byte_identical_artifacts() {
+    let (first_json, first_liberty) = run_once();
+    let (second_json, second_liberty) = run_once();
+
+    assert_eq!(
+        first_json, second_json,
+        "two cold runs of the same seeded config must serialize identically"
+    );
+    assert_eq!(
+        first_liberty, second_liberty,
+        "Liberty export must not depend on iteration order"
+    );
+}
