@@ -20,10 +20,12 @@
 
 use slic_bayes::HistoricalDatabase;
 use slic_device::TechnologyNode;
-use slic_farm::{serve_listener, serve_stdio, FarmBackend, ServeOutcome, WorkerOptions};
+use slic_farm::{
+    serve_listener, serve_stdio, FarmBackend, FarmTuning, FaultPlan, ServeOutcome, WorkerOptions,
+};
 use slic_pipeline::{
-    BackendChoice, CharacterizationPlan, PipelineError, PipelineRunner, RunArtifact, RunConfig,
-    RunProfile,
+    BackendChoice, CharacterizationPlan, FarmSection, PipelineError, PipelineRunner, RunArtifact,
+    RunConfig, RunProfile,
 };
 use slic_spice::{CharacterizationEngine, CompactionOptions, DiskSimCache};
 use std::collections::BTreeMap;
@@ -40,6 +42,10 @@ FARM FLAGS (learn and characterize):
     --workers <a,b,...>     TCP addresses of `slic worker --listen` processes
     --spawn-workers <n>     spawn n subprocess workers of this binary (zero-config
                             multi-process run); combinable with --workers
+    --retry-budget <n>      re-dispatch attempts per job before it degrades to the
+                            local fallback (default: fleet size)
+    --reconnect-attempts <n> re-dials per dead worker per reconnection round, spaced
+                            by seeded exponential backoff (default 4)
 
 SUBCOMMANDS:
     learn         Characterize the historical technologies and archive the
@@ -93,6 +99,16 @@ SUBCOMMANDS:
                     --max-batches <n>       serve n batches then drop the connection
                                             without replying (rolling-restart drain /
                                             failover fault injection); exits nonzero
+                    --fault-seed <n>        seed for the fault plan's randomized
+                                            choices (jittered delays); default 0
+                    --fault-drop-after <n>  drop the connection after n messages,
+                                            counted per connection (flapping worker)
+                    --fault-delay-ms <n>    sleep n ms (plus seeded jitter) before
+                                            answering each batch (slow worker)
+                    --fault-garbage-every <n> reply to every n-th batch with garbage
+                                            bytes instead of results
+                    --fault-refuse-reconnects <n> after a fault drop, refuse n broker
+                                            re-dials before serving again
 
     merge         Join shard artifacts into the whole-run artifact.
                     --inputs <a,b,...>      shard artifact JSON files (required)
@@ -119,6 +135,10 @@ SUBCOMMANDS:
                                             kernel predating this binary's (they can
                                             never answer a lookup again); reported
                                             separately from the duplicate count
+                            --quarantine    salvage a log with corrupt interior lines:
+                                            valid records are kept, corrupt lines move
+                                            to a `.quarantine` sidecar for inspection
+                                            (default: corruption aborts, log untouched)
 
     lint          Run the workspace invariant checker (determinism, float hygiene,
                   panic policy, lock discipline) against the committed baseline.
@@ -157,6 +177,8 @@ fn main() -> ExitCode {
         "backend",
         "workers",
         "spawn-workers",
+        "retry-budget",
+        "reconnect-attempts",
         "out",
     ];
     // `slic cache <action> --flag value ...` takes a positional action before its flags.
@@ -174,7 +196,19 @@ fn main() -> ExitCode {
             ]);
             (&args[1..], flags, vec!["variation", "simd"])
         }
-        "worker" => (&args[1..], vec!["listen", "max-batches"], vec![]),
+        "worker" => (
+            &args[1..],
+            vec![
+                "listen",
+                "max-batches",
+                "fault-seed",
+                "fault-drop-after",
+                "fault-delay-ms",
+                "fault-garbage-every",
+                "fault-refuse-reconnects",
+            ],
+            vec![],
+        ),
         "lint" => (
             &args[1..],
             vec!["root", "config", "baseline", "format"],
@@ -184,7 +218,7 @@ fn main() -> ExitCode {
         "export" => (&args[1..], vec!["run", "out"], vec!["variation"]),
         "report" => (&args[1..], vec!["run"], vec![]),
         "cache" => match args.get(1).map(String::as_str) {
-            Some("compact") => (&args[2..], vec!["cache"], vec!["drop-legacy"]),
+            Some("compact") => (&args[2..], vec!["cache"], vec!["drop-legacy", "quarantine"]),
             Some(other) => {
                 eprintln!("error: unknown cache action `{other}` (expected `compact`)");
                 return ExitCode::from(2);
@@ -398,6 +432,22 @@ fn build_config(flags: &BTreeMap<String, String>) -> Result<RunConfig, PipelineE
         })?;
         config.spawn_workers = Some(count);
     }
+    if let Some(v) = flags.get("retry-budget") {
+        let budget = v.parse::<usize>().map_err(|_| {
+            PipelineError::config(format!("`--retry-budget {v}` is not an integer"))
+        })?;
+        let mut knobs = config.farm.clone().unwrap_or_default();
+        knobs.retry_budget = Some(budget);
+        config.farm = Some(knobs);
+    }
+    if let Some(v) = flags.get("reconnect-attempts") {
+        let attempts = v.parse::<u32>().map_err(|_| {
+            PipelineError::config(format!("`--reconnect-attempts {v}` is not an integer"))
+        })?;
+        let mut knobs = config.farm.clone().unwrap_or_default();
+        knobs.reconnect_attempts = Some(attempts);
+        config.farm = Some(knobs);
+    }
     // Any variation flag enables the Monte Carlo workload on top of whatever (if
     // anything) the config file's `variation` section set.
     if flags.contains_key("variation")
@@ -445,6 +495,7 @@ fn build_runner(
         BackendChoice::Farm {
             workers,
             spawn_workers,
+            tuning,
         } => {
             let program = if spawn_workers > 0 {
                 Some(std::env::current_exe().map_err(|err| {
@@ -453,8 +504,18 @@ fn build_runner(
             } else {
                 None
             };
-            let farm = FarmBackend::new(&workers, spawn_workers, program.as_deref())
-                .map_err(|err| PipelineError::config(format!("farm backend: {err}")))?;
+            let tuning = FarmTuning {
+                retry_budget: tuning.retry_budget,
+                reconnect_attempts: tuning.reconnect_attempts,
+                backoff_base_ms: tuning.backoff_base_ms,
+                backoff_cap_ms: tuning.backoff_cap_ms,
+                backoff_seed: tuning.backoff_seed,
+                heartbeat: tuning.heartbeat,
+                heartbeat_timeout_ms: tuning.heartbeat_timeout_ms,
+            };
+            let farm =
+                FarmBackend::with_tuning(&workers, spawn_workers, program.as_deref(), tuning)
+                    .map_err(|err| PipelineError::config(format!("farm backend: {err}")))?;
             println!(
                 "farm: {} worker(s) connected ({} remote, {} spawned)",
                 farm.fleet_size(),
@@ -468,7 +529,8 @@ fn build_runner(
     }
 }
 
-/// Prints the fleet's dispatch summary after a farmed run.
+/// Prints the fleet's dispatch summary after a farmed run (the chaos CI job greps the
+/// resilience counters out of this line).
 fn report_farm(farm: &FarmBackend) {
     let stats = farm.stats();
     println!(
@@ -481,6 +543,27 @@ fn report_farm(farm: &FarmBackend) {
         stats.lanes_remote,
         stats.lanes_local,
     );
+    println!(
+        "farm resilience: {} reconnects, {} heartbeats missed, {} jobs degraded to local \
+         solving",
+        stats.reconnects, stats.heartbeats_missed, stats.degraded_jobs,
+    );
+}
+
+/// The farm's post-run record in artifact form (display-only; never serialized).
+fn farm_section(farm: &FarmBackend) -> FarmSection {
+    let stats = farm.stats();
+    FarmSection {
+        fleet_size: farm.fleet_size(),
+        workers_live: farm.live_workers(),
+        jobs_completed: stats.jobs_completed,
+        failovers: stats.failovers,
+        reconnects: stats.reconnects,
+        heartbeats_missed: stats.heartbeats_missed,
+        degraded_jobs: stats.degraded_jobs,
+        lanes_remote: stats.lanes_remote,
+        lanes_local: stats.lanes_local,
+    }
 }
 
 /// Parses a 1-based `--shard i/n` specification into `(index, count)`.
@@ -524,6 +607,29 @@ fn cmd_learn(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     Ok(())
 }
 
+/// Assembles the worker's fault-injection script from its `--fault-*` flags, `None` when
+/// no fault flag was given.
+fn build_fault_plan(flags: &BTreeMap<String, String>) -> Result<Option<FaultPlan>, PipelineError> {
+    let parse = |flag: &str| -> Result<Option<u64>, PipelineError> {
+        flags
+            .get(flag)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| PipelineError::config(format!("`--{flag} {v}` is not an integer")))
+            })
+            .transpose()
+    };
+    let plan = FaultPlan {
+        seed: parse("fault-seed")?.unwrap_or(0),
+        drop_after_messages: parse("fault-drop-after")?,
+        delay_ms: parse("fault-delay-ms")?,
+        garbage_every: parse("fault-garbage-every")?,
+        refuse_reconnects: parse("fault-refuse-reconnects")?.unwrap_or(0),
+    };
+    let scripted = plan.is_active() || flags.contains_key("fault-seed");
+    Ok(scripted.then_some(plan))
+}
+
 fn cmd_worker(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     let max_batches = match flags.get("max-batches") {
         Some(v) => Some(v.parse::<u64>().map_err(|_| {
@@ -531,6 +637,7 @@ fn cmd_worker(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
         })?),
         None => None,
     };
+    let fault = build_fault_plan(flags)?;
     let outcome = match flags.get("listen") {
         Some(address) => {
             let listener = std::net::TcpListener::bind(address).map_err(|err| {
@@ -540,6 +647,7 @@ fn cmd_worker(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
             let options = WorkerOptions {
                 name: format!("tcp:{bound}"),
                 max_batches,
+                fault,
             };
             // The broker (or a test) needs the resolved port when binding to :0.
             println!("worker listening on {bound}");
@@ -551,6 +659,7 @@ fn cmd_worker(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
             let options = WorkerOptions {
                 name: format!("stdio:{}", std::process::id()),
                 max_batches,
+                fault,
             };
             serve_stdio(&options)?
         }
@@ -562,6 +671,11 @@ fn cmd_worker(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
         ServeOutcome::BatchLimit => Err(PipelineError::config(
             "worker reached its --max-batches limit and dropped the connection",
         )),
+        // Only the stdio transport can surface a fault drop (a TCP listener goes back to
+        // accept); the pipe is gone, so exit nonzero like any other abrupt death.
+        ServeOutcome::FaultDrop => Err(PipelineError::config(
+            "worker's fault plan dropped the stdio connection",
+        )),
     }
 }
 
@@ -571,12 +685,13 @@ fn cmd_cache_compact(flags: &BTreeMap<String, String>) -> Result<(), PipelineErr
         .ok_or_else(|| PipelineError::config("`slic cache compact` needs `--cache <file>`"))?;
     let options = CompactionOptions {
         drop_legacy: flags.contains_key("drop-legacy"),
+        quarantine: flags.contains_key("quarantine"),
     };
     let report = DiskSimCache::compact_with(path, options)?;
     println!(
         "compacted `{path}`: kept {} records, dropped {} superseded duplicates, evicted \
-         {} legacy-kernel records",
-        report.kept, report.dropped, report.dropped_legacy,
+         {} legacy-kernel records, quarantined {} corrupt lines",
+        report.kept, report.dropped, report.dropped_legacy, report.quarantined,
     );
     Ok(())
 }
@@ -627,7 +742,12 @@ fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineErro
         }
     };
 
-    let artifact = runner.characterize(&plan, &database)?;
+    let mut artifact = runner.characterize(&plan, &database)?;
+    // Attach the fleet record for reporting; the section is display-only and never
+    // serialized, so the saved JSON stays byte-identical to a local run's.
+    if let Some(farm) = &farm {
+        artifact.farm = Some(farm_section(farm));
+    }
     // Persist the (possibly disk-backed) cache before reporting success: shard workers
     // and reruns depend on it, and the drop-time flush can only warn.
     runner.cache().persist()?;

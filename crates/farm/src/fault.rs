@@ -1,0 +1,132 @@
+//! Deterministic fault injection for the farm's resilience layer.
+//!
+//! A [`FaultPlan`] makes a worker misbehave *on purpose*, in a way that is a pure
+//! function of the plan (and its seed) — never of wall-clock entropy — so every chaos
+//! test and the CI chaos smoke job replay the identical failure sequence.  The plan is
+//! threaded through [`WorkerOptions`](crate::worker::WorkerOptions) and exposed on the
+//! CLI as `slic worker --fault-*` flags; a production worker simply leaves it `None`.
+//!
+//! The four knobs map one-to-one onto the broker-side recovery paths they exercise:
+//!
+//! | knob                   | failure injected                          | recovery exercised            |
+//! |------------------------|-------------------------------------------|-------------------------------|
+//! | `drop_after_messages`  | connection dropped mid-conversation       | failover + re-dial/re-admit   |
+//! | `delay_ms`             | slow replies (seeded extra latency)       | work-stealing rebalance       |
+//! | `garbage_every`        | non-protocol bytes instead of results     | protocol-violation failover   |
+//! | `refuse_reconnects`    | next K re-dials refused after a drop      | backoff schedule + retry      |
+//!
+//! Injected *timing* (the delay) never reaches an artifact: lanes are re-assembled by
+//! index on the broker side, so a delayed worker changes throughput, not bytes.
+
+use crate::backoff::splitmix64;
+
+/// A seeded misbehaviour script for one worker.
+///
+/// The default plan injects nothing; see the module docs for what each knob exercises.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every randomized choice the plan makes (jittered delays); two workers
+    /// given different seeds misbehave on decorrelated schedules.
+    pub seed: u64,
+    /// Drop the connection (no reply, no shutdown) after this many messages have been
+    /// received on it.  Counted per connection, so a re-admitted worker flaps again —
+    /// the repeating-failure case reconnection must survive.
+    pub drop_after_messages: Option<u64>,
+    /// Sleep this many milliseconds (plus up to half again of seeded jitter) before
+    /// answering each batch.
+    pub delay_ms: Option<u64>,
+    /// Reply to every N-th batch with garbage bytes instead of a `results` message.
+    pub garbage_every: Option<u64>,
+    /// After a fault-injected drop, refuse this many broker re-dials (accept + close
+    /// before the handshake) before serving again — exercises the backoff schedule.
+    pub refuse_reconnects: u64,
+}
+
+impl FaultPlan {
+    /// `true` when any fault is armed (a `Default` plan is inert).
+    pub fn is_active(&self) -> bool {
+        self.drop_after_messages.is_some()
+            || self.delay_ms.is_some()
+            || self.garbage_every.is_some()
+            || self.refuse_reconnects > 0
+    }
+
+    /// The injected latency before answering batch number `batch` (0-based), in
+    /// milliseconds — `0` when no delay is armed.  Pure in `(self, batch)`.
+    pub fn delay_for_batch_ms(&self, batch: u64) -> u64 {
+        match self.delay_ms {
+            Some(delay) => {
+                let jitter_span = delay / 2;
+                let draw = splitmix64(self.seed ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                delay
+                    + if jitter_span == 0 {
+                        0
+                    } else {
+                        draw % (jitter_span + 1)
+                    }
+            }
+            None => 0,
+        }
+    }
+
+    /// `true` when batch number `batch` (0-based) should be answered with garbage.
+    pub fn garbles_batch(&self, batch: u64) -> bool {
+        match self.garbage_every {
+            Some(every) => every > 0 && (batch + 1).is_multiple_of(every),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_default_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        assert_eq!(plan.delay_for_batch_ms(0), 0);
+        assert!(!plan.garbles_batch(0));
+    }
+
+    #[test]
+    fn delays_are_seeded_jittered_and_deterministic() {
+        let plan = FaultPlan {
+            seed: 7,
+            delay_ms: Some(40),
+            ..FaultPlan::default()
+        };
+        for batch in 0..16 {
+            let delay = plan.delay_for_batch_ms(batch);
+            assert_eq!(
+                delay,
+                plan.delay_for_batch_ms(batch),
+                "pure in (plan, batch)"
+            );
+            assert!(
+                (40..=60).contains(&delay),
+                "batch {batch} waited {delay} ms"
+            );
+        }
+        let reseeded = FaultPlan { seed: 8, ..plan };
+        let schedule = |p: &FaultPlan| (0..16).map(|b| p.delay_for_batch_ms(b)).collect::<Vec<_>>();
+        assert_ne!(schedule(&plan), schedule(&reseeded));
+    }
+
+    #[test]
+    fn garbage_fires_on_every_nth_batch() {
+        let plan = FaultPlan {
+            garbage_every: Some(3),
+            ..FaultPlan::default()
+        };
+        let garbled: Vec<u64> = (0..9).filter(|&b| plan.garbles_batch(b)).collect();
+        assert_eq!(garbled, vec![2, 5, 8]);
+        // A zero divisor is inert, not a panic.
+        let zero = FaultPlan {
+            garbage_every: Some(0),
+            ..FaultPlan::default()
+        };
+        assert!(!(0..9).any(|b| zero.garbles_batch(b)));
+    }
+}

@@ -18,6 +18,14 @@
 //!   N workers, per-worker health tracking, retry-on-another-worker failover, and an
 //!   in-process fallback so a run completes even if the whole fleet dies.
 //!
+//! Around those sits the **resilience layer** (PR 8): [`backoff`] (seeded, deterministic
+//! exponential re-dial schedules), heartbeat `ping`/`pong` probes between batches, a
+//! per-job retry budget with a degradation ladder (retry elsewhere → wait for
+//! re-admission → local fallback), and [`fault`] — a seeded [`FaultPlan`] a worker can
+//! run to misbehave deterministically, so every recovery path is exercised end-to-end in
+//! tests and CI.  A dead worker is no longer dead forever: the broker re-dials it with
+//! backoff and re-admits it after a fresh [`Hello`] handshake.
+//!
 //! Because the engine keeps its counter / cache / single-flight layering on its own side
 //! of the backend boundary, a farm run pays each unique simulation coordinate exactly
 //! once across the whole fleet and produces a `RunArtifact` byte-identical to a local
@@ -40,11 +48,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod broker;
+pub mod fault;
 pub mod wire;
 pub mod worker;
 
-pub use broker::{FarmBackend, FarmStats};
+pub use backoff::{splitmix64, BackoffPolicy};
+pub use broker::{FarmBackend, FarmStats, FarmTuning};
+pub use fault::FaultPlan;
 pub use wire::{Hello, Message, WireError, WireRequest, WireResultEntry, PROTOCOL_VERSION};
 pub use worker::{serve_connection, serve_listener, serve_stdio, ServeOutcome, WorkerOptions};
 

@@ -4,11 +4,21 @@
 //! strict request/response alternation on one connection:
 //!
 //! ```text
-//! worker → broker   {"type":"hello","protocol":1,"kernel":"2","worker":"w0"}
+//! worker → broker   {"type":"hello","protocol":2,"kernel":"2","worker":"w0"}
+//! broker → worker   {"type":"ping","id":3}
+//! worker → broker   {"type":"pong","id":3}
 //! broker → worker   {"type":"batch","id":7,"requests":[{...}, ...]}
 //! worker → broker   {"type":"results","id":7,"results":[{"delay":"...","slew":"..."}, ...]}
 //! broker → worker   {"type":"shutdown"}
 //! ```
+//!
+//! `ping`/`pong` (protocol 2) is the broker-initiated heartbeat: a trivial round trip the
+//! broker can run between batches with a short read deadline, so a half-open connection
+//! (worker host vanished, NAT state expired) is detected in milliseconds instead of
+//! stalling the next batch into its full 60 s deadline.  A `pong` echoes the `ping`'s
+//! correlation id.  Protocol-1 workers do not know the pair — that is exactly why the
+//! protocol version is bumped: a v1 worker is refused at connect time, as any other
+//! protocol mismatch is.
 //!
 //! Every floating-point coordinate travels as a fixed-width hexadecimal bit pattern —
 //! the exact encoding [`SimKey`](slic_spice::SimKey) uses in `DiskSimCache` logs — so a
@@ -32,7 +42,10 @@ use slic_units::{Farads, Seconds, Volts};
 use std::fmt;
 
 /// Version of the wire protocol itself (message shapes and framing).
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// History: v1 = hello/batch/results/shutdown (PR 4); v2 adds the `ping`/`pong`
+/// heartbeat pair.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Anything that can go wrong encoding, decoding or validating wire traffic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +58,8 @@ pub enum WireError {
     InvalidResult(String),
     /// The peer speaks a different protocol version.
     ProtocolMismatch {
+        /// The peer's announced worker name (who to go fix).
+        worker: String,
         /// Our protocol version.
         ours: u64,
         /// The peer's protocol version.
@@ -52,6 +67,8 @@ pub enum WireError {
     },
     /// The peer runs a different transient-kernel generation.
     KernelMismatch {
+        /// The peer's announced worker name (who to go fix).
+        worker: String,
         /// Our kernel version.
         ours: u64,
         /// The peer's kernel version.
@@ -67,14 +84,24 @@ impl fmt::Display for WireError {
             WireError::Malformed(msg) => write!(f, "malformed wire message: {msg}"),
             WireError::InvalidRequest(msg) => write!(f, "invalid simulation request: {msg}"),
             WireError::InvalidResult(msg) => write!(f, "invalid simulation result: {msg}"),
-            WireError::ProtocolMismatch { ours, theirs } => write!(
+            WireError::ProtocolMismatch {
+                worker,
+                ours,
+                theirs,
+            } => write!(
                 f,
-                "protocol version mismatch: we speak {ours}, peer speaks {theirs}"
+                "worker `{worker}`: protocol version mismatch: peer speaks v{theirs}, \
+                 this build expects v{ours}"
             ),
-            WireError::KernelMismatch { ours, theirs } => write!(
+            WireError::KernelMismatch {
+                worker,
+                ours,
+                theirs,
+            } => write!(
                 f,
-                "transient-kernel version mismatch: we run {ours}, peer runs {theirs} — \
-                 mixed-kernel results would silently corrupt an artifact"
+                "worker `{worker}`: transient-kernel version mismatch: peer runs kernel \
+                 {theirs:#x}, this build expects kernel {ours:#x} — mixed-kernel results \
+                 would silently corrupt an artifact"
             ),
             WireError::UnknownTechnology(name) => {
                 write!(f, "technology `{name}` is not in the built-in catalogue")
@@ -116,17 +143,20 @@ impl Hello {
     ///
     /// # Errors
     ///
-    /// Returns a [`WireError::ProtocolMismatch`] or [`WireError::KernelMismatch`]
-    /// describing the incompatibility.
+    /// Returns a [`WireError::ProtocolMismatch`] or [`WireError::KernelMismatch`] naming
+    /// the offending worker plus both the observed and the expected version — a mixed
+    /// fleet is debugged by reading the rejection, not by guessing which binary is stale.
     pub fn validate(&self) -> Result<(), WireError> {
         if self.protocol != PROTOCOL_VERSION {
             return Err(WireError::ProtocolMismatch {
+                worker: self.worker.clone(),
                 ours: PROTOCOL_VERSION,
                 theirs: self.protocol,
             });
         }
         if self.kernel != KERNEL_VERSION {
             return Err(WireError::KernelMismatch {
+                worker: self.worker.clone(),
                 ours: KERNEL_VERSION,
                 theirs: self.kernel,
             });
@@ -427,6 +457,16 @@ pub enum Message {
         /// One entry per request.
         results: Vec<WireResultEntry>,
     },
+    /// Broker-initiated heartbeat probe (protocol 2): "are you still there?".
+    Ping {
+        /// Broker-chosen correlation id, echoed in the pong.
+        id: u64,
+    },
+    /// The worker's heartbeat answer, echoing the ping's id.
+    Pong {
+        /// The correlation id of the ping being answered.
+        id: u64,
+    },
     /// Orderly termination: the worker exits its serve loop.
     Shutdown,
 }
@@ -457,6 +497,14 @@ pub fn encode_message(message: &Message) -> String {
             ("type".to_string(), Value::String("results".to_string())),
             ("id".to_string(), id.to_value()),
             ("results".to_string(), results.to_value()),
+        ]),
+        Message::Ping { id } => Value::Object(vec![
+            ("type".to_string(), Value::String("ping".to_string())),
+            ("id".to_string(), id.to_value()),
+        ]),
+        Message::Pong { id } => Value::Object(vec![
+            ("type".to_string(), Value::String("pong".to_string())),
+            ("id".to_string(), id.to_value()),
         ]),
         Message::Shutdown => Value::Object(vec![(
             "type".to_string(),
@@ -506,6 +554,12 @@ pub fn decode_message(line: &str) -> Result<Message, WireError> {
         "results" => Ok(Message::Results {
             id: serde::field(entries, "id")?,
             results: serde::field(entries, "results")?,
+        }),
+        "ping" => Ok(Message::Ping {
+            id: serde::field(entries, "id")?,
+        }),
+        "pong" => Ok(Message::Pong {
+            id: serde::field(entries, "id")?,
         }),
         "shutdown" => Ok(Message::Shutdown),
         other => Err(WireError::Malformed(format!(
@@ -568,20 +622,50 @@ mod tests {
         assert!(Hello::current("w").validate().is_ok());
         let stale_kernel = Hello {
             kernel: KERNEL_VERSION + 1,
-            ..Hello::current("w")
+            ..Hello::current("rack7-w3")
         };
-        assert!(matches!(
-            stale_kernel.validate(),
-            Err(WireError::KernelMismatch { .. })
-        ));
+        let err = stale_kernel.validate().expect_err("stale kernel rejected");
+        assert!(matches!(err, WireError::KernelMismatch { .. }));
+        let rendered = err.to_string();
+        // Mixed-fleet debugging: the rejection must name the worker and both versions.
+        assert!(rendered.contains("rack7-w3"), "{rendered}");
+        assert!(
+            rendered.contains(&format!("{KERNEL_VERSION:#x}")),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains(&format!("{:#x}", KERNEL_VERSION + 1)),
+            "{rendered}"
+        );
         let stale_protocol = Hello {
             protocol: PROTOCOL_VERSION + 1,
-            ..Hello::current("w")
+            ..Hello::current("rack7-w3")
         };
-        assert!(matches!(
-            stale_protocol.validate(),
-            Err(WireError::ProtocolMismatch { .. })
-        ));
+        let err = stale_protocol
+            .validate()
+            .expect_err("stale protocol rejected");
+        assert!(matches!(err, WireError::ProtocolMismatch { .. }));
+        let rendered = err.to_string();
+        assert!(rendered.contains("rack7-w3"), "{rendered}");
+        assert!(
+            rendered.contains(&format!("v{PROTOCOL_VERSION}")),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains(&format!("v{}", PROTOCOL_VERSION + 1)),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn ping_and_pong_round_trip() {
+        for message in [Message::Ping { id: 41 }, Message::Pong { id: 41 }] {
+            let line = encode_message(&message);
+            assert_eq!(decode_message(&line).expect("decodes"), message);
+        }
+        // A v1 peer has never heard of the pair — the version bump is what keeps it out
+        // of a v2 fleet at connect time rather than at the first unanswerable ping.
+        assert_eq!(PROTOCOL_VERSION, 2);
     }
 
     #[test]

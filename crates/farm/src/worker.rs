@@ -19,7 +19,14 @@
 //! (rolling restarts: drain a worker after N batches) and the deterministic fault
 //! injection the failover tests rely on: a worker hitting its limit is indistinguishable
 //! from one killed mid-batch.
+//!
+//! A richer misbehaviour script is the optional [`FaultPlan`]: seeded connection drops,
+//! reply delays, garbage replies and refused re-dials, each exercising one broker-side
+//! recovery path (see the [`fault`](crate::fault) module docs).  Unlike the batch limit,
+//! a fault-dropped TCP worker keeps its listener alive and goes back to `accept` — it is
+//! the *flapping* peer the broker's reconnect-with-backoff supervisor must re-admit.
 
+use crate::fault::FaultPlan;
 use crate::wire::{decode_message, encode_message, Hello, Message, WireResultEntry};
 use slic_spice::{LocalBackend, SimResult, SimulationBackend};
 use std::io::{BufRead, BufReader, Write};
@@ -33,6 +40,8 @@ pub struct WorkerOptions {
     /// Serve at most this many batches, then drop the connection without replying —
     /// rolling-restart drain and deterministic fault injection.  `None` = unlimited.
     pub max_batches: Option<u64>,
+    /// Seeded misbehaviour script for chaos testing; `None` = behave.
+    pub fault: Option<FaultPlan>,
 }
 
 /// How a serve loop ended.
@@ -44,6 +53,9 @@ pub enum ServeOutcome {
     Shutdown,
     /// The batch limit was reached: the last batch was received but never answered.
     BatchLimit,
+    /// A [`FaultPlan`] dropped the connection on purpose; a TCP listener goes back to
+    /// `accept` (after any scripted refusals) instead of exiting.
+    FaultDrop,
 }
 
 /// Serves one established connection until disconnect, shutdown or the batch limit.
@@ -67,7 +79,10 @@ pub fn serve_connection(
     )?;
     writer.flush()?;
     let backend = LocalBackend::new();
+    let fault = options.fault.unwrap_or_default();
     let mut line = String::new();
+    // Per-connection message count: a re-admitted flapping worker re-arms its drop.
+    let mut messages = 0u64;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -80,12 +95,32 @@ pub fn serve_connection(
                 return Ok(ServeOutcome::Disconnected);
             }
         };
+        messages += 1;
+        if fault
+            .drop_after_messages
+            .is_some_and(|after| messages > after)
+        {
+            // Scripted crash: the message (ping or batch) dies unanswered, exactly like
+            // a worker whose host vanished mid-conversation.
+            return Ok(ServeOutcome::FaultDrop);
+        }
         match message {
             Message::Batch { id, requests } => {
                 if options.max_batches.is_some_and(|max| *served >= max) {
                     // Quota exhausted: die mid-batch, exactly like a crashed worker —
                     // the broker's failover owns this batch now.
                     return Ok(ServeOutcome::BatchLimit);
+                }
+                let delay = fault.delay_for_batch_ms(*served);
+                if delay > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+                if fault.garbles_batch(*served) {
+                    // Scripted protocol violation: bytes that decode to nothing.
+                    writeln!(writer, "%%% not a farm message (injected garbage) %%%")?;
+                    writer.flush()?;
+                    *served += 1;
+                    continue;
                 }
                 let results: Vec<WireResultEntry> = solve_wire_batch(&backend, &requests);
                 writeln!(
@@ -96,8 +131,12 @@ pub fn serve_connection(
                 writer.flush()?;
                 *served += 1;
             }
+            Message::Ping { id } => {
+                writeln!(writer, "{}", encode_message(&Message::Pong { id }))?;
+                writer.flush()?;
+            }
             Message::Shutdown => return Ok(ServeOutcome::Shutdown),
-            Message::Hello(_) | Message::Results { .. } => {
+            Message::Hello(_) | Message::Results { .. } | Message::Pong { .. } => {
                 eprintln!("slic worker: dropping connection on out-of-order message");
                 return Ok(ServeOutcome::Disconnected);
             }
@@ -138,7 +177,9 @@ fn solve_wire_batch(
 /// `shutdown` or the batch limit fires.
 ///
 /// A disconnect is not the end of the worker — the broker may have restarted — so the
-/// loop goes back to `accept`.
+/// loop goes back to `accept`.  A [`FaultPlan`] drop likewise returns to `accept` (this
+/// is the flapping worker the reconnect supervisor re-admits), first refusing the next
+/// `refuse_reconnects` dials by closing them before the handshake.
 ///
 /// # Errors
 ///
@@ -148,13 +189,28 @@ pub fn serve_listener(
     options: &WorkerOptions,
 ) -> std::io::Result<ServeOutcome> {
     let mut served = 0u64;
+    let mut refusals_pending = 0u64;
     loop {
         let (stream, peer) = listener.accept()?;
+        if refusals_pending > 0 {
+            // Scripted refusal: close before the hello, like a host whose port is back
+            // up but whose worker process is still starting.
+            refusals_pending -= 1;
+            drop(stream);
+            continue;
+        }
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         match serve_connection(reader, &stream, &mut served, options)? {
             ServeOutcome::Disconnected => {
                 eprintln!("slic worker: broker at {peer} disconnected; waiting for the next");
+            }
+            ServeOutcome::FaultDrop => {
+                refusals_pending = options.fault.map_or(0, |fault| fault.refuse_reconnects);
+                eprintln!(
+                    "slic worker: fault plan dropped broker at {peer}; refusing the next \
+                     {refusals_pending} dials"
+                );
             }
             ended => return Ok(ended),
         }
@@ -278,6 +334,79 @@ mod tests {
         assert!(
             results.iter().all(|r| matches!(r.decode(), Ok(Err(_)))),
             "unknown technology lanes error out"
+        );
+    }
+
+    #[test]
+    fn pings_are_answered_with_matching_pongs() {
+        let lines = vec![
+            encode_message(&Message::Ping { id: 3 }),
+            encode_message(&Message::Ping { id: 9 }),
+            encode_message(&Message::Shutdown),
+        ];
+        let (responses, outcome) = converse(&lines, &WorkerOptions::default());
+        assert_eq!(outcome, ServeOutcome::Shutdown);
+        assert_eq!(responses.len(), 3, "hello plus two pongs");
+        for (line, want) in responses[1..].iter().zip([3, 9]) {
+            let Message::Pong { id } = decode_message(line).expect("pong") else {
+                panic!("expected a pong, got {line}");
+            };
+            assert_eq!(id, want);
+        }
+    }
+
+    #[test]
+    fn fault_plan_drops_the_connection_after_its_message_quota() {
+        let wire = WireRequest::encode(&request()).expect("encodes");
+        let batch = |id| {
+            encode_message(&Message::Batch {
+                id,
+                requests: vec![wire.clone()],
+            })
+        };
+        let options = WorkerOptions {
+            fault: Some(FaultPlan {
+                drop_after_messages: Some(1),
+                ..FaultPlan::default()
+            }),
+            ..WorkerOptions::default()
+        };
+        let (responses, outcome) = converse(&[batch(1), batch(2)], &options);
+        assert_eq!(outcome, ServeOutcome::FaultDrop);
+        assert_eq!(
+            responses.len(),
+            2,
+            "hello and the first batch's results; the second message dies unanswered"
+        );
+    }
+
+    #[test]
+    fn fault_plan_garbles_every_nth_batch() {
+        let wire = WireRequest::encode(&request()).expect("encodes");
+        let batch = |id| {
+            encode_message(&Message::Batch {
+                id,
+                requests: vec![wire.clone()],
+            })
+        };
+        let options = WorkerOptions {
+            fault: Some(FaultPlan {
+                garbage_every: Some(2),
+                ..FaultPlan::default()
+            }),
+            ..WorkerOptions::default()
+        };
+        let (responses, outcome) = converse(
+            &[batch(1), batch(2), encode_message(&Message::Shutdown)],
+            &options,
+        );
+        assert_eq!(outcome, ServeOutcome::Shutdown);
+        assert_eq!(responses.len(), 3, "hello, results, garbage");
+        assert!(decode_message(&responses[1]).is_ok(), "batch 1 is honest");
+        assert!(
+            decode_message(&responses[2]).is_err(),
+            "batch 2 must be garbage: {}",
+            responses[2]
         );
     }
 

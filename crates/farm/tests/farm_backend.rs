@@ -5,7 +5,7 @@
 
 use slic_cells::{Cell, CellKind, DriveStrength, TimingArc, Transition};
 use slic_device::TechnologyNode;
-use slic_farm::{serve_listener, FarmBackend, ServeOutcome, WorkerOptions};
+use slic_farm::{serve_listener, FarmBackend, FarmTuning, ServeOutcome, WorkerOptions};
 use slic_spice::{
     CharacterizationEngine, InMemorySimCache, InputPoint, SimulationCache, TransientConfig,
 };
@@ -21,10 +21,22 @@ fn spawn_tcp_worker(name: &str, max_batches: Option<u64>) -> (String, JoinHandle
     let options = WorkerOptions {
         name: name.to_string(),
         max_batches,
+        ..WorkerOptions::default()
     };
     let handle =
         std::thread::spawn(move || serve_listener(&listener, &options).expect("serve loop io"));
     (address, handle)
+}
+
+/// Millisecond-scale backoff so tests that exercise worker death do not pay the
+/// production re-dial schedule against a listener that is gone for good.
+fn fast_tuning() -> FarmTuning {
+    FarmTuning {
+        reconnect_attempts: 2,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 4,
+        ..FarmTuning::default()
+    }
 }
 
 fn engine() -> CharacterizationEngine {
@@ -93,7 +105,10 @@ fn killing_a_worker_mid_run_fails_over_and_preserves_bitwise_results() {
     // replying.
     let (addr_a, handle_a) = spawn_tcp_worker("a", None);
     let (addr_b, handle_b) = spawn_tcp_worker("b", Some(2));
-    let farm = Arc::new(FarmBackend::connect(&[addr_a, addr_b]).expect("fleet connects"));
+    let farm = Arc::new(
+        FarmBackend::with_tuning(&[addr_a, addr_b], 0, None, fast_tuning())
+            .expect("fleet connects"),
+    );
 
     let farmed = engine().with_backend(farm.clone());
     let local = engine();
@@ -125,7 +140,8 @@ fn killing_a_worker_mid_run_fails_over_and_preserves_bitwise_results() {
 fn a_fully_dead_fleet_falls_back_to_local_solving() {
     // The only worker dies on its very first batch.
     let (addr, handle) = spawn_tcp_worker("doomed", Some(0));
-    let farm = Arc::new(FarmBackend::connect(&[addr]).expect("connects"));
+    let farm =
+        Arc::new(FarmBackend::with_tuning(&[addr], 0, None, fast_tuning()).expect("connects"));
     let farmed = engine().with_backend(farm.clone());
     let local = engine();
     let (cell, arc) = inv_fall();
@@ -177,10 +193,11 @@ fn incompatible_handshakes_are_rejected_at_connect_time() {
     let fake = std::thread::spawn(move || {
         use std::io::Write;
         let (mut stream, _) = listener.accept().expect("accept");
+        let protocol = slic_farm::PROTOCOL_VERSION;
         let kernel = slic_spice::KERNEL_VERSION + 1;
         writeln!(
             stream,
-            "{{\"type\":\"hello\",\"protocol\":1,\"kernel\":\"{kernel:x}\",\"worker\":\"future\"}}"
+            "{{\"type\":\"hello\",\"protocol\":{protocol},\"kernel\":\"{kernel:x}\",\"worker\":\"future\"}}"
         )
         .expect("write hello");
     });

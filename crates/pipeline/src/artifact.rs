@@ -321,12 +321,45 @@ impl KernelSection {
     }
 }
 
+/// The farm resilience record of a run: fleet health and the degradation-ladder
+/// counters ([`slic_farm::FarmStats`] plus fleet shape, carried across the crate
+/// boundary as plain fields).
+///
+/// This section is **display-only**: it feeds the dispatch summary and
+/// [`RunArtifact::summary_markdown`], and is *never* serialized into the artifact JSON —
+/// a farm run's artifact must stay byte-identical to a local run's, and how many retries
+/// the transport needed is operational telemetry, not a property of the characterized
+/// library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FarmSection {
+    /// Total workers the fleet was built with.
+    pub fleet_size: usize,
+    /// Workers still holding a live connection after the run.
+    pub workers_live: usize,
+    /// Jobs answered by a worker.
+    pub jobs_completed: u64,
+    /// Dispatch attempts that failed and sent their job back for another try.
+    pub failovers: u64,
+    /// Dead workers re-admitted after a backoff re-dial and fresh handshake.
+    pub reconnects: u64,
+    /// Heartbeat probes that went unanswered, each dropping a half-open connection.
+    pub heartbeats_missed: u64,
+    /// Jobs that exhausted their retry budget and degraded to the local fallback.
+    pub degraded_jobs: u64,
+    /// Lanes solved on a worker.
+    pub lanes_remote: u64,
+    /// Lanes solved by the broker's in-process fallback.
+    pub lanes_local: u64,
+}
+
 /// The complete, persistent record of one characterization run.
 ///
-/// `Serialize` is written by hand (everything else in this file derives it) for one
-/// reason: the derived impl emits `"kernel": null` when the section is absent, and the
+/// `Serialize` is written by hand (everything else in this file derives it) for two
+/// reasons: the derived impl emits `"kernel": null` when the section is absent, and the
 /// `kernel` key must be *omitted* instead so that default (`kernel.simd = false`) runs
-/// produce artifacts byte-identical to those written before the section existed.
+/// produce artifacts byte-identical to those written before the section existed; and the
+/// `farm` section must never be written at all — farm and local artifacts are required
+/// to be byte-identical, so transport telemetry cannot enter the JSON.
 #[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct RunArtifact {
     /// Artifact format version (bumped on breaking layout changes).
@@ -359,6 +392,10 @@ pub struct RunArtifact {
     /// Transient-kernel cost and dispatch record, present exactly when the run opted
     /// into the SIMD kernel (absent in default-kernel and pre-SIMD artifacts).
     pub kernel: Option<KernelSection>,
+    /// Farm resilience record, attached in memory after a farm run for reporting.
+    /// Never serialized (and therefore never reloaded): the artifact JSON of a farm run
+    /// is byte-identical to a local run's.
+    pub farm: Option<FarmSection>,
 }
 
 /// Current artifact schema version.
@@ -386,6 +423,7 @@ impl serde::Serialize for RunArtifact {
         if let Some(kernel) = &self.kernel {
             entries.push(("kernel".to_string(), kernel.to_value()));
         }
+        // `self.farm` is deliberately not written: see the struct docs.
         serde::Value::Object(entries)
     }
 }
@@ -527,6 +565,9 @@ impl RunArtifact {
             cache_misses: shards.iter().map(|s| s.cache_misses).sum(),
             variation,
             kernel,
+            // Transport telemetry never round-trips through shard files, so there is
+            // nothing truthful to merge.
+            farm: None,
         })
     }
 
@@ -668,9 +709,31 @@ impl RunArtifact {
         if let Some(kernel) = &self.kernel {
             out.push_str(&Self::kernel_markdown(kernel));
         }
+        if let Some(farm) = &self.farm {
+            out.push_str(&Self::farm_markdown(farm));
+        }
         if let Some(variation) = &self.variation {
             out.push_str(&self.variation_markdown(variation));
         }
+        out
+    }
+
+    /// Renders the farm resilience record of a distributed run.
+    fn farm_markdown(farm: &FarmSection) -> String {
+        let mut out = format!(
+            "\n## Simulation farm ({} of {} workers live after the run)\n\n",
+            farm.workers_live, farm.fleet_size
+        );
+        out.push_str(&format!(
+            "{} jobs completed remotely; {} lanes solved on workers, {} by the local \
+             fallback.\n",
+            farm.jobs_completed, farm.lanes_remote, farm.lanes_local,
+        ));
+        out.push_str(&format!(
+            "Resilience: {} failovers, {} reconnects, {} heartbeats missed, {} jobs \
+             degraded to local solving.\n",
+            farm.failovers, farm.reconnects, farm.heartbeats_missed, farm.degraded_jobs,
+        ));
         out
     }
 
@@ -805,6 +868,21 @@ mod tests {
             cache_misses: 0,
             variation: None,
             kernel,
+            farm: None,
+        }
+    }
+
+    fn farm_section() -> FarmSection {
+        FarmSection {
+            fleet_size: 2,
+            workers_live: 1,
+            jobs_completed: 40,
+            failovers: 3,
+            reconnects: 2,
+            heartbeats_missed: 1,
+            degraded_jobs: 1,
+            lanes_remote: 90,
+            lanes_local: 6,
         }
     }
 
@@ -885,5 +963,41 @@ mod tests {
         assert!(simd.contains("## Transient kernel (SIMD quads)"), "{simd}");
         assert!(simd.contains("quad occupancy"), "{simd}");
         assert!(simd.contains("Batched dispatch: 100 lanes"), "{simd}");
+    }
+
+    #[test]
+    fn the_farm_section_is_never_serialized_so_farm_and_local_artifacts_match() {
+        // The byte-identity contract of the whole farm: attaching transport telemetry to
+        // the in-memory artifact must not change one byte of the JSON.
+        let mut farmed = empty_artifact(None);
+        farmed.farm = Some(farm_section());
+        let local = empty_artifact(None);
+        assert_eq!(
+            farmed.to_json().expect("serializes"),
+            local.to_json().expect("serializes"),
+            "the farm section leaked into the artifact JSON"
+        );
+        // And a reload therefore comes back without it.
+        let back = RunArtifact::from_json(&farmed.to_json().expect("serializes")).expect("parses");
+        assert_eq!(back.farm, None);
+    }
+
+    #[test]
+    fn summary_markdown_renders_the_farm_block_only_for_farm_runs() {
+        let plain = empty_artifact(None).summary_markdown();
+        assert!(!plain.contains("Simulation farm"));
+
+        let mut farmed = empty_artifact(None);
+        farmed.farm = Some(farm_section());
+        let summary = farmed.summary_markdown();
+        assert!(
+            summary.contains("## Simulation farm (1 of 2 workers live after the run)"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("3 failovers, 2 reconnects, 1 heartbeats missed, 1 jobs"),
+            "{summary}"
+        );
+        assert!(summary.contains("90 lanes solved on workers"), "{summary}");
     }
 }

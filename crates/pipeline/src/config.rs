@@ -21,6 +21,10 @@ use std::path::Path;
 /// Monte Carlo draw never collides with the training/validation sampling streams.
 const VARIATION_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
+/// Salt mixed into the run seed to derive the farm reconnect-backoff jitter seed, so the
+/// re-dial schedule is deterministic per run yet uncorrelated with the sampling streams.
+const FARM_SEED_SALT: u64 = 0x94d0_49bb_1331_11eb;
+
 /// The accuracy/cost trade-off of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunProfile {
@@ -148,6 +152,9 @@ pub struct RunConfig {
     /// Transient-kernel knobs.  In flat TOML these are the dotted `kernel.*` keys
     /// (`kernel.simd = true`).
     pub kernel: Option<KernelKnobs>,
+    /// Farm resilience knobs.  In flat TOML these are the dotted `farm.*` keys
+    /// (`farm.retry_budget = 3`).  Only meaningful with the farm backend.
+    pub farm: Option<FarmKnobs>,
 }
 
 /// User-facing Monte Carlo variation knobs, every field optional.  In flat TOML these are
@@ -171,6 +178,49 @@ pub struct KernelKnobs {
     pub simd: Option<bool>,
 }
 
+/// User-facing farm resilience knobs, every field optional.  In flat TOML these are the
+/// dotted `farm.*` keys (`farm.retry_budget = 3`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FarmKnobs {
+    /// Dispatch attempts per job before it degrades to the broker's local fallback;
+    /// default = the fleet size (every worker gets one shot).  Must be at least 1.
+    pub retry_budget: Option<usize>,
+    /// Re-dials per reconnect campaign before a dead worker is retired for the run;
+    /// default 4.  `0` means a dead worker stays dead.
+    pub reconnect_attempts: Option<u32>,
+    /// First-attempt ceiling of the re-dial backoff schedule, in milliseconds
+    /// (default 50).
+    pub backoff_base_ms: Option<u64>,
+    /// Hard ceiling of any single re-dial delay, in milliseconds (default 2000).
+    pub backoff_cap_ms: Option<u64>,
+    /// Probe TCP workers with a `ping`/`pong` heartbeat before dispatch (default true).
+    pub heartbeat: Option<bool>,
+    /// Read deadline for one heartbeat round trip, in milliseconds (default 5000).
+    pub heartbeat_timeout_ms: Option<u64>,
+}
+
+/// Resolved farm resilience tuning — the pipeline-side mirror of `slic_farm::FarmTuning`
+/// (this crate does not depend on `slic-farm`; the CLI maps the fields across when it
+/// builds the fleet).  The backoff seed is derived from the run seed, so re-dial
+/// schedules are replayable per run without ever touching an artifact byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarmResilience {
+    /// Dispatch attempts per job; `None` = fleet size.
+    pub retry_budget: Option<usize>,
+    /// Re-dials per reconnect campaign before a worker is retired.
+    pub reconnect_attempts: u32,
+    /// First-attempt backoff ceiling, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Hard backoff ceiling, milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Jitter seed of the re-dial schedule (run seed ⊕ salt).
+    pub backoff_seed: u64,
+    /// Whether workers are heartbeat-probed before dispatch.
+    pub heartbeat: bool,
+    /// Heartbeat round-trip deadline, milliseconds.
+    pub heartbeat_timeout_ms: u64,
+}
+
 /// Where the run's transient simulations execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BackendChoice {
@@ -182,6 +232,8 @@ pub enum BackendChoice {
         workers: Vec<String>,
         /// Subprocess workers to spawn in addition.
         spawn_workers: usize,
+        /// Resilience knobs for the fleet.
+        tuning: FarmResilience,
     },
 }
 
@@ -207,6 +259,7 @@ const KNOWN_CONFIG_KEYS: &[&str] = &[
     "spawn_workers",
     "variation",
     "kernel",
+    "farm",
 ];
 
 /// Every key of the nested `variation` section.
@@ -214,6 +267,16 @@ const KNOWN_VARIATION_KEYS: &[&str] = &["process_seeds", "sigma_corners"];
 
 /// Every key of the nested `kernel` section.
 const KNOWN_KERNEL_KEYS: &[&str] = &["simd"];
+
+/// Every key of the nested `farm` section.
+const KNOWN_FARM_KEYS: &[&str] = &[
+    "retry_budget",
+    "reconnect_attempts",
+    "backoff_base_ms",
+    "backoff_cap_ms",
+    "heartbeat",
+    "heartbeat_timeout_ms",
+];
 
 /// Rejects unknown top-level, `variation.*` and `kernel.*` keys with a pointed error.
 fn check_config_keys(value: &serde::Value) -> Result<(), PipelineError> {
@@ -236,6 +299,7 @@ fn check_config_keys(value: &serde::Value) -> Result<(), PipelineError> {
         let nested = match key.as_str() {
             "variation" => Some(("variation", KNOWN_VARIATION_KEYS)),
             "kernel" => Some(("kernel", KNOWN_KERNEL_KEYS)),
+            "farm" => Some(("farm", KNOWN_FARM_KEYS)),
             _ => None,
         };
         if let Some((section, known)) = nested {
@@ -397,6 +461,25 @@ impl RunConfig {
             return Err(PipelineError::config("method list is empty"));
         }
 
+        let seed = self.seed.unwrap_or(20150313);
+        let tuning = {
+            let knobs = self.farm.clone().unwrap_or_default();
+            if knobs.retry_budget == Some(0) {
+                return Err(PipelineError::config(
+                    "`farm.retry_budget` must be at least 1 (every job needs one dispatch \
+                     attempt before it can degrade to the local fallback)",
+                ));
+            }
+            FarmResilience {
+                retry_budget: knobs.retry_budget,
+                reconnect_attempts: knobs.reconnect_attempts.unwrap_or(4),
+                backoff_base_ms: knobs.backoff_base_ms.unwrap_or(50),
+                backoff_cap_ms: knobs.backoff_cap_ms.unwrap_or(2_000),
+                backoff_seed: seed ^ FARM_SEED_SALT,
+                heartbeat: knobs.heartbeat.unwrap_or(true),
+                heartbeat_timeout_ms: knobs.heartbeat_timeout_ms.unwrap_or(5_000),
+            }
+        };
         let workers = self.workers.clone().unwrap_or_default();
         let spawn_workers = self.spawn_workers.unwrap_or(0);
         let backend = match self.backend.as_deref() {
@@ -419,12 +502,14 @@ impl RunConfig {
                 BackendChoice::Farm {
                     workers,
                     spawn_workers,
+                    tuning,
                 }
             }
             // Farm knobs without an explicit backend name imply the farm.
             None if !workers.is_empty() || spawn_workers > 0 => BackendChoice::Farm {
                 workers,
                 spawn_workers,
+                tuning,
             },
             None => BackendChoice::Local,
             Some(other) => {
@@ -433,6 +518,12 @@ impl RunConfig {
                 )));
             }
         };
+        if self.farm.is_some() && !matches!(backend, BackendChoice::Farm { .. }) {
+            return Err(PipelineError::config(
+                "`farm.*` knobs apply to the farm backend only; configure `workers` / \
+                 `spawn_workers` or drop the farm section",
+            ));
+        }
 
         let simd = self.kernel.as_ref().and_then(|k| k.simd).unwrap_or(false);
         if simd && !matches!(backend, BackendChoice::Local) {
@@ -442,7 +533,6 @@ impl RunConfig {
             ));
         }
 
-        let seed = self.seed.unwrap_or(20150313);
         let variation = match &self.variation {
             None => None,
             Some(knobs) => {
@@ -631,6 +721,19 @@ mod tests {
         .contains("selection is empty"));
     }
 
+    /// The resolved resilience defaults for a given run seed.
+    fn default_tuning(seed: u64) -> FarmResilience {
+        FarmResilience {
+            retry_budget: None,
+            reconnect_attempts: 4,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+            backoff_seed: seed ^ FARM_SEED_SALT,
+            heartbeat: true,
+            heartbeat_timeout_ms: 5_000,
+        }
+    }
+
     #[test]
     fn backend_resolution_covers_local_farm_and_inference() {
         assert_eq!(
@@ -648,6 +751,7 @@ mod tests {
             BackendChoice::Farm {
                 workers: vec!["10.0.0.5:9200".into()],
                 spawn_workers: 2,
+                tuning: default_tuning(20150313),
             }
         );
         // Farm knobs alone imply the farm backend.
@@ -660,6 +764,7 @@ mod tests {
             BackendChoice::Farm {
                 workers: vec![],
                 spawn_workers: 3,
+                tuning: default_tuning(20150313),
             }
         );
         let bad = |cfg: RunConfig| cfg.resolve().unwrap_err().to_string();
@@ -831,6 +936,88 @@ mod tests {
             ..Default::default()
         };
         assert!(!ok.resolve().unwrap().simd);
+    }
+
+    #[test]
+    fn farm_knobs_parse_from_json_and_dotted_toml_and_resolve() {
+        let json = r#"{
+            "spawn_workers": 2,
+            "farm": {"retry_budget": 3, "backoff_base_ms": 10, "heartbeat": false}
+        }"#;
+        let toml_text = "
+            spawn_workers = 2
+            farm.retry_budget = 3
+            farm.backoff_base_ms = 10
+            farm.heartbeat = false
+        ";
+        let a = RunConfig::from_json(json).unwrap();
+        let b = RunConfig::from_toml(toml_text).unwrap();
+        assert_eq!(a, b);
+        let text = serde_json::to_string(&a).unwrap();
+        assert_eq!(RunConfig::from_json(&text).unwrap(), a);
+        let BackendChoice::Farm { tuning, .. } = a.resolve().unwrap().backend else {
+            panic!("spawn_workers implies the farm backend");
+        };
+        assert_eq!(tuning.retry_budget, Some(3));
+        assert_eq!(tuning.backoff_base_ms, 10);
+        assert!(!tuning.heartbeat);
+        // Unset knobs keep the broker defaults.
+        assert_eq!(tuning.reconnect_attempts, 4);
+        assert_eq!(tuning.backoff_cap_ms, 2_000);
+        assert_eq!(tuning.heartbeat_timeout_ms, 5_000);
+    }
+
+    #[test]
+    fn farm_backoff_seed_is_derived_from_the_run_seed() {
+        let with_seed = |seed: u64| {
+            let config = RunConfig {
+                spawn_workers: Some(1),
+                seed: Some(seed),
+                ..Default::default()
+            };
+            let BackendChoice::Farm { tuning, .. } = config.resolve().unwrap().backend else {
+                panic!("farm backend expected");
+            };
+            tuning.backoff_seed
+        };
+        assert_eq!(with_seed(7), with_seed(7), "deterministic per run seed");
+        assert_ne!(with_seed(7), with_seed(8), "different runs re-jitter");
+        assert_ne!(with_seed(7), 7, "the raw seed is never reused verbatim");
+    }
+
+    #[test]
+    fn farm_knobs_outside_the_farm_backend_are_rejected() {
+        let bad = |cfg: RunConfig| cfg.resolve().unwrap_err().to_string();
+        let err = bad(RunConfig {
+            farm: Some(FarmKnobs {
+                retry_budget: Some(3),
+                ..FarmKnobs::default()
+            }),
+            ..Default::default()
+        });
+        assert!(err.contains("farm backend only"), "{err}");
+        let err = bad(RunConfig {
+            spawn_workers: Some(2),
+            farm: Some(FarmKnobs {
+                retry_budget: Some(0),
+                ..FarmKnobs::default()
+            }),
+            ..Default::default()
+        });
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn unknown_farm_keys_are_rejected_not_ignored() {
+        let err = RunConfig::from_toml("farm.retries = 3").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown config key `farm.retries`"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("farm.retry_budget"), "{err}");
+        let err = RunConfig::from_json(r#"{"farm": {"backoff": 50}}"#).unwrap_err();
+        assert!(err.to_string().contains("`farm.backoff`"), "{err}");
     }
 
     #[test]

@@ -58,9 +58,11 @@ pub mod runner;
 pub mod toml;
 
 pub use artifact::{
-    CharacterizedArc, CharacterizedLibrary, RunArtifact, UnitResult, VariationSection,
+    CharacterizedArc, CharacterizedLibrary, FarmSection, RunArtifact, UnitResult, VariationSection,
 };
-pub use config::{BackendChoice, ResolvedConfig, RunConfig, RunProfile, VariationKnobs};
+pub use config::{
+    BackendChoice, FarmKnobs, FarmResilience, ResolvedConfig, RunConfig, RunProfile, VariationKnobs,
+};
 pub use error::PipelineError;
 pub use plan::{CharacterizationPlan, UnitKind, WorkUnit};
 pub use runner::PipelineRunner;

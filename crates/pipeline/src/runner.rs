@@ -262,6 +262,9 @@ impl PipelineRunner {
             cache_misses: self.cache.misses(),
             variation,
             kernel,
+            // Attached by the caller (the CLI) after the run when the backend is a farm;
+            // this crate cannot see through the `dyn SimulationBackend` it was handed.
+            farm: None,
         })
     }
 
@@ -474,9 +477,20 @@ mod tests {
     #[test]
     fn a_farm_configuration_without_a_backend_instance_is_rejected() {
         let mut config = RunConfig::default().resolve().expect("resolves");
+        let BackendChoice::Farm { tuning, .. } = (RunConfig {
+            spawn_workers: Some(1),
+            ..Default::default()
+        })
+        .resolve()
+        .expect("resolves")
+        .backend
+        else {
+            panic!("farm backend expected");
+        };
         config.backend = BackendChoice::Farm {
             workers: vec!["10.0.0.5:9200".to_string()],
             spawn_workers: 0,
+            tuning,
         };
         // Silently running a farm-configured plan in-process would defeat the point of
         // resolve() validating the choice; every backend-less constructor must refuse.
@@ -494,9 +508,20 @@ mod tests {
     #[test]
     fn an_explicit_backend_instance_satisfies_a_farm_configuration() {
         let mut config = RunConfig::default().resolve().expect("resolves");
+        let BackendChoice::Farm { tuning, .. } = (RunConfig {
+            spawn_workers: Some(2),
+            ..Default::default()
+        })
+        .resolve()
+        .expect("resolves")
+        .backend
+        else {
+            panic!("farm backend expected");
+        };
         config.backend = BackendChoice::Farm {
             workers: vec![],
             spawn_workers: 2,
+            tuning,
         };
         // Any SimulationBackend instance satisfies the requirement; the pipeline does
         // not (and cannot) verify it is really a fleet.

@@ -46,6 +46,10 @@ pub struct CompactionReport {
     /// Legacy-kernel records evicted because
     /// [`CompactionOptions::drop_legacy`] was set (always zero otherwise).
     pub dropped_legacy: usize,
+    /// Corrupt lines moved to the `.quarantine` sidecar because
+    /// [`CompactionOptions::quarantine`] was set (always zero otherwise: without the
+    /// flag, corruption aborts the compaction instead).
+    pub quarantined: usize,
 }
 
 /// Knobs of a [`DiskSimCache::compact_with`] run.
@@ -56,6 +60,11 @@ pub struct CompactionOptions {
     /// lookup of this binary again; dropping them trades loadability by *older* binaries
     /// for a smaller log.
     pub drop_legacy: bool,
+    /// Salvage a log with corrupt interior lines instead of aborting: every valid record
+    /// is kept, and each corrupt line is moved verbatim to a `<path>.quarantine` sidecar
+    /// for inspection.  Off by default because silent salvage would hide corruption; the
+    /// operator opts in after the default compaction has already refused.
+    pub quarantine: bool,
 }
 
 /// A persistent [`SimulationCache`] backed by a JSON-lines append log.
@@ -195,16 +204,23 @@ impl DiskSimCache {
         Self::compact_with(path, CompactionOptions::default())
     }
 
-    /// [`compact`](Self::compact) with explicit [`CompactionOptions`] — in particular
-    /// `drop_legacy`, which additionally evicts records written by a kernel predating the
-    /// current [`KERNEL_VERSION`](crate::cache::KERNEL_VERSION) (the age-based eviction a
-    /// long-lived cache needs after a solver upgrade: those records are never consulted
-    /// again by this binary and only grow the log).
+    /// [`compact`](Self::compact) with explicit [`CompactionOptions`]:
+    ///
+    /// - `drop_legacy` additionally evicts records written by a kernel predating the
+    ///   current [`KERNEL_VERSION`](crate::cache::KERNEL_VERSION) (the age-based eviction
+    ///   a long-lived cache needs after a solver upgrade: those records are never
+    ///   consulted again by this binary and only grow the log);
+    /// - `quarantine` salvages a log the default compaction refuses: valid records are
+    ///   kept, and each corrupt line moves verbatim to a `<path>.quarantine` sidecar
+    ///   (appended, so repeated salvages accumulate evidence rather than overwrite it).
+    ///   The sidecar is written *before* the log is rewritten, so a crash between the two
+    ///   can duplicate a corrupt line in the sidecar but never lose one.
     ///
     /// # Errors
     ///
-    /// Returns a [`CacheError`] on filesystem failures or a corrupt non-final record
-    /// (same tolerance as [`open`](Self::open)); the log is not modified in that case.
+    /// Returns a [`CacheError`] on filesystem failures or — unless `quarantine` is set —
+    /// a corrupt non-final record (same tolerance as [`open`](Self::open)); the log is
+    /// not modified in that case.
     pub fn compact_with(
         path: impl AsRef<Path>,
         options: CompactionOptions,
@@ -229,6 +245,7 @@ impl DiskSimCache {
             std::collections::BTreeMap::new();
         let mut records = 0usize;
         let mut dropped_legacy = 0usize;
+        let mut quarantined: Vec<&str> = Vec::new();
         for (index, line) in lines.iter().enumerate() {
             if line.trim().is_empty() {
                 continue;
@@ -251,6 +268,10 @@ impl DiskSimCache {
                     // Torn tail of a crashed append: repaired by the rewrite below.
                     let _ = err;
                 }
+                Err(err) if options.quarantine => {
+                    let _ = err;
+                    quarantined.push(line);
+                }
                 Err(err) => {
                     return Err(CacheError::Corrupt {
                         line: index + 1,
@@ -258,6 +279,23 @@ impl DiskSimCache {
                     });
                 }
             }
+        }
+        if !quarantined.is_empty() {
+            // Sidecar first: a crash after this append but before the log rewrite below
+            // duplicates a corrupt line in the sidecar, but never loses one.
+            let mut sidecar_path = path.as_ref().as_os_str().to_os_string();
+            sidecar_path.push(".quarantine");
+            let mut sidecar = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&sidecar_path)?;
+            let mut evidence = String::new();
+            for line in &quarantined {
+                evidence.push_str(line);
+                evidence.push('\n');
+            }
+            sidecar.write_all(evidence.as_bytes())?;
+            sidecar.flush()?;
         }
         let mut snapshot = String::new();
         for key in &order {
@@ -280,6 +318,7 @@ impl DiskSimCache {
             kept: order.len(),
             dropped: records - order.len(),
             dropped_legacy,
+            quarantined: quarantined.len(),
         })
     }
 
@@ -682,7 +721,8 @@ mod tests {
             CompactionReport {
                 kept: 2,
                 dropped: 1,
-                dropped_legacy: 0
+                dropped_legacy: 0,
+                quarantined: 0
             }
         );
         let text = std::fs::read_to_string(&path).unwrap();
@@ -701,7 +741,8 @@ mod tests {
             CompactionReport {
                 kept: 2,
                 dropped: 0,
-                dropped_legacy: 0
+                dropped_legacy: 0,
+                quarantined: 0
             }
         );
         std::fs::remove_file(&path).ok();
@@ -716,7 +757,8 @@ mod tests {
             CompactionReport {
                 kept: 0,
                 dropped: 0,
-                dropped_legacy: 0
+                dropped_legacy: 0,
+                quarantined: 0
             }
         );
         {
@@ -733,7 +775,8 @@ mod tests {
             CompactionReport {
                 kept: 1,
                 dropped: 0,
-                dropped_legacy: 0
+                dropped_legacy: 0,
+                quarantined: 0
             }
         );
         let repaired = std::fs::read_to_string(&path).unwrap();
@@ -785,19 +828,27 @@ mod tests {
             CompactionReport {
                 kept: 4,
                 dropped: 1,
-                dropped_legacy: 0
+                dropped_legacy: 0,
+                quarantined: 0
             }
         );
         // Dropping legacy evicts exactly the pre-upgrade records, reported separately
         // from the superseded-duplicate count.
-        let report = DiskSimCache::compact_with(&path, CompactionOptions { drop_legacy: true })
-            .expect("compacts");
+        let report = DiskSimCache::compact_with(
+            &path,
+            CompactionOptions {
+                drop_legacy: true,
+                ..CompactionOptions::default()
+            },
+        )
+        .expect("compacts");
         assert_eq!(
             report,
             CompactionReport {
                 kept: 2,
                 dropped: 0,
-                dropped_legacy: 2
+                dropped_legacy: 2,
+                quarantined: 0
             }
         );
         let survivors = DiskSimCache::open(&path).expect("compacted log loads");
@@ -805,14 +856,21 @@ mod tests {
         assert_eq!(survivors.lookup(&key(5.0, 2.0)), Some(measurement(13.0)));
         assert_eq!(survivors.lookup(&key(6.0, 3.0)), Some(measurement(15.0)));
         // Idempotent: nothing legacy remains.
-        let again = DiskSimCache::compact_with(&path, CompactionOptions { drop_legacy: true })
-            .expect("compacts again");
+        let again = DiskSimCache::compact_with(
+            &path,
+            CompactionOptions {
+                drop_legacy: true,
+                ..CompactionOptions::default()
+            },
+        )
+        .expect("compacts again");
         assert_eq!(
             again,
             CompactionReport {
                 kept: 2,
                 dropped: 0,
-                dropped_legacy: 0
+                dropped_legacy: 0,
+                quarantined: 0
             }
         );
         std::fs::remove_file(&path).ok();
@@ -840,6 +898,107 @@ mod tests {
             "a failed compaction must leave the log untouched"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quarantine_compaction_salvages_valid_records_and_sidecars_corrupt_lines() {
+        let path = temp_path("compact-quarantine.jsonl");
+        let sidecar = temp_path("compact-quarantine.jsonl.quarantine");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
+        {
+            let cache = DiskSimCache::open(&path).expect("opens");
+            cache.store(key(5.0, 2.0), measurement(12.0));
+            cache.store(key(6.0, 3.0), measurement(15.0));
+            cache.store(key(7.0, 4.0), measurement(18.0));
+        }
+        // Corrupt an interior line and the (newline-terminated) final line: both are the
+        // "real corruption" class that open() and the default compaction refuse.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        lines[1] = "{bitrot in the middle".to_string();
+        lines.push("trailing garbage, with its newline".to_string());
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        DiskSimCache::compact(&path).expect_err("default compaction still refuses");
+        let report = DiskSimCache::compact_with(
+            &path,
+            CompactionOptions {
+                quarantine: true,
+                ..CompactionOptions::default()
+            },
+        )
+        .expect("quarantine salvages");
+        assert_eq!(
+            report,
+            CompactionReport {
+                kept: 2,
+                dropped: 0,
+                dropped_legacy: 0,
+                quarantined: 2
+            }
+        );
+        // Every valid record survived, and the log is clean again.
+        let salvaged = DiskSimCache::open(&path).expect("salvaged log loads");
+        assert_eq!(salvaged.len(), 2);
+        assert_eq!(salvaged.lookup(&key(5.0, 2.0)), Some(measurement(12.0)));
+        assert_eq!(salvaged.lookup(&key(7.0, 4.0)), Some(measurement(18.0)));
+        // The corrupt lines moved verbatim to the sidecar, in log order.
+        let evidence = std::fs::read_to_string(&sidecar).expect("sidecar written");
+        assert_eq!(
+            evidence.lines().collect::<Vec<_>>(),
+            vec![
+                "{bitrot in the middle",
+                "trailing garbage, with its newline"
+            ]
+        );
+        // A salvaged log quarantines nothing on the next pass, and leaves the sidecar be.
+        let again = DiskSimCache::compact_with(
+            &path,
+            CompactionOptions {
+                quarantine: true,
+                ..CompactionOptions::default()
+            },
+        )
+        .expect("compacts again");
+        assert_eq!(again.quarantined, 0);
+        assert_eq!(std::fs::read_to_string(&sidecar).unwrap(), evidence);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
+    }
+
+    #[test]
+    fn repeated_quarantine_salvages_append_to_the_sidecar() {
+        let path = temp_path("compact-quarantine-append.jsonl");
+        let sidecar = temp_path("compact-quarantine-append.jsonl.quarantine");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
+        let quarantine = CompactionOptions {
+            quarantine: true,
+            ..CompactionOptions::default()
+        };
+        for round in ["first corruption", "second corruption"] {
+            {
+                let cache = DiskSimCache::open(&path).expect("opens");
+                cache.store(key(5.0, 2.0), measurement(12.0));
+            }
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(file, "{round}").unwrap();
+            drop(file);
+            let report = DiskSimCache::compact_with(&path, quarantine).expect("salvages");
+            assert_eq!(report.quarantined, 1);
+        }
+        let evidence = std::fs::read_to_string(&sidecar).unwrap();
+        assert_eq!(
+            evidence.lines().collect::<Vec<_>>(),
+            vec!["first corruption", "second corruption"],
+            "each salvage appends its evidence instead of overwriting the last"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecar).ok();
     }
 
     #[test]

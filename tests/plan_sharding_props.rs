@@ -114,6 +114,7 @@ fn synthetic_artifact_with_variation(
         cache_misses: plan.len() as u64,
         variation,
         kernel: None,
+        farm: None,
     }
 }
 
