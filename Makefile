@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench bench-kernel bench-kernel-diff lint slic-lint lint-baseline fmt clippy clean
+.PHONY: build test bench bench-kernel bench-kernel-diff lint slic-lint lint-baseline profile fmt clippy clean
 
 build:
 	$(CARGO) build --release
@@ -40,6 +40,15 @@ slic-lint:
 # Rewrite lint-baseline.json from the current tree (deny-class rules still fail).
 lint-baseline:
 	$(CARGO) run --release -p slic-cli -- lint --update-baseline
+
+# Record a traced farmed quick run (tracing never changes artifact bytes) and render
+# its span-tree report: phase breakdown, hottest units, worker utilization, cache
+# effectiveness.  Sidecar + artifact land in target/profile/.
+profile: build
+	mkdir -p target/profile
+	target/release/slic characterize --spawn-workers 2 \
+		--trace target/profile/run.trace.jsonl --out target/profile/run.json
+	target/release/slic profile target/profile/run.trace.jsonl
 
 clean:
 	$(CARGO) clean

@@ -12,6 +12,7 @@
 //! slic export       # run artifact -> Liberty text
 //! slic report       # run artifact -> Markdown summary
 //! slic cache        # cache maintenance (compact)
+//! slic profile      # reconstruct a --trace sidecar into a performance report
 //! slic lint         # workspace invariant checker (slic-lint)
 //! ```
 //!
@@ -23,6 +24,7 @@ use slic_device::TechnologyNode;
 use slic_farm::{
     serve_listener, serve_stdio, FarmBackend, FarmTuning, FaultPlan, ServeOutcome, WorkerOptions,
 };
+use slic_obs::{Observability, TraceRecorder};
 use slic_pipeline::{
     BackendChoice, CharacterizationPlan, FarmSection, PipelineError, PipelineRunner, RunArtifact,
     RunConfig, RunProfile,
@@ -35,7 +37,13 @@ use std::sync::Arc;
 const USAGE: &str = "slic — statistical library characterization pipeline
 
 USAGE:
-    slic <learn|characterize|worker|merge|export|report|cache|lint|help> [--flag value]...
+    slic <learn|characterize|worker|merge|export|report|cache|profile|lint|help> [--flag value]...
+
+OBSERVABILITY FLAGS (learn, characterize and worker):
+    --trace <file>          record a JSON-lines span/event trace of the run to <file>
+                            (config key `observability.trace`; the flag wins).  Tracing
+                            is display-only: artifact bytes are identical with it on or
+                            off.  Analyze the sidecar with `slic profile <file>`.
 
 FARM FLAGS (learn and characterize):
     --backend <name>        local (default) | farm
@@ -140,6 +148,15 @@ SUBCOMMANDS:
                                             to a `.quarantine` sidecar for inspection
                                             (default: corruption aborts, log untouched)
 
+    profile       Reconstruct the span tree of a `--trace` sidecar: per-phase time,
+                  top-N hottest (cell, arc) units, per-worker utilization, cache
+                  effectiveness.  A corrupt or truncated tail is salvaged — the report
+                  covers the complete prefix, the dropped lines are counted on stderr,
+                  and the exit code is nonzero.
+                    slic profile <trace.jsonl> [--format md|json] [--top <n>]
+                    --format <name>         md (default) | json
+                    --top <n>               hottest-unit rows to keep (default 10)
+
     lint          Run the workspace invariant checker (determinism, float hygiene,
                   panic policy, lock discipline) against the committed baseline.
                   Exits nonzero on any new violation or stale baseline entry.
@@ -179,6 +196,7 @@ fn main() -> ExitCode {
         "spawn-workers",
         "retry-budget",
         "reconnect-attempts",
+        "trace",
         "out",
     ];
     // `slic cache <action> --flag value ...` takes a positional action before its flags.
@@ -206,6 +224,7 @@ fn main() -> ExitCode {
                 "fault-delay-ms",
                 "fault-garbage-every",
                 "fault-refuse-reconnects",
+                "trace",
             ],
             vec![],
         ),
@@ -214,11 +233,25 @@ fn main() -> ExitCode {
             vec!["root", "config", "baseline", "format"],
             vec!["update-baseline"],
         ),
+        // `slic profile <trace.jsonl> --flag value ...` takes the trace path positionally.
+        "profile" => match args.get(1).map(String::as_str) {
+            Some(path) if !path.starts_with("--") => (&args[2..], vec!["format", "top"], vec![]),
+            _ => {
+                eprintln!(
+                    "error: `slic profile` needs a trace file, e.g. `slic profile run.trace.jsonl`"
+                );
+                return ExitCode::from(2);
+            }
+        },
         "merge" => (&args[1..], vec!["inputs", "out"], vec![]),
         "export" => (&args[1..], vec!["run", "out"], vec!["variation"]),
         "report" => (&args[1..], vec!["run"], vec![]),
         "cache" => match args.get(1).map(String::as_str) {
-            Some("compact") => (&args[2..], vec!["cache"], vec!["drop-legacy", "quarantine"]),
+            Some("compact") => (
+                &args[2..],
+                vec!["cache", "trace"],
+                vec!["drop-legacy", "quarantine"],
+            ),
             Some(other) => {
                 eprintln!("error: unknown cache action `{other}` (expected `compact`)");
                 return ExitCode::from(2);
@@ -249,6 +282,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(&flags),
         "report" => cmd_report(&flags),
         "cache" => cmd_cache_compact(&flags),
+        "profile" => return cmd_profile(&args[1], &flags),
         "lint" => return cmd_lint(&flags),
         _ => unreachable!("unknown subcommands rejected above"),
     };
@@ -481,7 +515,33 @@ fn build_config(flags: &BTreeMap<String, String>) -> Result<RunConfig, PipelineE
         knobs.simd = Some(true);
         config.kernel = Some(knobs);
     }
+    if let Some(v) = flags.get("trace") {
+        let mut knobs = config.observability.clone().unwrap_or_default();
+        knobs.trace = Some(v.clone());
+        config.observability = Some(knobs);
+    }
     Ok(config)
+}
+
+/// Builds the observability bundle for a resolved configuration: a file-backed trace
+/// recorder when `observability.trace` / `--trace` asked for one, the free disabled
+/// recorder otherwise.  The metrics registry is always live.
+fn build_observability(
+    config: &slic_pipeline::ResolvedConfig,
+) -> Result<Observability, PipelineError> {
+    let trace = match &config.trace_path {
+        Some(path) => TraceRecorder::to_file(path).map_err(|err| {
+            PipelineError::config(format!(
+                "cannot create trace file `{}`: {err}",
+                path.display()
+            ))
+        })?,
+        None => TraceRecorder::disabled(),
+    };
+    Ok(Observability {
+        trace,
+        ..Observability::default()
+    })
 }
 
 /// Builds the runner for a resolved configuration, standing a farm fleet up when the
@@ -489,9 +549,13 @@ fn build_config(flags: &BTreeMap<String, String>) -> Result<RunConfig, PipelineE
 /// report dispatch statistics after the run.
 fn build_runner(
     config: slic_pipeline::ResolvedConfig,
+    obs: &Observability,
 ) -> Result<(PipelineRunner, Option<Arc<FarmBackend>>), PipelineError> {
     match config.backend.clone() {
-        BackendChoice::Local => Ok((PipelineRunner::new(config)?, None)),
+        BackendChoice::Local => Ok((
+            PipelineRunner::new(config)?.with_observability(obs.clone()),
+            None,
+        )),
         BackendChoice::Farm {
             workers,
             spawn_workers,
@@ -515,7 +579,8 @@ fn build_runner(
             };
             let farm =
                 FarmBackend::with_tuning(&workers, spawn_workers, program.as_deref(), tuning)
-                    .map_err(|err| PipelineError::config(format!("farm backend: {err}")))?;
+                    .map_err(|err| PipelineError::config(format!("farm backend: {err}")))?
+                    .with_observability(obs.clone());
             println!(
                 "farm: {} worker(s) connected ({} remote, {} spawned)",
                 farm.fleet_size(),
@@ -523,10 +588,99 @@ fn build_runner(
                 spawn_workers,
             );
             let farm = Arc::new(farm);
-            let runner = PipelineRunner::with_backend(config, farm.clone())?;
+            let runner =
+                PipelineRunner::with_backend(config, farm.clone())?.with_observability(obs.clone());
             Ok((runner, Some(farm)))
         }
     }
+}
+
+/// Prints the unified post-run summary in one stable, documented order:
+///
+///   1. `kernel (...)`         — transient kernel cost, when the backend exposes one
+///   2. `dispatch: ...`        — batched-dispatch lane accounting, when lanes flowed
+///   3. `farm: ...`            — fleet liveness and job totals, farmed runs only
+///   4. `farm resilience: ...` — reconnect/heartbeat/degradation counters, farmed runs
+///      only (the chaos CI job greps this line; its shape is load-bearing)
+///   5. `metrics: ...`         — the unified registry snapshot, sorted, deterministic
+///      serialization
+///
+/// Both `slic learn` and `slic characterize` print through here, so the order can never
+/// drift between subcommands.  Before printing, every per-subsystem counter struct
+/// (kernel, dispatch, farm, cache tiers) is folded into the metrics registry, and the
+/// snapshot is written to the trace as the final `metrics` event — the cache-
+/// effectiveness record `slic profile` reads back.
+fn print_run_summary(runner: &PipelineRunner, farm: Option<&FarmBackend>) {
+    let obs = runner.observability();
+    if let Some(stats) = runner.engine().backend().kernel_stats() {
+        obs.metrics.counter_set("kernel.sims", stats.sims);
+        obs.metrics.counter_set("kernel.steps", stats.steps);
+        obs.metrics
+            .counter_set("kernel.rejected_steps", stats.rejected_steps);
+        obs.metrics
+            .counter_set("kernel.device_evals", stats.device_evals);
+        let occupancy = stats
+            .quad_occupancy()
+            .map(|o| format!(", {:.0}% quad occupancy", o * 100.0))
+            .unwrap_or_default();
+        println!(
+            "kernel ({}): {} sims, {:.1} steps/sim, {:.1} device evals/sim, \
+             {} rejected steps{occupancy}",
+            if stats.simd { "simd" } else { "scalar" },
+            stats.sims,
+            stats.steps_per_sim(),
+            stats.device_evals_per_sim(),
+            stats.rejected_steps,
+        );
+    }
+    let dispatch = runner.engine().dispatch_stats();
+    obs.metrics
+        .counter_set("dispatch.lanes", dispatch.lanes_dispatched);
+    obs.metrics
+        .counter_set("dispatch.lanes.claimed", dispatch.lanes_claimed);
+    obs.metrics
+        .counter_set("dispatch.lanes.cached", dispatch.lanes_cached);
+    obs.metrics
+        .counter_set("dispatch.lanes.deferred", dispatch.lanes_deferred);
+    if dispatch.lanes_dispatched > 0 {
+        println!(
+            "dispatch: {} lanes ({} solved, {} cache hits, {} deferred)",
+            dispatch.lanes_dispatched,
+            dispatch.lanes_claimed,
+            dispatch.lanes_cached,
+            dispatch.lanes_deferred,
+        );
+    }
+    if let Some(farm) = farm {
+        let stats = farm.stats();
+        obs.metrics
+            .counter_set("farm.jobs_completed", stats.jobs_completed);
+        obs.metrics.counter_set("farm.failovers", stats.failovers);
+        obs.metrics.counter_set("farm.reconnects", stats.reconnects);
+        obs.metrics
+            .counter_set("farm.heartbeats_missed", stats.heartbeats_missed);
+        obs.metrics
+            .counter_set("farm.degraded_jobs", stats.degraded_jobs);
+        obs.metrics
+            .counter_set("farm.lanes_remote", stats.lanes_remote);
+        obs.metrics
+            .counter_set("farm.lanes_local", stats.lanes_local);
+        report_farm(farm);
+    }
+    let cache = runner.cache();
+    obs.metrics.counter_set("cache.hits", cache.hits());
+    obs.metrics
+        .counter_set("cache.hits.warm", cache.warm_hits());
+    obs.metrics.counter_set("cache.misses", cache.misses());
+    let snapshot = obs.metrics.snapshot();
+    let attrs = snapshot.attrs();
+    let attr_refs: Vec<(&str, String)> = attrs
+        .iter()
+        .map(|(name, value)| (name.as_str(), value.clone()))
+        .collect();
+    obs.trace.event("metrics", &attr_refs);
+    obs.trace.flush();
+    print!("{}", snapshot.render());
 }
 
 /// Prints the fleet's dispatch summary after a farmed run (the chaos CI job greps the
@@ -585,7 +739,8 @@ fn parse_shard_spec(text: &str) -> Result<(usize, usize), PipelineError> {
 
 fn cmd_learn(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     let config = build_config(flags)?.resolve()?;
-    let (runner, farm) = build_runner(config)?;
+    let obs = build_observability(&config)?;
+    let (runner, farm) = build_runner(config, &obs)?;
     let learning = runner.learn();
     let out = flags
         .get("out")
@@ -594,16 +749,17 @@ fn cmd_learn(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
     std::fs::write(out, learning.database.to_json()?)?;
     // A failed cache write must fail the command, not just warn from a destructor:
     // later shard workers rely on the warm state being on disk.
-    runner.cache().persist()?;
+    {
+        let _span = obs.trace.span("cache.flush", &[]);
+        runner.cache().persist()?;
+    }
     println!(
         "learned {} records from {} technologies in {} simulations -> {out}",
         learning.database.len(),
         learning.database.technology_names().len(),
         learning.simulation_cost,
     );
-    if let Some(farm) = &farm {
-        report_farm(farm);
-    }
+    print_run_summary(&runner, farm.as_deref());
     Ok(())
 }
 
@@ -638,6 +794,12 @@ fn cmd_worker(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
         None => None,
     };
     let fault = build_fault_plan(flags)?;
+    let trace = match flags.get("trace") {
+        Some(path) => TraceRecorder::to_file(std::path::Path::new(path)).map_err(|err| {
+            PipelineError::config(format!("cannot create trace file `{path}`: {err}"))
+        })?,
+        None => TraceRecorder::disabled(),
+    };
     let outcome = match flags.get("listen") {
         Some(address) => {
             let listener = std::net::TcpListener::bind(address).map_err(|err| {
@@ -648,6 +810,7 @@ fn cmd_worker(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
                 name: format!("tcp:{bound}"),
                 max_batches,
                 fault,
+                trace: trace.clone(),
             };
             // The broker (or a test) needs the resolved port when binding to :0.
             println!("worker listening on {bound}");
@@ -660,10 +823,14 @@ fn cmd_worker(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
                 name: format!("stdio:{}", std::process::id()),
                 max_batches,
                 fault,
+                trace: trace.clone(),
             };
             serve_stdio(&options)?
         }
     };
+    // Flush before interpreting the outcome: the abrupt-death branches below exit
+    // nonzero, and the trace's salvaged prefix is exactly what `slic profile` reports.
+    trace.flush();
     match outcome {
         ServeOutcome::Shutdown | ServeOutcome::Disconnected => Ok(()),
         // An exhausted batch limit is a deliberate abrupt death: exit nonzero so process
@@ -687,7 +854,17 @@ fn cmd_cache_compact(flags: &BTreeMap<String, String>) -> Result<(), PipelineErr
         drop_legacy: flags.contains_key("drop-legacy"),
         quarantine: flags.contains_key("quarantine"),
     };
-    let report = DiskSimCache::compact_with(path, options)?;
+    let trace = match flags.get("trace") {
+        Some(out) => TraceRecorder::to_file(std::path::Path::new(out)).map_err(|err| {
+            PipelineError::config(format!("cannot create trace file `{out}`: {err}"))
+        })?,
+        None => TraceRecorder::disabled(),
+    };
+    let report = {
+        let _span = trace.span("cache.compact", &[("cache", path.clone())]);
+        DiskSimCache::compact_with(path, options)?
+    };
+    trace.flush();
     println!(
         "compacted `{path}`: kept {} records, dropped {} superseded duplicates, evicted \
          {} legacy-kernel records, quarantined {} corrupt lines",
@@ -705,7 +882,8 @@ fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineErro
     }
     let config = build_config(flags)?.resolve()?;
     let export_grid = config.export_grid;
-    let (runner, farm) = build_runner(config)?;
+    let obs = build_observability(&config)?;
+    let (runner, farm) = build_runner(config, &obs)?;
     let full_plan = CharacterizationPlan::from_config(runner.config())?;
     let plan = match flags.get("shard") {
         Some(spec) => {
@@ -750,7 +928,10 @@ fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineErro
     }
     // Persist the (possibly disk-backed) cache before reporting success: shard workers
     // and reruns depend on it, and the drop-time flush can only warn.
-    runner.cache().persist()?;
+    {
+        let _span = obs.trace.span("cache.flush", &[]);
+        runner.cache().persist()?;
+    }
     let out = flags.get("out").map(String::as_str).unwrap_or("run.json");
     artifact.save(out)?;
     println!(
@@ -767,36 +948,9 @@ fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineErro
             variation.tables.len(),
         );
     }
-    // Post-run kernel cost summary: what the transient hot path spent per simulation
-    // and how the batched dispatcher resolved its lanes (deferred lanes included).
-    if let Some(stats) = runner.engine().backend().kernel_stats() {
-        let occupancy = stats
-            .quad_occupancy()
-            .map(|o| format!(", {:.0}% quad occupancy", o * 100.0))
-            .unwrap_or_default();
-        println!(
-            "kernel ({}): {} sims, {:.1} steps/sim, {:.1} device evals/sim, \
-             {} rejected steps{occupancy}",
-            if stats.simd { "simd" } else { "scalar" },
-            stats.sims,
-            stats.steps_per_sim(),
-            stats.device_evals_per_sim(),
-            stats.rejected_steps,
-        );
-    }
-    let dispatch = runner.engine().dispatch_stats();
-    if dispatch.lanes_dispatched > 0 {
-        println!(
-            "dispatch: {} lanes ({} solved, {} cache hits, {} deferred)",
-            dispatch.lanes_dispatched,
-            dispatch.lanes_claimed,
-            dispatch.lanes_cached,
-            dispatch.lanes_deferred,
-        );
-    }
-    if let Some(farm) = &farm {
-        report_farm(farm);
-    }
+    // Post-run summary — kernel, dispatch, farm, resilience, metrics, in that
+    // documented order (see `print_run_summary`).
+    print_run_summary(&runner, farm.as_deref());
     if let Some(liberty_path) = flags.get("liberty") {
         if artifact.characterized.arcs.is_empty() {
             return Err(PipelineError::config(format!(
@@ -817,6 +971,56 @@ fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineErro
         println!("liberty -> {liberty_path}");
     }
     Ok(())
+}
+
+/// `slic profile <trace.jsonl>`: reconstruct the span tree of a trace sidecar.
+///
+/// A corrupt or truncated tail never hides the healthy prefix: every well-formed line
+/// is salvaged into the report, the dropped-line count goes to stderr, and the exit
+/// code is nonzero so CI can't mistake a damaged trace for a complete one.
+fn cmd_profile(path: &str, flags: &BTreeMap<String, String>) -> ExitCode {
+    let format = flags.get("format").map_or("md", String::as_str);
+    if !matches!(format, "md" | "json") {
+        eprintln!("error: unknown profile format `{format}` (expected md or json)");
+        return ExitCode::from(2);
+    }
+    let top = match flags.get("top").map(|v| v.parse::<usize>()) {
+        None => 10,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: `--top` expects an integer");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: cannot read trace `{path}`: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let parsed = slic_obs::profile::parse_trace(&text);
+    if parsed.records.is_empty() {
+        eprintln!(
+            "error: `{path}` contains no parseable trace records ({} corrupt line(s))",
+            parsed.dropped
+        );
+        return ExitCode::from(2);
+    }
+    let report = slic_obs::profile::build_report(&parsed, top);
+    match format {
+        "json" => print!("{}", slic_obs::profile::render_json(&report)),
+        _ => print!("{}", slic_obs::profile::render_md(&report)),
+    }
+    if parsed.dropped > 0 {
+        eprintln!(
+            "warning: dropped {} corrupt/truncated line(s) from `{path}`; the report \
+             covers the salvaged prefix only",
+            parsed.dropped
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_merge(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {

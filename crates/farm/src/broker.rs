@@ -46,6 +46,7 @@
 use crate::backoff::{splitmix64, BackoffPolicy};
 use crate::wire::{decode_message, encode_message, Message, WireError, WireRequest};
 use crate::FarmError;
+use slic_obs::Observability;
 use slic_spice::{LocalBackend, SimRequest, SimResult, SimulationBackend};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -326,6 +327,7 @@ pub struct FarmBackend {
     degraded_jobs: AtomicU64,
     lanes_remote: AtomicU64,
     lanes_local: AtomicU64,
+    obs: Observability,
 }
 
 impl std::fmt::Debug for FarmBackend {
@@ -415,7 +417,18 @@ impl FarmBackend {
             degraded_jobs: AtomicU64::new(0),
             lanes_remote: AtomicU64::new(0),
             lanes_local: AtomicU64::new(0),
+            obs: Observability::default(),
         })
+    }
+
+    /// Attaches the display-only observability bundle.  Spans cover round trips,
+    /// heartbeats and re-dial campaigns; per-worker counters track jobs, lanes, wire
+    /// bytes and re-admissions.  None of it feeds back into scheduling, so traced and
+    /// untraced farm runs stay byte-identical.
+    #[must_use]
+    pub fn with_observability(mut self, obs: Observability) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Connects to an explicit list of TCP worker addresses.
@@ -494,6 +507,10 @@ impl FarmBackend {
             // Another dispatcher's campaign already re-admitted it while we waited.
             return true;
         }
+        let mut span = self
+            .obs
+            .trace
+            .span("farm.redial", &[("worker", slot.name.clone())]);
         let policy = BackoffPolicy {
             base_ms: self.tuning.backoff_base_ms,
             cap_ms: self.tuning.backoff_cap_ms,
@@ -508,6 +525,10 @@ impl FarmBackend {
                         .lock()
                         .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(conn);
                     self.reconnects.fetch_add(1, Ordering::Relaxed);
+                    self.obs
+                        .metrics
+                        .counter_add(&format!("farm.worker.{}.reconnects", slot.name), 1);
+                    span.attr("readmitted", "true".to_string());
                     eprintln!(
                         "slic farm: worker `{}` re-admitted after {} re-dial(s)",
                         slot.name,
@@ -526,6 +547,7 @@ impl FarmBackend {
             }
         }
         slot.gone.store(true, Ordering::Relaxed);
+        span.attr("readmitted", "false".to_string());
         eprintln!(
             "slic farm: worker `{}` retired for this run (reconnect budget exhausted)",
             slot.name
@@ -557,6 +579,10 @@ impl FarmBackend {
             Some(conn) => {
                 let id = self.next_id.fetch_add(1, Ordering::Relaxed);
                 let deadline = Duration::from_millis(self.tuning.heartbeat_timeout_ms.max(1));
+                let _span = self
+                    .obs
+                    .trace
+                    .span("farm.heartbeat", &[("worker", slot.name.clone())]);
                 ping_roundtrip(conn, id, deadline)
             }
         };
@@ -569,6 +595,9 @@ impl FarmBackend {
                     slot.name
                 );
                 self.heartbeats_missed.fetch_add(1, Ordering::Relaxed);
+                self.obs
+                    .metrics
+                    .counter_add(&format!("farm.worker.{}.heartbeats_missed", slot.name), 1);
                 *guard = None;
                 false
             }
@@ -584,6 +613,13 @@ impl FarmBackend {
         slot: &WorkerSlot,
         requests: &[WireRequest],
     ) -> Result<Vec<SimResult>, FarmError> {
+        let mut span = self.obs.trace.span(
+            "farm.roundtrip",
+            &[
+                ("worker", slot.name.clone()),
+                ("lanes", requests.len().to_string()),
+            ],
+        );
         let mut guard = match slot.conn.lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
@@ -603,15 +639,16 @@ impl FarmBackend {
                 .is_none()
                 .then(|| PipeWatchdog::arm(Arc::clone(&conn.child), BATCH_TIMEOUT));
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-            writeln!(
-                conn.writer,
-                "{}",
-                encode_message(&Message::Batch {
-                    id,
-                    requests: requests.to_vec(),
-                })
-            )
-            .map_err(|err| FarmError::Transport(slot.name.clone(), err.to_string()))?;
+            let payload = encode_message(&Message::Batch {
+                id,
+                requests: requests.to_vec(),
+            });
+            self.obs.metrics.counter_add(
+                &format!("farm.worker.{}.bytes_tx", slot.name),
+                payload.len() as u64 + 1,
+            );
+            writeln!(conn.writer, "{payload}")
+                .map_err(|err| FarmError::Transport(slot.name.clone(), err.to_string()))?;
             conn.writer
                 .flush()
                 .map_err(|err| FarmError::Transport(slot.name.clone(), err.to_string()))?;
@@ -624,6 +661,10 @@ impl FarmBackend {
             if read == 0 {
                 return Err(FarmError::WorkerDown(slot.name.clone()));
             }
+            self.obs.metrics.counter_add(
+                &format!("farm.worker.{}.bytes_rx", slot.name),
+                line.len() as u64,
+            );
             match decode_message(line.trim_end()) {
                 Ok(Message::Results {
                     id: reply_id,
@@ -643,10 +684,23 @@ impl FarmBackend {
                 Err(err) => Err(FarmError::Protocol(slot.name.clone(), err.to_string())),
             }
         })();
-        if outcome.is_err() {
-            // Health tracking: a failed round trip drops the connection (also reaping a
-            // spawned subprocess).  Re-admission requires a fresh dial + handshake.
-            *guard = None;
+        match &outcome {
+            Ok(_) => {
+                span.attr("ok", "true".to_string());
+                self.obs
+                    .metrics
+                    .counter_add(&format!("farm.worker.{}.jobs", slot.name), 1);
+                self.obs.metrics.counter_add(
+                    &format!("farm.worker.{}.lanes", slot.name),
+                    requests.len() as u64,
+                );
+            }
+            Err(_) => {
+                span.attr("ok", "false".to_string());
+                // Health tracking: a failed round trip drops the connection (also reaping
+                // a spawned subprocess).  Re-admission requires a fresh dial + handshake.
+                *guard = None;
+            }
         }
         outcome
     }

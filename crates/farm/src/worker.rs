@@ -28,6 +28,7 @@
 
 use crate::fault::FaultPlan;
 use crate::wire::{decode_message, encode_message, Hello, Message, WireResultEntry};
+use slic_obs::TraceRecorder;
 use slic_spice::{LocalBackend, SimResult, SimulationBackend};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -42,6 +43,10 @@ pub struct WorkerOptions {
     pub max_batches: Option<u64>,
     /// Seeded misbehaviour script for chaos testing; `None` = behave.
     pub fault: Option<FaultPlan>,
+    /// Display-only trace recorder for `worker.batch`/`worker.ping` spans; disabled
+    /// (no-op) by default.  Never consulted for protocol decisions, so a traced worker
+    /// answers byte-for-byte what an untraced one would.
+    pub trace: TraceRecorder,
 }
 
 /// How a serve loop ended.
@@ -111,6 +116,13 @@ pub fn serve_connection(
                     // the broker's failover owns this batch now.
                     return Ok(ServeOutcome::BatchLimit);
                 }
+                let _span = options.trace.span(
+                    "worker.batch",
+                    &[
+                        ("id", id.to_string()),
+                        ("lanes", requests.len().to_string()),
+                    ],
+                );
                 let delay = fault.delay_for_batch_ms(*served);
                 if delay > 0 {
                     std::thread::sleep(std::time::Duration::from_millis(delay));
@@ -132,6 +144,7 @@ pub fn serve_connection(
                 *served += 1;
             }
             Message::Ping { id } => {
+                let _span = options.trace.span("worker.ping", &[("id", id.to_string())]);
                 writeln!(writer, "{}", encode_message(&Message::Pong { id }))?;
                 writer.flush()?;
             }

@@ -45,6 +45,7 @@ fn spawn_faulty_worker(name: &str, fault: FaultPlan) -> (String, JoinHandle<Serv
         name: name.to_string(),
         max_batches: None,
         fault: Some(fault),
+        ..WorkerOptions::default()
     };
     let handle =
         std::thread::spawn(move || serve_listener(&listener, &options).expect("serve loop io"));

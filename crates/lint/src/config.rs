@@ -40,6 +40,10 @@ pub struct LintConfig {
     /// D1 determinism scope: artifact-producing paths where `HashMap`/`HashSet` and
     /// wall-clock/thread-identity reads are denied.
     pub d1_paths: Vec<String>,
+    /// D1 wall-clock carve-out: paths (inside the D1 scope) where `Instant`/`SystemTime`
+    /// are permitted because the crate *is* the clock abstraction (`slic-obs`).  Hash
+    /// containers and thread identity stay denied there.
+    pub d1_wallclock_exempt_paths: Vec<String>,
     /// F1 float-equality scope.
     pub f1_eq_paths: Vec<String>,
     /// F1 derive-hygiene scope (derive(Hash)/derive(Eq) over float fields).
@@ -63,6 +67,7 @@ impl Default for LintConfig {
             roots: vec!["crates".to_string(), "src".to_string()],
             skip: vec!["crates/compat".to_string()],
             d1_paths: Vec::new(),
+            d1_wallclock_exempt_paths: Vec::new(),
             f1_eq_paths: Vec::new(),
             f1_derive_paths: Vec::new(),
             f1_wire_paths: Vec::new(),
@@ -122,6 +127,7 @@ impl LintConfig {
                 ("scan", "roots") => &mut config.roots,
                 ("scan", "skip") => &mut config.skip,
                 ("rules.D1", "paths") => &mut config.d1_paths,
+                ("rules.D1", "wallclock_exempt_paths") => &mut config.d1_wallclock_exempt_paths,
                 ("rules.F1", "eq_paths") => &mut config.f1_eq_paths,
                 ("rules.F1", "derive_paths") => &mut config.f1_derive_paths,
                 ("rules.F1", "wire_paths") => &mut config.f1_wire_paths,

@@ -101,6 +101,10 @@ impl std::fmt::Display for Violation {
 #[derive(Debug, Clone, Default)]
 pub struct FilePolicy {
     pub d1: bool,
+    /// Within D1 scope, spare the wall-clock idents (`Instant`/`SystemTime`) only.
+    /// Opt-out by construction: the observability crate owns the workspace's clock
+    /// behind a `Clock` trait, but its containers and thread identity stay denied.
+    pub d1_wallclock_exempt: bool,
     pub f1_eq: bool,
     pub f1_derive: bool,
     pub f1_wire: bool,
@@ -114,6 +118,7 @@ impl FilePolicy {
         let matches = |prefixes: &[String]| prefixes.iter().any(|p| path.starts_with(p.as_str()));
         Self {
             d1: matches(&config.d1_paths),
+            d1_wallclock_exempt: matches(&config.d1_wallclock_exempt_paths),
             f1_eq: matches(&config.f1_eq_paths),
             f1_derive: matches(&config.f1_derive_paths),
             f1_wire: matches(&config.f1_wire_paths),
@@ -321,14 +326,19 @@ pub fn analyze_file(
                              use BTreeMap/BTreeSet, or sort before emitting"
                         ),
                     ),
-                    "Instant" | "SystemTime" if policy.d1 && !in_test => emit(
-                        Rule::D1,
-                        token.line,
-                        format!(
-                            "`{text}` in an artifact-producing crate: wall-clock reads must \
-                             not influence result paths (bit-identical replays would break)"
-                        ),
-                    ),
+                    "Instant" | "SystemTime"
+                        if policy.d1 && !policy.d1_wallclock_exempt && !in_test =>
+                    {
+                        emit(
+                            Rule::D1,
+                            token.line,
+                            format!(
+                                "`{text}` in an artifact-producing crate: wall-clock reads \
+                                 must not influence result paths (bit-identical replays \
+                                 would break)"
+                            ),
+                        )
+                    }
                     "current"
                         if policy.d1
                             && !in_test

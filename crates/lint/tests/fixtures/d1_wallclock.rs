@@ -1,0 +1,24 @@
+//! D1 wall-clock carve-out fixture: the shape of the observability crate's clock.
+//! Under `d1_wallclock_exempt` the `Instant`/`SystemTime` reads below are legal, but the
+//! `HashMap` and `thread::current()` uses must still fire — the exemption spares clocks,
+//! not determinism at large.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    pub fn now_ns(&self) -> u64 {
+        let _wall = SystemTime::now();
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    pub fn still_denied(&self) -> usize {
+        let table: HashMap<u64, u64> = HashMap::new();
+        let _who = std::thread::current();
+        table.len()
+    }
+}

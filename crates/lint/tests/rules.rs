@@ -65,6 +65,54 @@ fn d1_fires_on_every_nondeterminism_source() {
 }
 
 #[test]
+fn d1_wallclock_exemption_spares_clocks_but_nothing_else() {
+    // With the carve-out: Instant/SystemTime are legal, HashMap and thread::current()
+    // in the very same file still fire.
+    let exempt = FilePolicy {
+        d1: true,
+        d1_wallclock_exempt: true,
+        ..FilePolicy::default()
+    };
+    let report = analyze("d1_wallclock.rs", &exempt);
+    let text = messages(&report);
+    assert!(
+        !text.contains("Instant") && !text.contains("SystemTime"),
+        "clock reads must be spared under the exemption:\n{text}"
+    );
+    for needle in ["HashMap", "thread::current"] {
+        assert!(
+            text.contains(needle),
+            "the exemption spares clocks only; missing {needle} finding:\n{text}"
+        );
+    }
+
+    // Without the carve-out (the default) the same file's clock reads are violations —
+    // an `Instant` anywhere else in the D1 scope still fails the build.
+    let strict = FilePolicy {
+        d1: true,
+        ..FilePolicy::default()
+    };
+    let text = messages(&analyze("d1_wallclock.rs", &strict));
+    assert!(
+        text.contains("Instant") && text.contains("SystemTime"),
+        "clock reads must fire when the path is not exempted:\n{text}"
+    );
+}
+
+#[test]
+fn d1_wallclock_exemption_resolves_from_config_paths() {
+    let config = LintConfig {
+        d1_paths: vec!["crates".to_string()],
+        d1_wallclock_exempt_paths: vec!["crates/obs".to_string()],
+        ..LintConfig::default()
+    };
+    let obs = FilePolicy::for_path("crates/obs/src/clock.rs", &config);
+    assert!(obs.d1 && obs.d1_wallclock_exempt);
+    let spice = FilePolicy::for_path("crates/spice/src/engine.rs", &config);
+    assert!(spice.d1 && !spice.d1_wallclock_exempt);
+}
+
+#[test]
 fn d1_ignores_btree_code_and_test_modules() {
     let policy = FilePolicy {
         d1: true,

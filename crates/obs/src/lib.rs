@@ -1,0 +1,48 @@
+//! `slic-obs`: structured run tracing and a unified metrics registry.
+//!
+//! The suite's artifacts are bit-identical across backends, shard counts and farm
+//! failure patterns — which means *performance* evidence cannot live in artifacts at
+//! all.  This crate is the display-only telemetry layer the rest of the workspace
+//! threads through its hot paths:
+//!
+//! * [`trace::TraceRecorder`] — an opt-in JSON-lines span/event recorder (monotonic
+//!   timestamps, thread ids, parent correlation) behind `observability.trace` /
+//!   `--trace out.jsonl`.  Disabled recorders are free: every call no-ops on a `None`.
+//! * [`metrics::MetricsRegistry`] — counters and fixed-bucket histograms with a
+//!   sorted, deterministic snapshot, unifying the per-subsystem counter structs
+//!   (`DispatchSnapshot`, `FarmStats`, `KernelStatsSnapshot`, cache hit/miss) behind
+//!   one post-run summary surface.
+//! * [`profile`] — the analysis side: a dependency-free parser for the trace schema
+//!   and the report builder behind `slic profile <trace.jsonl>`.
+//!
+//! Tracing is display-only **by construction**: nothing here feeds a result path, and
+//! the only wall-clock read in the workspace lives in [`clock::MonotonicClock`] behind
+//! the [`clock::Clock`] trait (the scoped `slic-lint` D1 exemption covers exactly this
+//! crate).  `RunArtifact` bytes are identical with tracing on or off — CI `cmp`-gates
+//! that invariant.
+
+pub mod clock;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use trace::{SpanGuard, TraceRecorder};
+
+/// The bundle the pipeline threads through engine, backends and runner: one trace
+/// recorder plus one metrics registry, both cheap to clone and free when disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Observability {
+    /// The span/event recorder; [`TraceRecorder::disabled`] (the default) is a no-op.
+    pub trace: TraceRecorder,
+    /// The shared counter/histogram registry, always live (counters are cheap).
+    pub metrics: MetricsRegistry,
+}
+
+impl Observability {
+    /// A fully disabled bundle: no trace sink, empty registry.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+}

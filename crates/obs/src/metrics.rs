@@ -1,0 +1,319 @@
+//! The unified metrics registry: named counters and fixed-bucket histograms with a
+//! sorted, deterministically-serialized snapshot.
+//!
+//! Before this crate, each subsystem kept its own counter struct — the engine's
+//! `DispatchSnapshot`, the farm's `FarmStats`, the kernel's `KernelStatsSnapshot`,
+//! the cache's hit/miss pair — and each code path printed its own ad-hoc lines.  The
+//! registry gives them one sink: subsystems feed counters/histograms as they run (or
+//! fold their terminal snapshots in via [`MetricsRegistry::counter_set`]), and the
+//! post-run summary renders one sorted catalogue.  Serialization order is the
+//! `BTreeMap` key order, so two runs with the same counts render byte-identically.
+//!
+//! Histograms are fixed-bucket by design: bucket bounds are chosen by the *observer*
+//! (latency decades, lane powers of two), never derived from the data, so snapshots
+//! from different runs and different workers are mergeable and comparable.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Upper bounds (inclusive, in nanoseconds) for solve-latency histograms: 100 µs to
+/// 10 s by decades, with an overflow bucket past the end.
+pub const LATENCY_BUCKETS_NS: &[u64] = &[
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Upper bounds (inclusive) for lane-count histograms: batch occupancy, cache hit
+/// lanes per lookup, quad-lane fill.
+pub const LANE_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// One fixed-bucket histogram: `counts[i]` tallies observations `<= bounds[i]` (first
+/// matching bucket), `overflow` the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts, one per bound.
+    pub counts: Vec<u64>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+    /// Total observations.
+    pub total: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        match self.bounds.iter().position(|&bound| value <= bound) {
+            Some(bucket) => self.counts[bucket] += 1,
+            None => self.overflow += 1,
+        }
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Encodes the histogram as a compact attribute string
+    /// (`total=..;sum=..;bounds=a,b;counts=x,y;overflow=z`) for trace events.
+    pub fn encode(&self) -> String {
+        let join = |values: &[u64]| {
+            values
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "total={};sum={};bounds={};counts={};overflow={}",
+            self.total,
+            self.sum,
+            join(&self.bounds),
+            join(&self.counts),
+            self.overflow,
+        )
+    }
+
+    /// Decodes [`Histogram::encode`] output; `None` on any malformed field.
+    pub fn decode(text: &str) -> Option<Self> {
+        let mut fields: BTreeMap<&str, &str> = BTreeMap::new();
+        for part in text.split(';') {
+            let (key, value) = part.split_once('=')?;
+            fields.insert(key, value);
+        }
+        let list = |key: &str| -> Option<Vec<u64>> {
+            let raw = *fields.get(key)?;
+            if raw.is_empty() {
+                return Some(Vec::new());
+            }
+            raw.split(',').map(|v| v.parse::<u64>().ok()).collect()
+        };
+        let scalar = |key: &str| -> Option<u64> { fields.get(key)?.parse::<u64>().ok() };
+        let histogram = Self {
+            bounds: list("bounds")?,
+            counts: list("counts")?,
+            overflow: scalar("overflow")?,
+            total: scalar("total")?,
+            sum: scalar("sum")?,
+        };
+        (histogram.bounds.len() == histogram.counts.len()).then_some(histogram)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The shared registry.  Clones share one store; all methods are lock-per-call and
+/// fine at batch granularity (never called per lane).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+/// A point-in-time copy of the registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)`, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)`, ascending by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_inner<T>(&self, f: impl FnOnce(&mut Registry) -> T) -> T {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        f(&mut inner)
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.with_inner(|registry| {
+            *registry.counters.entry(name.to_string()).or_insert(0) += delta;
+        });
+    }
+
+    /// Overwrites the named counter — how terminal snapshots (`DispatchSnapshot`,
+    /// `FarmStats`, kernel stats) are folded in at end of run without double counting.
+    pub fn counter_set(&self, name: &str, value: u64) {
+        self.with_inner(|registry| {
+            registry.counters.insert(name.to_string(), value);
+        });
+    }
+
+    /// Records one observation into the named fixed-bucket histogram, creating it
+    /// with `bounds` on first use (later calls keep the original bounds).
+    pub fn observe(&self, name: &str, value: u64, bounds: &[u64]) {
+        self.with_inner(|registry| {
+            registry
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Histogram::new(bounds))
+                .observe(value);
+        });
+    }
+
+    /// The sorted, deterministic snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.with_inner(|registry| MetricsSnapshot {
+            counters: registry
+                .counters
+                .iter()
+                .map(|(name, value)| (name.clone(), *value))
+                .collect(),
+            histograms: registry
+                .histograms
+                .iter()
+                .map(|(name, histogram)| (name.clone(), histogram.clone()))
+                .collect(),
+        })
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the summary block printed after a run: one `  name = value` line per
+    /// counter, one compact line per histogram, sorted, deterministic.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "metrics: {} counter(s), {} histogram(s)\n",
+            self.counters.len(),
+            self.histograms.len()
+        );
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name} = {value}\n"));
+        }
+        for (name, histogram) in &self.histograms {
+            let buckets: Vec<String> = histogram
+                .bounds
+                .iter()
+                .zip(&histogram.counts)
+                .map(|(bound, count)| format!("le{bound}:{count}"))
+                .collect();
+            out.push_str(&format!(
+                "  {name} ~ total={} sum={} [{} inf:{}]\n",
+                histogram.total,
+                histogram.sum,
+                buckets.join(" "),
+                histogram.overflow,
+            ));
+        }
+        out
+    }
+
+    /// Flattens the snapshot into `(name, value-string)` attribute pairs for the
+    /// end-of-run `metrics` trace event `slic profile` reads back.
+    pub fn attrs(&self) -> Vec<(String, String)> {
+        let mut attrs: Vec<(String, String)> = self
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), value.to_string()))
+            .collect();
+        attrs.extend(
+            self.histograms
+                .iter()
+                .map(|(name, histogram)| (name.clone(), histogram.encode())),
+        );
+        attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshots_sort_by_name() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter_add("z.last", 2);
+        metrics.counter_add("a.first", 1);
+        metrics.counter_add("z.last", 3);
+        metrics.counter_set("m.pinned", 40);
+        metrics.counter_set("m.pinned", 41);
+        let snapshot = metrics.snapshot();
+        assert_eq!(
+            snapshot.counters,
+            vec![
+                ("a.first".to_string(), 1),
+                ("m.pinned".to_string(), 41),
+                ("z.last".to_string(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn histograms_bucket_by_inclusive_upper_bound() {
+        let metrics = MetricsRegistry::new();
+        for value in [1, 2, 3, 8, 9, 1000] {
+            metrics.observe("lanes", value, &[2, 8]);
+        }
+        let snapshot = metrics.snapshot();
+        let (_, histogram) = &snapshot.histograms[0];
+        assert_eq!(histogram.counts, vec![2, 2]);
+        assert_eq!(histogram.overflow, 2);
+        assert_eq!(histogram.total, 6);
+        assert_eq!(histogram.sum, 1023);
+    }
+
+    #[test]
+    fn histogram_encoding_round_trips() {
+        let metrics = MetricsRegistry::new();
+        for value in [5, 50, 500] {
+            metrics.observe("latency", value, &[10, 100]);
+        }
+        let snapshot = metrics.snapshot();
+        let (_, histogram) = &snapshot.histograms[0];
+        let decoded = Histogram::decode(&histogram.encode()).expect("round trip");
+        assert_eq!(&decoded, histogram);
+        assert_eq!(Histogram::decode("gibberish"), None);
+        assert_eq!(
+            Histogram::decode("total=1;sum=2;bounds=1,2;counts=1;overflow=0"),
+            None
+        );
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let metrics = MetricsRegistry::new();
+        metrics.counter_add("b", 2);
+        metrics.counter_add("a", 1);
+        metrics.observe("h", 3, &[4]);
+        let first = metrics.snapshot().render();
+        let second = metrics.snapshot().render();
+        assert_eq!(first, second);
+        let a = first.find("  a = 1").expect("a rendered");
+        let b = first.find("  b = 2").expect("b rendered");
+        assert!(a < b, "sorted order: {first}");
+        assert!(first.contains("h ~ total=1 sum=3 [le4:1 inf:0]"), "{first}");
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let metrics = MetricsRegistry::new();
+        let clone = metrics.clone();
+        clone.counter_add("shared", 7);
+        assert_eq!(metrics.snapshot().counters, vec![("shared".to_string(), 7)]);
+    }
+}

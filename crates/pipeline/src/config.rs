@@ -155,6 +155,10 @@ pub struct RunConfig {
     /// Farm resilience knobs.  In flat TOML these are the dotted `farm.*` keys
     /// (`farm.retry_budget = 3`).  Only meaningful with the farm backend.
     pub farm: Option<FarmKnobs>,
+    /// Observability knobs.  In flat TOML these are the dotted `observability.*` keys
+    /// (`observability.trace = "run.jsonl"`).  Display-only: tracing never changes an
+    /// artifact byte.
+    pub observability: Option<ObservabilityKnobs>,
 }
 
 /// User-facing Monte Carlo variation knobs, every field optional.  In flat TOML these are
@@ -176,6 +180,15 @@ pub struct KernelKnobs {
     /// the scalar path by up to the CI-gated 0.5% accuracy envelope in exchange for the
     /// benched speedup.
     pub simd: Option<bool>,
+}
+
+/// User-facing observability knobs, every field optional.  In flat TOML these are the
+/// dotted `observability.*` keys (`observability.trace = "run.jsonl"`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObservabilityKnobs {
+    /// Sidecar JSON-lines trace file the run writes span/event records to; unset = no
+    /// tracing.  Equivalent to the `--trace` CLI flag (the flag wins when both are set).
+    pub trace: Option<String>,
 }
 
 /// User-facing farm resilience knobs, every field optional.  In flat TOML these are the
@@ -260,6 +273,7 @@ const KNOWN_CONFIG_KEYS: &[&str] = &[
     "variation",
     "kernel",
     "farm",
+    "observability",
 ];
 
 /// Every key of the nested `variation` section.
@@ -267,6 +281,9 @@ const KNOWN_VARIATION_KEYS: &[&str] = &["process_seeds", "sigma_corners"];
 
 /// Every key of the nested `kernel` section.
 const KNOWN_KERNEL_KEYS: &[&str] = &["simd"];
+
+/// Every key of the nested `observability` section.
+const KNOWN_OBSERVABILITY_KEYS: &[&str] = &["trace"];
 
 /// Every key of the nested `farm` section.
 const KNOWN_FARM_KEYS: &[&str] = &[
@@ -300,6 +317,7 @@ fn check_config_keys(value: &serde::Value) -> Result<(), PipelineError> {
             "variation" => Some(("variation", KNOWN_VARIATION_KEYS)),
             "kernel" => Some(("kernel", KNOWN_KERNEL_KEYS)),
             "farm" => Some(("farm", KNOWN_FARM_KEYS)),
+            "observability" => Some(("observability", KNOWN_OBSERVABILITY_KEYS)),
             _ => None,
         };
         if let Some((section, known)) = nested {
@@ -576,6 +594,11 @@ impl RunConfig {
             backend,
             variation,
             simd,
+            trace_path: self
+                .observability
+                .as_ref()
+                .and_then(|knobs| knobs.trace.clone())
+                .map(std::path::PathBuf::from),
         })
     }
 }
@@ -619,6 +642,9 @@ pub struct ResolvedConfig {
     /// Deliberately *not* part of [`TransientConfig`]: it changes how lanes execute, not
     /// what a simulation means, so cache keys and farm wire hashes must not move with it.
     pub simd: bool,
+    /// Sidecar JSON-lines trace file, when tracing is enabled.  Display-only: whether a
+    /// run is traced never changes an artifact byte (CI `cmp`-gates this).
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 #[cfg(test)]
@@ -1018,6 +1044,43 @@ mod tests {
         assert!(err.to_string().contains("farm.retry_budget"), "{err}");
         let err = RunConfig::from_json(r#"{"farm": {"backoff": 50}}"#).unwrap_err();
         assert!(err.to_string().contains("`farm.backoff`"), "{err}");
+    }
+
+    #[test]
+    fn observability_config_parses_from_json_and_dotted_toml() {
+        let json = r#"{"observability": {"trace": "run.jsonl"}}"#;
+        let toml_text = "observability.trace = \"run.jsonl\"";
+        let a = RunConfig::from_json(json).unwrap();
+        let b = RunConfig::from_toml(toml_text).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.observability,
+            Some(ObservabilityKnobs {
+                trace: Some("run.jsonl".to_string()),
+            })
+        );
+        assert_eq!(
+            a.resolve().unwrap().trace_path,
+            Some(std::path::PathBuf::from("run.jsonl"))
+        );
+        // Absent section resolves to no tracing.
+        assert!(RunConfig::default().resolve().unwrap().trace_path.is_none());
+        // And the section round-trips through JSON.
+        let text = serde_json::to_string(&a).unwrap();
+        assert_eq!(RunConfig::from_json(&text).unwrap(), a);
+    }
+
+    #[test]
+    fn unknown_observability_keys_are_rejected_not_ignored() {
+        let err = RunConfig::from_toml("observability.traec = \"run.jsonl\"").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown config key `observability.traec`"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("observability.trace"), "{err}");
+        let err = RunConfig::from_json(r#"{"observability": {"metrics": true}}"#).unwrap_err();
+        assert!(err.to_string().contains("`observability.metrics`"), "{err}");
     }
 
     #[test]

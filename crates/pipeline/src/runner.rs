@@ -17,6 +17,7 @@ use slic_bayes::{
 };
 use slic_cells::CellKind;
 use slic_lut::LutBuilder;
+use slic_obs::Observability;
 use slic_spice::{
     CharacterizationEngine, DiskSimCache, InMemorySimCache, SimulationBackend, SimulationCache,
     SimulationCounter,
@@ -40,6 +41,7 @@ pub struct PipelineRunner {
     engine: CharacterizationEngine,
     counter: SimulationCounter,
     cache: Arc<dyn SimulationCache>,
+    obs: Observability,
 }
 
 impl PipelineRunner {
@@ -129,7 +131,24 @@ impl PipelineRunner {
             engine,
             counter,
             cache,
+            obs: Observability::default(),
         })
+    }
+
+    /// Attaches the display-only observability bundle, threading it through to the
+    /// engine so batch/cache spans land in the same trace as the runner's stage spans.
+    /// Tracing never feeds back into scheduling or results: a traced run's artifact is
+    /// byte-identical to an untraced one (CI `cmp`-gates this).
+    #[must_use]
+    pub fn with_observability(mut self, obs: Observability) -> Self {
+        self.engine = self.engine.with_observability(obs.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// The observability bundle in use (disabled/no-op by default).
+    pub fn observability(&self) -> &Observability {
+        &self.obs
     }
 
     /// Opens the configured disk cache, or a fresh in-memory one.
@@ -163,6 +182,10 @@ impl PipelineRunner {
     /// Runs the historical learning stage over the configured historical nodes, through
     /// the shared counter and cache.
     pub fn learn(&self) -> HistoricalLearningResult {
+        let _span = self.obs.trace.span(
+            "learn",
+            &[("nodes", self.config.historical.len().to_string())],
+        );
         let learner = HistoricalLearner::new(HistoricalLearningConfig {
             grid_levels: self.config.profile.learning_grid(),
             transient: self.config.transient,
@@ -190,6 +213,10 @@ impl PipelineRunner {
         plan: &CharacterizationPlan,
         database: &HistoricalDatabase,
     ) -> Result<RunArtifact, PipelineError> {
+        let root = self
+            .obs
+            .trace
+            .span("characterize", &[("units", plan.units().len().to_string())]);
         let extractors = self.build_extractors(plan, database)?;
         if plan.units().iter().any(|u| u.kind == UnitKind::MonteCarlo)
             && self.config.variation.is_none()
@@ -200,10 +227,25 @@ impl PipelineRunner {
                  the runner was built with",
             ));
         }
+        // Unit spans run on rayon worker threads, where the root is not on the local
+        // span stack — parent them explicitly so the profile tree stays connected.
+        let root_id = root.id();
         let outcomes: Vec<Result<(UnitResult, Option<VariationTable>), PipelineError>> = plan
             .units()
             .par_iter()
-            .map(|unit| self.run_unit(unit, &extractors))
+            .map(|unit| {
+                let _span = self.obs.trace.span_under(
+                    root_id,
+                    "unit",
+                    &[
+                        ("cell", unit.cell.name()),
+                        ("arc", unit.arc.id()),
+                        ("metric", unit.metric.to_string()),
+                        ("method", format!("{:?}", unit.method)),
+                    ],
+                );
+                self.run_unit(unit, &extractors)
+            })
             .collect();
         let mut outcomes = outcomes
             .into_iter()
@@ -274,7 +316,10 @@ impl PipelineRunner {
     ///
     /// Propagates plan and characterization errors.
     pub fn run(&self) -> Result<(HistoricalLearningResult, RunArtifact), PipelineError> {
-        let plan = CharacterizationPlan::from_config(&self.config)?;
+        let plan = {
+            let _span = self.obs.trace.span("plan.build", &[]);
+            CharacterizationPlan::from_config(&self.config)?
+        };
         let learning = self.learn();
         let artifact = self.characterize(&plan, &learning.database)?;
         Ok((learning, artifact))

@@ -303,6 +303,13 @@ pub trait SimulationCache: Send + Sync {
     /// Number of archived solves so far (simulations paid because the cache missed).
     fn misses(&self) -> u64;
 
+    /// Number of hits answered by the *warm* tier: records loaded from an earlier
+    /// process (e.g. a persistent cache's log) rather than solved during this run.
+    /// Display-only telemetry; implementations without a warm tier report `0`.
+    fn warm_hits(&self) -> u64 {
+        0
+    }
+
     /// Makes the archived state durable, for implementations that persist anything.
     ///
     /// Callers that share warm state across processes must call this (and propagate the
@@ -320,11 +327,27 @@ pub trait SimulationCache: Send + Sync {
 const SHARDS: usize = 16;
 
 /// A sharded in-memory [`SimulationCache`] with hit/miss accounting.
+///
+/// Each entry remembers which *tier* it came from: `fresh` (archived by this process,
+/// via [`archive`](Self::archive)/[`store`](SimulationCache::store)) or `warm` (loaded
+/// from an earlier process, via [`insert_warm`](Self::insert_warm)).  Hits are broken
+/// down per tier so a post-run summary can show how much a persisted cache actually
+/// saved — the tier flag never affects lookup results, only accounting.
 #[derive(Debug, Default)]
 pub struct InMemorySimCache {
-    shards: [Mutex<BTreeMap<SimKey, TimingMeasurement>>; SHARDS],
+    shards: [Mutex<BTreeMap<SimKey, (TimingMeasurement, Tier)>>; SHARDS],
     hits: AtomicU64,
+    warm_hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Which process paid for a cached measurement (see [`InMemorySimCache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    /// Solved and archived during this run.
+    Fresh,
+    /// Loaded from durable state written by an earlier process.
+    Warm,
 }
 
 impl InMemorySimCache {
@@ -364,19 +387,21 @@ impl InMemorySimCache {
         self.shard(&key)
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .insert(key, measurement)
+            .insert(key, (measurement, Tier::Fresh))
+            .map(|(previous, _)| previous)
     }
 
     /// Inserts warm state **without** touching the hit/miss accounting — for loading
     /// records that were paid for by an earlier process (e.g. a persistent cache's log).
+    /// Lookups answered by such records count toward [`warm_hits`](SimulationCache::warm_hits).
     pub fn insert_warm(&self, key: SimKey, measurement: TimingMeasurement) {
         self.shard(&key)
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .insert(key, measurement);
+            .insert(key, (measurement, Tier::Warm));
     }
 
-    fn shard(&self, key: &SimKey) -> &Mutex<BTreeMap<SimKey, TimingMeasurement>> {
+    fn shard(&self, key: &SimKey) -> &Mutex<BTreeMap<SimKey, (TimingMeasurement, Tier)>> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % SHARDS]
@@ -391,10 +416,13 @@ impl SimulationCache for InMemorySimCache {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .get(key)
             .copied();
-        if found.is_some() {
+        if let Some((_, tier)) = found {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if tier == Tier::Warm {
+                self.warm_hits.fetch_add(1, Ordering::Relaxed);
+            }
         }
-        found
+        found.map(|(measurement, _)| measurement)
     }
 
     fn store(&self, key: SimKey, measurement: TimingMeasurement) {
@@ -403,6 +431,10 @@ impl SimulationCache for InMemorySimCache {
 
     fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    fn warm_hits(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
     }
 
     fn misses(&self) -> u64 {
@@ -443,8 +475,31 @@ mod tests {
         assert!(cache.lookup(&key(6.0)).is_none());
         assert_eq!(cache.hits(), 1, "one lookup was answered");
         assert_eq!(cache.misses(), 1, "one solve was archived");
+        assert_eq!(cache.warm_hits(), 0, "nothing warm was loaded");
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn warm_tier_hits_are_accounted_separately() {
+        let cache = InMemorySimCache::new();
+        let m = TimingMeasurement::new(Seconds(1e-12), Seconds(2e-12));
+        cache.insert_warm(key(5.0), m);
+        cache.store(key(6.0), m);
+        assert_eq!(cache.lookup(&key(5.0)), Some(m), "warm records answer");
+        assert_eq!(cache.lookup(&key(5.0)), Some(m));
+        assert_eq!(cache.lookup(&key(6.0)), Some(m), "fresh records answer");
+        assert_eq!(cache.hits(), 3, "every answered lookup is a hit");
+        assert_eq!(cache.warm_hits(), 2, "only warm-tier answers count as warm");
+        assert_eq!(cache.misses(), 1, "insert_warm never counts a miss");
+        // Re-archiving a warm coordinate promotes it to the fresh tier.
+        cache.store(key(5.0), m);
+        assert_eq!(cache.lookup(&key(5.0)), Some(m));
+        assert_eq!(
+            cache.warm_hits(),
+            2,
+            "promoted records stop counting as warm"
+        );
     }
 
     #[test]

@@ -420,6 +420,10 @@ impl SimulationCache for DiskSimCache {
         self.memory.hits()
     }
 
+    fn warm_hits(&self) -> u64 {
+        self.memory.warm_hits()
+    }
+
     fn misses(&self) -> u64 {
         self.memory.misses()
     }

@@ -19,6 +19,8 @@ use crate::transient::TransientConfig;
 use rayon::prelude::*;
 use slic_cells::{Cell, EquivalentInverter, TimingArc};
 use slic_device::{ProcessSample, TechnologyNode};
+use slic_obs::metrics::{LANE_BUCKETS, LATENCY_BUCKETS_NS};
+use slic_obs::Observability;
 use slic_units::Amperes;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -185,6 +187,7 @@ pub struct CharacterizationEngine {
     backend: Arc<dyn SimulationBackend>,
     inflight: Arc<InFlight>,
     dispatch: Arc<DispatchCounters>,
+    obs: Observability,
 }
 
 impl fmt::Debug for CharacterizationEngine {
@@ -222,6 +225,7 @@ impl CharacterizationEngine {
             backend: Arc::new(LocalBackend::new()),
             inflight: Arc::new(InFlight::default()),
             dispatch: Arc::new(DispatchCounters::default()),
+            obs: Observability::default(),
         })
     }
 
@@ -259,6 +263,20 @@ impl CharacterizationEngine {
     /// The backend executing this engine's transient solves.
     pub fn backend(&self) -> &Arc<dyn SimulationBackend> {
         &self.backend
+    }
+
+    /// Attaches the display-only observability bundle (trace recorder + metrics
+    /// registry).  Spans and counters are recorded *around* dispatch, never inside a
+    /// result path, so attaching a recorder cannot change any artifact byte.
+    #[must_use]
+    pub fn with_observability(mut self, obs: Observability) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability bundle in use (disabled/no-op by default).
+    pub fn observability(&self) -> &Observability {
+        &self.obs
     }
 
     /// The technology this engine simulates.
@@ -427,6 +445,13 @@ impl CharacterizationEngine {
     /// and only then waits on the stragglers through the scalar path — waiting while
     /// holding claims could deadlock two batches against each other.
     fn simulate_mixed_lane_batch(&self, lanes: &[MixedLane]) -> Vec<TimingMeasurement> {
+        self.obs
+            .metrics
+            .observe("engine.batch.lanes", lanes.len() as u64, LANE_BUCKETS);
+        let mut batch_span = self
+            .obs
+            .trace
+            .span("solve_batch", &[("lanes", lanes.len().to_string())]);
         self.dispatch
             .dispatched
             .fetch_add(lanes.len() as u64, Ordering::Relaxed);
@@ -439,8 +464,20 @@ impl CharacterizationEngine {
             self.dispatch
                 .claimed
                 .fetch_add(subset.len() as u64, Ordering::Relaxed);
-            self.backend
-                .solve_batch(&requests)
+            let backend_span = self
+                .obs
+                .trace
+                .span("backend.solve", &[("lanes", subset.len().to_string())]);
+            let solved = self.backend.solve_batch(&requests);
+            if self.obs.trace.is_enabled() {
+                self.obs.metrics.observe(
+                    "backend.solve.latency_ns",
+                    backend_span.elapsed_ns(),
+                    LATENCY_BUCKETS_NS,
+                );
+            }
+            drop(backend_span);
+            solved
                 .into_iter()
                 .zip(subset)
                 .map(|(result, (_, arc, point, _))| {
@@ -467,11 +504,18 @@ impl CharacterizationEngine {
             .collect();
         let mut results: Vec<Option<TimingMeasurement>> = vec![None; lanes.len()];
         let mut misses: Vec<usize> = Vec::new();
-        for (i, key) in keys.iter().enumerate() {
-            match cache.lookup(key) {
-                Some(m) => results[i] = Some(m),
-                None => misses.push(i),
+        {
+            let mut lookup_span = self
+                .obs
+                .trace
+                .span("cache.lookup", &[("lanes", lanes.len().to_string())]);
+            for (i, key) in keys.iter().enumerate() {
+                match cache.lookup(key) {
+                    Some(m) => results[i] = Some(m),
+                    None => misses.push(i),
+                }
             }
+            lookup_span.attr("hits", (lanes.len() - misses.len()).to_string());
         }
 
         // Claim what we can in one pass over the in-flight set; lanes owned by another
@@ -502,6 +546,12 @@ impl CharacterizationEngine {
         self.dispatch
             .deferred
             .fetch_add(deferred.len() as u64, Ordering::Relaxed);
+        batch_span.attr("cached", cached.to_string());
+        batch_span.attr("claimed", claimed.len().to_string());
+        batch_span.attr("deferred", deferred.len().to_string());
+        self.obs
+            .metrics
+            .observe("cache.lookup.hit_lanes", cached as u64, LANE_BUCKETS);
 
         if !claimed.is_empty() {
             let claims = BatchClaims {

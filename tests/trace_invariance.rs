@@ -1,0 +1,85 @@
+//! Tracing is display-only: a traced run's artifact and Liberty export are
+//! byte-identical to an untraced run's, and the trace sidecar itself is well-formed
+//! JSON-lines that `slic profile` can reconstruct a span tree from.
+
+use slic_obs::profile::parse_trace;
+use slic_obs::{Observability, TraceRecorder};
+use slic_pipeline::{PipelineRunner, RunConfig};
+
+fn quick_config() -> RunConfig {
+    RunConfig {
+        seed: Some(4242),
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn traced_and_untraced_runs_produce_byte_identical_artifacts() {
+    let resolved = quick_config().resolve().expect("config resolves");
+
+    let untraced = PipelineRunner::new(resolved.clone()).expect("runner builds");
+    let (_, untraced_artifact) = untraced.run().expect("untraced run completes");
+    let untraced_json = untraced_artifact.to_json().expect("artifact serializes");
+    let untraced_liberty = untraced_artifact
+        .characterized
+        .to_liberty(untraced.engine(), untraced.config().export_grid)
+        .expect("liberty exports");
+
+    let dir = std::env::temp_dir().join(format!("slic-trace-invariance-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("run.trace.jsonl");
+    let obs = Observability {
+        trace: TraceRecorder::to_file(&trace_path).expect("trace file opens"),
+        ..Observability::default()
+    };
+    let traced = PipelineRunner::new(resolved)
+        .expect("runner builds")
+        .with_observability(obs.clone());
+    let (_, traced_artifact) = traced.run().expect("traced run completes");
+    let traced_json = traced_artifact.to_json().expect("artifact serializes");
+    let traced_liberty = traced_artifact
+        .characterized
+        .to_liberty(traced.engine(), traced.config().export_grid)
+        .expect("liberty exports");
+    obs.trace.flush();
+
+    assert_eq!(
+        traced_json, untraced_json,
+        "tracing must not change a single artifact byte"
+    );
+    assert_eq!(
+        traced_liberty, untraced_liberty,
+        "tracing must not change a single exported Liberty byte"
+    );
+
+    // The sidecar is parseable in full, and the span names the profiler keys on are
+    // all present, with every unit span parented under the characterize root.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file exists");
+    let parsed = parse_trace(&text);
+    assert_eq!(parsed.dropped, 0, "every trace line parses");
+    let span_names: Vec<&str> = parsed
+        .records
+        .iter()
+        .map(|record| record.name.as_str())
+        .collect();
+    for expected in ["plan.build", "learn", "characterize", "unit", "solve_batch"] {
+        assert!(
+            span_names.contains(&expected),
+            "trace must contain a `{expected}` span; got {span_names:?}"
+        );
+    }
+    let root = parsed
+        .records
+        .iter()
+        .find(|record| record.name == "characterize")
+        .expect("characterize root span");
+    assert!(
+        parsed
+            .records
+            .iter()
+            .filter(|record| record.name == "unit")
+            .all(|unit| unit.parent == Some(root.id)),
+        "unit spans run on rayon threads and must still be parented to the root"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
