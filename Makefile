@@ -22,7 +22,7 @@ bench-kernel:
 bench-kernel-diff:
 	BENCH_SMOKE=1 BENCH_OUT=$(CURDIR)/target/bench_fresh.json \
 		$(CARGO) bench -p slic-bench --bench transient_kernel
-	python3 tools/bench_kernel_diff.py target/bench_fresh.json BENCH_transient.json
+	$(CARGO) run --release -p slic-cli -- bench diff target/bench_fresh.json BENCH_transient.json
 
 fmt:
 	$(CARGO) fmt --all -- --check

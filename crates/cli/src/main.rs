@@ -13,6 +13,10 @@
 //! slic report       # run artifact -> Markdown summary
 //! slic cache        # cache maintenance (compact)
 //! slic profile      # reconstruct a --trace sidecar into a performance report
+//!                   # --diff gates one trace against another; --format chrome exports
+//!                   # Perfetto-loadable JSON
+//! slic history      # list / diff the cross-run ledger written by --ledger
+//! slic bench diff   # gate a fresh kernel bench report against the committed one
 //! slic lint         # workspace invariant checker (slic-lint)
 //! ```
 //!
@@ -24,7 +28,10 @@ use slic_device::TechnologyNode;
 use slic_farm::{
     serve_listener, serve_stdio, FarmBackend, FarmTuning, FaultPlan, ServeOutcome, WorkerOptions,
 };
-use slic_obs::{Observability, TraceRecorder};
+use slic_obs::{
+    Clock, DiffReport, DiffThresholds, MetricsSnapshot, MonotonicClock, Observability,
+    ProgressMeter, RunRecord, TraceRecorder,
+};
 use slic_pipeline::{
     BackendChoice, CharacterizationPlan, FarmSection, PipelineError, PipelineRunner, RunArtifact,
     RunConfig, RunProfile,
@@ -37,13 +44,22 @@ use std::sync::Arc;
 const USAGE: &str = "slic — statistical library characterization pipeline
 
 USAGE:
-    slic <learn|characterize|worker|merge|export|report|cache|profile|lint|help> [--flag value]...
+    slic <learn|characterize|worker|merge|export|report|cache|profile|history|bench|lint|help> [--flag value]...
 
 OBSERVABILITY FLAGS (learn, characterize and worker):
     --trace <file>          record a JSON-lines span/event trace of the run to <file>
                             (config key `observability.trace`; the flag wins).  Tracing
                             is display-only: artifact bytes are identical with it on or
                             off.  Analyze the sidecar with `slic profile <file>`.
+    --ledger <file>         append one run record (config fingerprint, seed, wall time,
+                            sims paid vs cached, artifact hash, metrics snapshot) to the
+                            cross-run ledger at <file> (config key `observability.ledger`;
+                            learn/characterize only).  Display-only like --trace.  Read it
+                            back with `slic history <file>`.
+    --progress              render a live stderr progress line (units done, sims paid vs
+                            cached, farmed lanes, ETA) even when stderr is not a TTY; on
+                            a TTY the line is on by default for learn/characterize.
+                            Progress also emits rate-limited `progress` trace events.
 
 FARM FLAGS (learn and characterize):
     --backend <name>        local (default) | farm
@@ -153,9 +169,36 @@ SUBCOMMANDS:
                   effectiveness.  A corrupt or truncated tail is salvaged — the report
                   covers the complete prefix, the dropped lines are counted on stderr,
                   and the exit code is nonzero.
-                    slic profile <trace.jsonl> [--format md|json] [--top <n>]
-                    --format <name>         md (default) | json
+                    slic profile <trace.jsonl> [--format md|json|chrome] [--top <n>]
+                    slic profile --diff <old.jsonl> <new.jsonl>   regression-gate two
+                                            traces: total and per-phase wall deltas plus
+                                            cache drift against thresholds; exits nonzero
+                                            on regression
+                    --format <name>         md (default) | json | chrome (Chrome
+                                            trace-event JSON — load in ui.perfetto.dev)
                     --top <n>               hottest-unit rows to keep (default 10)
+                    --config <file>         read `observability.diff.*` thresholds
+                    --wall-pct <f>          max wall-time rise, percent (default 50)
+                    --counter-pct <f>       max gated-counter rise, percent (default 10)
+                    --hit-rate-drop <f>     max cache-hit-rate drop, points (default 5)
+
+    history       List the cross-run ledger written by `--ledger`, or gate its newest
+                  run against the previous run of the same config fingerprint.
+                    slic history <runs.jsonl>            list every recorded run
+                    slic history <runs.jsonl> --diff     diff the last two runs with
+                                            matching fingerprints; exits nonzero on
+                                            regression (wall, sims paid, hit rate,
+                                            gated counters, artifact hash drift)
+                    --fingerprint <hex>     diff this fingerprint instead of the most
+                                            recently recorded one
+                    --config/--wall-pct/--counter-pct/--hit-rate-drop   as in profile
+
+    bench         Kernel benchmark gates.
+                    bench diff <fresh.json> [<committed.json>]   compare a fresh
+                                            `make bench-kernel` report against the
+                                            committed baseline (BENCH_transient.json);
+                                            exits nonzero when any variant falls below
+                                            half the committed throughput
 
     lint          Run the workspace invariant checker (determinism, float hygiene,
                   panic policy, lock discipline) against the committed baseline.
@@ -197,12 +240,21 @@ fn main() -> ExitCode {
         "retry-budget",
         "reconnect-attempts",
         "trace",
+        "ledger",
         "out",
     ];
+    // profile/history/bench mix positionals with their own flag sets and threshold
+    // overrides; they dispatch before the generic flag machinery below.
+    match command {
+        "profile" => return cmd_profile_entry(&args[1..]),
+        "history" => return cmd_history_entry(&args[1..]),
+        "bench" => return cmd_bench_entry(&args[1..]),
+        _ => {}
+    }
     // `slic cache <action> --flag value ...` takes a positional action before its flags.
     // `switches` are valueless boolean flags (recorded as "true" when present).
     let (flag_args, allowed, switches): (&[String], Vec<&str>, Vec<&str>) = match command {
-        "learn" => (&args[1..], CONFIG_FLAGS.to_vec(), vec!["simd"]),
+        "learn" => (&args[1..], CONFIG_FLAGS.to_vec(), vec!["simd", "progress"]),
         "characterize" => {
             let mut flags = CONFIG_FLAGS.to_vec();
             flags.extend([
@@ -212,7 +264,7 @@ fn main() -> ExitCode {
                 "variation-seeds",
                 "variation-sigma",
             ]);
-            (&args[1..], flags, vec!["variation", "simd"])
+            (&args[1..], flags, vec!["variation", "simd", "progress"])
         }
         "worker" => (
             &args[1..],
@@ -233,16 +285,6 @@ fn main() -> ExitCode {
             vec!["root", "config", "baseline", "format"],
             vec!["update-baseline"],
         ),
-        // `slic profile <trace.jsonl> --flag value ...` takes the trace path positionally.
-        "profile" => match args.get(1).map(String::as_str) {
-            Some(path) if !path.starts_with("--") => (&args[2..], vec!["format", "top"], vec![]),
-            _ => {
-                eprintln!(
-                    "error: `slic profile` needs a trace file, e.g. `slic profile run.trace.jsonl`"
-                );
-                return ExitCode::from(2);
-            }
-        },
         "merge" => (&args[1..], vec!["inputs", "out"], vec![]),
         "export" => (&args[1..], vec!["run", "out"], vec!["variation"]),
         "report" => (&args[1..], vec!["run"], vec![]),
@@ -282,7 +324,6 @@ fn main() -> ExitCode {
         "export" => cmd_export(&flags),
         "report" => cmd_report(&flags),
         "cache" => cmd_cache_compact(&flags),
-        "profile" => return cmd_profile(&args[1], &flags),
         "lint" => return cmd_lint(&flags),
         _ => unreachable!("unknown subcommands rejected above"),
     };
@@ -520,6 +561,16 @@ fn build_config(flags: &BTreeMap<String, String>) -> Result<RunConfig, PipelineE
         knobs.trace = Some(v.clone());
         config.observability = Some(knobs);
     }
+    if let Some(v) = flags.get("ledger") {
+        let mut knobs = config.observability.clone().unwrap_or_default();
+        knobs.ledger = Some(v.clone());
+        config.observability = Some(knobs);
+    }
+    if flags.contains_key("progress") {
+        let mut knobs = config.observability.clone().unwrap_or_default();
+        knobs.progress = Some(true);
+        config.observability = Some(knobs);
+    }
     Ok(config)
 }
 
@@ -538,8 +589,20 @@ fn build_observability(
         })?,
         None => TraceRecorder::disabled(),
     };
+    // The stderr progress line draws when the config (or `--progress`) forced it, or
+    // automatically when a human is watching stderr.  The meter also runs line-less
+    // whenever tracing is live, so rate-limited `progress` events land in the
+    // sidecar; with neither display it stays the free disabled meter.
+    use std::io::IsTerminal as _;
+    let render_line = config.progress || std::io::stderr().is_terminal();
+    let progress = if render_line || trace.is_enabled() {
+        ProgressMeter::new(trace.clone(), render_line)
+    } else {
+        ProgressMeter::disabled()
+    };
     Ok(Observability {
         trace,
+        progress,
         ..Observability::default()
     })
 }
@@ -609,8 +672,9 @@ fn build_runner(
 /// drift between subcommands.  Before printing, every per-subsystem counter struct
 /// (kernel, dispatch, farm, cache tiers) is folded into the metrics registry, and the
 /// snapshot is written to the trace as the final `metrics` event — the cache-
-/// effectiveness record `slic profile` reads back.
-fn print_run_summary(runner: &PipelineRunner, farm: Option<&FarmBackend>) {
+/// effectiveness record `slic profile` reads back.  Returns the snapshot so the
+/// run-ledger record can carry the identical metrics the summary printed.
+fn print_run_summary(runner: &PipelineRunner, farm: Option<&FarmBackend>) -> MetricsSnapshot {
     let obs = runner.observability();
     if let Some(stats) = runner.engine().backend().kernel_stats() {
         obs.metrics.counter_set("kernel.sims", stats.sims);
@@ -681,6 +745,53 @@ fn print_run_summary(runner: &PipelineRunner, farm: Option<&FarmBackend>) {
     obs.trace.event("metrics", &attr_refs);
     obs.trace.flush();
     print!("{}", snapshot.render());
+    snapshot
+}
+
+/// Appends one [`RunRecord`] to the cross-run ledger when the resolved config named
+/// one (`observability.ledger` / `--ledger`).  Called after the artifact is written,
+/// so a ledger failure can never cost a run its results — but it still fails the
+/// command loudly, because a silently-missing record would defeat `slic history`.
+fn append_run_record(
+    config: &slic_pipeline::ResolvedConfig,
+    kind: &str,
+    wall_ns: u64,
+    sims_paid: u64,
+    sims_cached: u64,
+    artifact_json: &str,
+    snapshot: MetricsSnapshot,
+) -> Result<(), PipelineError> {
+    let Some(path) = &config.ledger_path else {
+        return Ok(());
+    };
+    let record = RunRecord {
+        kind: kind.to_string(),
+        fingerprint: config.fingerprint(),
+        seed: config.seed,
+        profile: config.profile.name().to_string(),
+        backend: match &config.backend {
+            BackendChoice::Local => "local".to_string(),
+            BackendChoice::Farm { .. } => "farm".to_string(),
+        },
+        wall_ns,
+        sims_paid,
+        sims_cached,
+        artifact_hash: slic_obs::ledger::content_hash(artifact_json.as_bytes()),
+        snapshot,
+    };
+    slic_obs::ledger::append(path, &record).map_err(|err| {
+        PipelineError::config(format!(
+            "cannot append to ledger `{}`: {err}",
+            path.display()
+        ))
+    })?;
+    println!(
+        "ledger: {kind} run recorded (fingerprint {}, artifact {}) -> {}",
+        record.fingerprint,
+        record.artifact_hash,
+        path.display()
+    );
+    Ok(())
 }
 
 /// Prints the fleet's dispatch summary after a farmed run (the chaos CI job greps the
@@ -738,6 +849,7 @@ fn parse_shard_spec(text: &str) -> Result<(usize, usize), PipelineError> {
 }
 
 fn cmd_learn(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
+    let wall = MonotonicClock::new();
     let config = build_config(flags)?.resolve()?;
     let obs = build_observability(&config)?;
     let (runner, farm) = build_runner(config, &obs)?;
@@ -746,7 +858,8 @@ fn cmd_learn(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
         .get("out")
         .map(String::as_str)
         .unwrap_or("history.json");
-    std::fs::write(out, learning.database.to_json()?)?;
+    let database_json = learning.database.to_json()?;
+    std::fs::write(out, &database_json)?;
     // A failed cache write must fail the command, not just warn from a destructor:
     // later shard workers rely on the warm state being on disk.
     {
@@ -759,7 +872,16 @@ fn cmd_learn(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {
         learning.database.technology_names().len(),
         learning.simulation_cost,
     );
-    print_run_summary(&runner, farm.as_deref());
+    let snapshot = print_run_summary(&runner, farm.as_deref());
+    append_run_record(
+        runner.config(),
+        "learn",
+        wall.now_ns(),
+        learning.simulation_cost,
+        runner.cache().hits(),
+        &database_json,
+        snapshot,
+    )?;
     Ok(())
 }
 
@@ -880,6 +1002,7 @@ fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineErro
              shards, join them with `slic merge`, then render with `slic export`",
         ));
     }
+    let wall = MonotonicClock::new();
     let config = build_config(flags)?.resolve()?;
     let export_grid = config.export_grid;
     let obs = build_observability(&config)?;
@@ -933,7 +1056,8 @@ fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineErro
         runner.cache().persist()?;
     }
     let out = flags.get("out").map(String::as_str).unwrap_or("run.json");
-    artifact.save(out)?;
+    let artifact_json = artifact.to_json()?;
+    std::fs::write(out, &artifact_json)?;
     println!(
         "characterized {}/{} arcs in {} simulations ({} cache hits) -> {out}",
         artifact.characterized.arcs.len(),
@@ -950,7 +1074,16 @@ fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineErro
     }
     // Post-run summary — kernel, dispatch, farm, resilience, metrics, in that
     // documented order (see `print_run_summary`).
-    print_run_summary(&runner, farm.as_deref());
+    let snapshot = print_run_summary(&runner, farm.as_deref());
+    append_run_record(
+        runner.config(),
+        "characterize",
+        wall.now_ns(),
+        artifact.total_simulations,
+        artifact.cache_hits,
+        &artifact_json,
+        snapshot,
+    )?;
     if let Some(liberty_path) = flags.get("liberty") {
         if artifact.characterized.arcs.is_empty() {
             return Err(PipelineError::config(format!(
@@ -973,6 +1106,50 @@ fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineErro
     Ok(())
 }
 
+/// Argument splitter for `slic profile`: diff mode takes two positional trace files
+/// after `--diff`; report mode takes one positional trace file before its flags.
+fn cmd_profile_entry(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) == Some("--diff") {
+        match (args.get(1), args.get(2)) {
+            (Some(old), Some(new)) if !old.starts_with("--") && !new.starts_with("--") => {
+                let flags = match parse_flags(&args[3..], THRESHOLD_FLAGS, &[]) {
+                    Ok(flags) => flags,
+                    Err(message) => {
+                        eprintln!("error: {message}");
+                        return ExitCode::from(2);
+                    }
+                };
+                return cmd_profile_diff(old, new, &flags);
+            }
+            _ => {
+                eprintln!(
+                    "error: `slic profile --diff` needs two trace files, e.g. `slic profile \
+                     --diff old.trace.jsonl new.trace.jsonl`"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match args.first().map(String::as_str) {
+        Some(path) if !path.starts_with("--") => {
+            let flags = match parse_flags(&args[1..], &["format", "top"], &[]) {
+                Ok(flags) => flags,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::from(2);
+                }
+            };
+            cmd_profile(path, &flags)
+        }
+        _ => {
+            eprintln!(
+                "error: `slic profile` needs a trace file, e.g. `slic profile run.trace.jsonl`"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
 /// `slic profile <trace.jsonl>`: reconstruct the span tree of a trace sidecar.
 ///
 /// A corrupt or truncated tail never hides the healthy prefix: every well-formed line
@@ -980,8 +1157,8 @@ fn cmd_characterize(flags: &BTreeMap<String, String>) -> Result<(), PipelineErro
 /// code is nonzero so CI can't mistake a damaged trace for a complete one.
 fn cmd_profile(path: &str, flags: &BTreeMap<String, String>) -> ExitCode {
     let format = flags.get("format").map_or("md", String::as_str);
-    if !matches!(format, "md" | "json") {
-        eprintln!("error: unknown profile format `{format}` (expected md or json)");
+    if !matches!(format, "md" | "json" | "chrome") {
+        eprintln!("error: unknown profile format `{format}` (expected md, json or chrome)");
         return ExitCode::from(2);
     }
     let top = match flags.get("top").map(|v| v.parse::<usize>()) {
@@ -1007,10 +1184,18 @@ fn cmd_profile(path: &str, flags: &BTreeMap<String, String>) -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    let report = slic_obs::profile::build_report(&parsed, top);
     match format {
-        "json" => print!("{}", slic_obs::profile::render_json(&report)),
-        _ => print!("{}", slic_obs::profile::render_md(&report)),
+        // The Perfetto export is a direct re-encoding of the salvaged records; it
+        // needs no report (and `--top` has nothing to truncate).
+        "chrome" => print!("{}", slic_obs::perfetto::render_chrome(&parsed)),
+        "json" => print!(
+            "{}",
+            slic_obs::profile::render_json(&slic_obs::profile::build_report(&parsed, top))
+        ),
+        _ => print!(
+            "{}",
+            slic_obs::profile::render_md(&slic_obs::profile::build_report(&parsed, top))
+        ),
     }
     if parsed.dropped > 0 {
         eprintln!(
@@ -1021,6 +1206,346 @@ fn cmd_profile(path: &str, flags: &BTreeMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// The threshold-override flags shared by `slic profile --diff` and `slic history`.
+const THRESHOLD_FLAGS: &[&str] = &["config", "wall-pct", "counter-pct", "hit-rate-drop"];
+
+/// Resolves the regression-gate thresholds: `observability.diff.*` from an optional
+/// `--config` file first, CLI flag overrides on top, library defaults underneath.
+fn resolve_thresholds(flags: &BTreeMap<String, String>) -> Result<DiffThresholds, String> {
+    let mut thresholds = match flags.get("config") {
+        Some(path) => RunConfig::load(path)
+            .map_err(|err| err.to_string())?
+            .observability
+            .and_then(|knobs| knobs.diff)
+            .map(|knobs| knobs.resolve())
+            .unwrap_or_default(),
+        None => DiffThresholds::default(),
+    };
+    let parse = |flag: &str| -> Result<Option<f64>, String> {
+        flags
+            .get(flag)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("`--{flag} {v}` is not a number"))
+            })
+            .transpose()
+    };
+    if let Some(v) = parse("wall-pct")? {
+        thresholds.wall_pct = v;
+    }
+    if let Some(v) = parse("counter-pct")? {
+        thresholds.counter_pct = v;
+    }
+    if let Some(v) = parse("hit-rate-drop")? {
+        thresholds.hit_rate_drop_pct = v;
+    }
+    Ok(thresholds)
+}
+
+/// `slic profile --diff <old> <new>`: regression-gate one trace against another.
+///
+/// Exits `FAILURE` on any gated regression (or a corrupt tail in either trace), `2`
+/// on unreadable inputs — so CI distinguishes "slower" from "broken invocation".
+fn cmd_profile_diff(old_path: &str, new_path: &str, flags: &BTreeMap<String, String>) -> ExitCode {
+    let thresholds = match resolve_thresholds(flags) {
+        Ok(thresholds) => thresholds,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let load = |path: &str| -> Result<(slic_obs::profile::ProfileReport, usize), String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| format!("cannot read trace `{path}`: {err}"))?;
+        let parsed = slic_obs::profile::parse_trace(&text);
+        if parsed.records.is_empty() {
+            return Err(format!(
+                "`{path}` contains no parseable trace records ({} corrupt line(s))",
+                parsed.dropped
+            ));
+        }
+        Ok((slic_obs::profile::build_report(&parsed, 0), parsed.dropped))
+    };
+    let ((old, old_dropped), (new, new_dropped)) = match (load(old_path), load(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(message), _) | (_, Err(message)) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = slic_obs::diff::diff_profiles(&old, &new, &thresholds);
+    print!(
+        "{}",
+        report.render_md(&format!("profile diff: {old_path} -> {new_path}"))
+    );
+    let mut failed = !report.is_clean();
+    if old_dropped + new_dropped > 0 {
+        eprintln!(
+            "warning: dropped {} corrupt/truncated line(s) across the two traces",
+            old_dropped + new_dropped
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Argument splitter for `slic history`: one positional ledger file, then flags.
+fn cmd_history_entry(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|p| !p.starts_with("--")) else {
+        eprintln!("error: `slic history` needs a ledger file, e.g. `slic history runs.jsonl`");
+        return ExitCode::from(2);
+    };
+    let mut allowed = THRESHOLD_FLAGS.to_vec();
+    allowed.push("fingerprint");
+    let flags = match parse_flags(&args[1..], &allowed, &["diff"]) {
+        Ok(flags) => flags,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    cmd_history(path, &flags)
+}
+
+/// Renders monotonic nanoseconds as seconds with millisecond resolution.
+fn format_wall(ns: u64) -> String {
+    format!(
+        "{}.{:03}s",
+        ns / 1_000_000_000,
+        ns % 1_000_000_000 / 1_000_000
+    )
+}
+
+/// `slic history <runs.jsonl>`: list the cross-run ledger, or (`--diff`) gate the
+/// newest run against the previous run with the same config fingerprint.
+///
+/// Alignment is by fingerprint, never by position: the ledger interleaves runs of
+/// different configs (and of `learn` vs `characterize`), and comparing across
+/// fingerprints would diff two different workloads.
+fn cmd_history(path: &str, flags: &BTreeMap<String, String>) -> ExitCode {
+    let parsed = match slic_obs::ledger::load(std::path::Path::new(path)) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("error: cannot read ledger `{path}`: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if parsed.records.is_empty() {
+        eprintln!(
+            "error: `{path}` holds no readable run records ({} dropped line(s))",
+            parsed.dropped
+        );
+        return ExitCode::from(2);
+    }
+    let dropped_warning = |failed: bool| -> ExitCode {
+        if parsed.dropped > 0 {
+            eprintln!(
+                "warning: dropped {} corrupt/truncated line(s) from `{path}`; the \
+                 ledger covers the salvaged records only",
+                parsed.dropped
+            );
+            return ExitCode::FAILURE;
+        }
+        if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    };
+    if !flags.contains_key("diff") {
+        println!("# run ledger: {path}\n");
+        println!("| # | kind | fingerprint | profile | backend | seed | wall | sims paid | cached | artifact |");
+        println!("|--:|------|-------------|---------|---------|------|-----:|----------:|-------:|----------|");
+        for (index, record) in parsed.records.iter().enumerate() {
+            println!(
+                "| {} | {} | {} | {} | {} | {:016x} | {} | {} | {} | {} |",
+                index + 1,
+                record.kind,
+                record.fingerprint,
+                record.profile,
+                record.backend,
+                record.seed,
+                format_wall(record.wall_ns),
+                record.sims_paid,
+                record.sims_cached,
+                record.artifact_hash,
+            );
+        }
+        return dropped_warning(false);
+    }
+    let thresholds = match resolve_thresholds(flags) {
+        Ok(thresholds) => thresholds,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let fingerprint = flags.get("fingerprint").cloned().unwrap_or_else(|| {
+        parsed
+            .records
+            .last()
+            .expect("records is non-empty")
+            .fingerprint
+            .clone()
+    });
+    let matching: Vec<_> = parsed
+        .records
+        .iter()
+        .filter(|record| record.fingerprint == fingerprint)
+        .collect();
+    if matching.len() < 2 {
+        eprintln!(
+            "error: ledger `{path}` holds {} run(s) with fingerprint {fingerprint}; a diff \
+             needs two",
+            matching.len()
+        );
+        return ExitCode::from(2);
+    }
+    let old = matching[matching.len() - 2];
+    let new = matching[matching.len() - 1];
+    let report = slic_obs::diff::diff_runs(old, new, &thresholds);
+    print!(
+        "{}",
+        report.render_md(&format!(
+            "history diff: fingerprint {fingerprint} ({} vs {})",
+            old.kind, new.kind
+        ))
+    );
+    dropped_warning(!report.is_clean())
+}
+
+/// Argument splitter for `slic bench`: `diff <fresh.json> [<committed.json>]`.
+fn cmd_bench_entry(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("diff") => {}
+        Some(other) => {
+            eprintln!("error: unknown bench action `{other}` (expected `diff`)");
+            return ExitCode::from(2);
+        }
+        None => {
+            eprintln!(
+                "error: `slic bench` needs an action, e.g. `slic bench diff \
+                 target/bench_fresh.json`"
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let Some(fresh) = args.get(1).filter(|p| !p.starts_with("--")) else {
+        eprintln!(
+            "error: `slic bench diff` needs a fresh report, e.g. `slic bench diff \
+             target/bench_fresh.json [BENCH_transient.json]`"
+        );
+        return ExitCode::from(2);
+    };
+    let committed = match args.get(2) {
+        Some(p) if !p.starts_with("--") => p.as_str(),
+        Some(other) => {
+            eprintln!("error: unexpected argument `{other}` for `slic bench diff`");
+            return ExitCode::from(2);
+        }
+        None => "BENCH_transient.json",
+    };
+    if args.len() > 3 {
+        eprintln!("error: `slic bench diff` takes at most two report paths");
+        return ExitCode::from(2);
+    }
+    cmd_bench_diff(committed, fresh)
+}
+
+/// `slic bench diff <fresh.json> [<committed.json>]`: gate a fresh transient-kernel
+/// bench report against the committed baseline.
+///
+/// Replaces `tools/bench_kernel_diff.py` with the same contract: one row per
+/// committed `(variant, preset)` pair, a derived-speedup table, and a nonzero exit
+/// when any fresh variant falls below half its committed throughput — the same
+/// noise-tolerant floor the CI speedup gate applies.  A variant missing from the
+/// fresh (reduced-mode) report is informational, not a regression.
+fn cmd_bench_diff(committed_path: &str, fresh_path: &str) -> ExitCode {
+    use slic_obs::profile::Json;
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| format!("cannot read bench report `{path}`: {err}"))?;
+        slic_obs::profile::parse_json(&text).map_err(|err| format!("`{path}`: {err}"))
+    };
+    let (committed, fresh) = match (load(committed_path), load(fresh_path)) {
+        (Ok(committed), Ok(fresh)) => (committed, fresh),
+        (Err(message), _) | (_, Err(message)) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    // One (variant-name, preset) row per bench variant, in the report's file order.
+    let variants = |report: &Json| -> Vec<(String, String, u64)> {
+        let Some(Json::Arr(items)) = report.get("variants") else {
+            return Vec::new();
+        };
+        items
+            .iter()
+            .filter_map(|v| {
+                Some((
+                    v.get("name")?.as_str()?.to_string(),
+                    v.get("config")?.as_str()?.to_string(),
+                    v.get("sims_per_sec")?.as_u64()?,
+                ))
+            })
+            .collect()
+    };
+    let committed_variants = variants(&committed);
+    let fresh_variants = variants(&fresh);
+    if committed_variants.is_empty() {
+        eprintln!("error: `{committed_path}` holds no bench variants");
+        return ExitCode::from(2);
+    }
+    let mode = |report: &Json| match report.get("reduced") {
+        Some(Json::Bool(true)) => "reduced",
+        _ => "full",
+    };
+    let mut report = DiffReport::default();
+    for (name, config, base) in &committed_variants {
+        match fresh_variants
+            .iter()
+            .find(|(n, c, _)| n == name && c == config)
+        {
+            // Below half the committed throughput (a 50% drop) is the regression
+            // floor; anything above it is run-to-run noise.
+            Some((_, _, now)) => {
+                report.push_drop_gated(&format!("{name}/{config} sims/s"), *base, *now, 50.0, 1)
+            }
+            None => report.push_info(&format!("{name}/{config} sims/s (missing)"), *base, 0),
+        }
+    }
+    print!(
+        "{}",
+        report.render_md(&format!(
+            "transient-kernel diff vs {committed_path} (committed {}, fresh {})",
+            mode(&committed),
+            mode(&fresh)
+        ))
+    );
+    // The derived speedup ratios, committed vs fresh, for context (never gated: the
+    // per-variant rows above already cover the regression surface).
+    if let Some(Json::Obj(speedups)) = committed.get("speedups") {
+        println!("\n{:<44}{:>10}{:>10}", "speedup", "committed", "fresh");
+        for (key, base) in speedups {
+            let Json::Num(base) = base else { continue };
+            let now = match fresh.get("speedups").and_then(|s| s.get(key)) {
+                Some(Json::Num(now)) => format!("{now:>9.2}x"),
+                _ => format!("{:>10}", "(missing)"),
+            };
+            println!("{key:<44}{base:>9.2}x{now}");
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_merge(flags: &BTreeMap<String, String>) -> Result<(), PipelineError> {

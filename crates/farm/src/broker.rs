@@ -924,6 +924,9 @@ impl SimulationBackend for FarmBackend {
                                 self.jobs_completed.fetch_add(1, Ordering::Relaxed);
                                 self.lanes_remote
                                     .fetch_add(solved.len() as u64, Ordering::Relaxed);
+                                // Feed the live progress display as round trips land,
+                                // not just when whole units complete.
+                                self.obs.progress.add_lanes(solved.len() as u64);
                                 completed
                                     .lock()
                                     .unwrap_or_else(|poisoned| poisoned.into_inner())

@@ -14,6 +14,18 @@
 //!   one post-run summary surface.
 //! * [`profile`] — the analysis side: a dependency-free parser for the trace schema
 //!   and the report builder behind `slic profile <trace.jsonl>`.
+//! * [`ledger`] — the cross-run side: an append-only, flock-guarded `runs.jsonl` of
+//!   [`ledger::RunRecord`]s (config fingerprint, seed, wall time, sims paid vs
+//!   cached, artifact hash, full metrics snapshot) behind `observability.ledger` /
+//!   `--ledger runs.jsonl`.
+//! * [`diff`] — the regression gate: threshold-driven comparison of two profile
+//!   reports (`slic profile --diff`) or two ledger records (`slic history --diff`),
+//!   exiting nonzero on drift past `observability.diff.*` thresholds.
+//! * [`perfetto`] — Chrome trace-event export (`slic profile --format chrome`) so a
+//!   farmed run's span tree can be walked interactively in ui.perfetto.dev.
+//! * [`progress`] — a live [`progress::ProgressMeter`]: periodic `progress` trace
+//!   events plus an optional stderr progress line (units done, sims paid vs cached,
+//!   farmed lanes, ETA), rate-limited off the monotonic clock.
 //!
 //! Tracing is display-only **by construction**: nothing here feeds a result path, and
 //! the only wall-clock read in the workspace lives in [`clock::MonotonicClock`] behind
@@ -22,12 +34,19 @@
 //! that invariant.
 
 pub mod clock;
+pub mod diff;
+pub mod ledger;
 pub mod metrics;
+pub mod perfetto;
 pub mod profile;
+pub mod progress;
 pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use diff::{DiffReport, DiffThresholds};
+pub use ledger::RunRecord;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use progress::ProgressMeter;
 pub use trace::{SpanGuard, TraceRecorder};
 
 /// The bundle the pipeline threads through engine, backends and runner: one trace
@@ -38,6 +57,8 @@ pub struct Observability {
     pub trace: TraceRecorder,
     /// The shared counter/histogram registry, always live (counters are cheap).
     pub metrics: MetricsRegistry,
+    /// The live progress meter; [`ProgressMeter::disabled`] (the default) is a no-op.
+    pub progress: ProgressMeter,
 }
 
 impl Observability {

@@ -45,6 +45,9 @@ pub struct Histogram {
     pub total: u64,
     /// Sum of all observed values.
     pub sum: u64,
+    /// Largest observed value (0 when empty).  Fixed buckets cap what a quantile can
+    /// resolve, so the true maximum is carried exactly alongside them.
+    pub max: u64,
 }
 
 impl Histogram {
@@ -55,6 +58,7 @@ impl Histogram {
             overflow: 0,
             total: 0,
             sum: 0,
+            max: 0,
         }
     }
 
@@ -65,10 +69,30 @@ impl Histogram {
         }
         self.total += 1;
         self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the smallest bucket
+    /// bound whose cumulative count covers `ceil(q * total)` observations, clamped to
+    /// the exact tracked maximum (overflow observations resolve to `max`).  Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (bound, count) in self.bounds.iter().zip(&self.counts) {
+            seen += count;
+            if seen >= rank {
+                return (*bound).min(self.max);
+            }
+        }
+        self.max
     }
 
     /// Encodes the histogram as a compact attribute string
-    /// (`total=..;sum=..;bounds=a,b;counts=x,y;overflow=z`) for trace events.
+    /// (`total=..;sum=..;bounds=a,b;counts=x,y;overflow=z;max=m`) for trace events.
     pub fn encode(&self) -> String {
         let join = |values: &[u64]| {
             values
@@ -78,12 +102,13 @@ impl Histogram {
                 .join(",")
         };
         format!(
-            "total={};sum={};bounds={};counts={};overflow={}",
+            "total={};sum={};bounds={};counts={};overflow={};max={}",
             self.total,
             self.sum,
             join(&self.bounds),
             join(&self.counts),
             self.overflow,
+            self.max,
         )
     }
 
@@ -108,6 +133,12 @@ impl Histogram {
             overflow: scalar("overflow")?,
             total: scalar("total")?,
             sum: scalar("sum")?,
+            // Traces written before `max` existed decode with max = 0; quantiles on
+            // such histograms fall back to bucket bounds alone.
+            max: match fields.get("max") {
+                Some(raw) => raw.parse::<u64>().ok()?,
+                None => 0,
+            },
         };
         (histogram.bounds.len() == histogram.counts.len()).then_some(histogram)
     }
@@ -213,9 +244,12 @@ impl MetricsSnapshot {
                 .map(|(bound, count)| format!("le{bound}:{count}"))
                 .collect();
             out.push_str(&format!(
-                "  {name} ~ total={} sum={} [{} inf:{}]\n",
+                "  {name} ~ total={} sum={} p50={} p95={} max={} [{} inf:{}]\n",
                 histogram.total,
                 histogram.sum,
+                histogram.quantile(0.50),
+                histogram.quantile(0.95),
+                histogram.max,
                 buckets.join(" "),
                 histogram.overflow,
             ));
@@ -306,7 +340,51 @@ mod tests {
         let a = first.find("  a = 1").expect("a rendered");
         let b = first.find("  b = 2").expect("b rendered");
         assert!(a < b, "sorted order: {first}");
-        assert!(first.contains("h ~ total=1 sum=3 [le4:1 inf:0]"), "{first}");
+        assert!(
+            first.contains("h ~ total=1 sum=3 p50=3 p95=3 max=3 [le4:1 inf:0]"),
+            "{first}"
+        );
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_bounds_clamped_by_max() {
+        let metrics = MetricsRegistry::new();
+        // 9 observations in le10, 1 in overflow.
+        for value in [1, 2, 3, 4, 5, 6, 7, 8, 9] {
+            metrics.observe("lat", value, &[10, 100]);
+        }
+        metrics.observe("lat", 250, &[10, 100]);
+        let snapshot = metrics.snapshot();
+        let (_, histogram) = &snapshot.histograms[0];
+        assert_eq!(histogram.max, 250);
+        assert_eq!(histogram.quantile(0.50), 10); // bucket bound, not the raw value
+        assert_eq!(histogram.quantile(0.90), 10);
+        assert_eq!(histogram.quantile(0.95), 250); // overflow resolves to exact max
+        assert_eq!(histogram.quantile(1.0), 250);
+        assert_eq!(Histogram::new(&[10]).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_tracked_max() {
+        let metrics = MetricsRegistry::new();
+        metrics.observe("one", 3, &[1_000_000]);
+        let snapshot = metrics.snapshot();
+        let (_, histogram) = &snapshot.histograms[0];
+        // A lone small value must not be reported as its huge bucket bound.
+        assert_eq!(histogram.quantile(0.5), 3);
+        assert_eq!(histogram.quantile(0.99), 3);
+    }
+
+    #[test]
+    fn decode_tolerates_missing_max_but_rejects_malformed_max() {
+        let legacy = "total=3;sum=555;bounds=10,100;counts=1,1;overflow=1";
+        let decoded = Histogram::decode(legacy).expect("legacy encoding decodes");
+        assert_eq!(decoded.max, 0);
+        assert_eq!(decoded.quantile(1.0), 0); // max unknown: clamp floors at zero
+        assert_eq!(
+            Histogram::decode("total=1;sum=2;bounds=1;counts=1;overflow=0;max=oops"),
+            None
+        );
     }
 
     #[test]

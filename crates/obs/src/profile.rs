@@ -34,14 +34,16 @@ impl Json {
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    /// Numeric-field read as `u64`; `None` on negatives and non-numbers.
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(value) if *value >= 0.0 => Some(*value as u64),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    /// String-field read; `None` on non-strings.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(text) => Some(text),
             _ => None,
@@ -604,14 +606,30 @@ pub fn render_md(report: &ProfileReport) -> String {
     ));
     if let Some(histogram) = &report.cache.lookup_histogram {
         out.push_str(&format!(
-            "- lookup hit-lanes histogram: {} lookup(s), {} hit lane(s)\n",
-            histogram.total, histogram.sum,
+            "- lookup hit-lanes histogram: {} lookup(s), {} hit lane(s), p50={} p95={} max={}\n",
+            histogram.total,
+            histogram.sum,
+            histogram.quantile(0.50),
+            histogram.quantile(0.95),
+            histogram.max,
         ));
     }
     if !report.metrics.is_empty() {
         out.push_str("\n## Metrics snapshot\n\n| metric | value |\n|---|---|\n");
         for (name, value) in &report.metrics {
-            out.push_str(&format!("| {name} | {value} |\n"));
+            // Histogram attrs render as a readable percentile summary; the raw
+            // encoding stays available via `--format json`.
+            match Histogram::decode(value) {
+                Some(histogram) => out.push_str(&format!(
+                    "| {name} | total={} sum={} p50={} p95={} max={} |\n",
+                    histogram.total,
+                    histogram.sum,
+                    histogram.quantile(0.50),
+                    histogram.quantile(0.95),
+                    histogram.max,
+                )),
+                None => out.push_str(&format!("| {name} | {value} |\n")),
+            }
         }
     }
     out

@@ -1,0 +1,363 @@
+//! Live run progress: periodic `progress` trace events plus an optional stderr line.
+//!
+//! The runner tells the meter how many work units the plan holds, ticks it as each
+//! unit completes, and the farm broker adds remotely-solved lanes as round trips
+//! land.  The meter turns those ticks into two displays, both rate-limited off the
+//! monotonic clock so a thousand fast units cost a handful of emissions:
+//!
+//! * a `progress` trace event (units done/total, sims paid vs cached, farmed lanes,
+//!   elapsed and ETA milliseconds) — greppable from the trace and visible as instants
+//!   in the Perfetto export;
+//! * a `\r`-rewritten stderr line when the CLI decided stderr is worth drawing on (a
+//!   TTY, or `--progress` forcing it) — stderr only, so piped stdout artifacts and
+//!   reports never see it.
+//!
+//! Like the rest of `slic-obs` the meter is display-only: it reads counters, never
+//! feeds a result path, and the default [`ProgressMeter::disabled`] no-ops at the
+//! cost of one `Option` check.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::trace::TraceRecorder;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Minimum nanoseconds between emissions (the begin/finish edges always emit).
+const DEFAULT_INTERVAL_NS: u64 = 200_000_000;
+
+struct Meter {
+    clock: Box<dyn Clock + Send + Sync>,
+    trace: TraceRecorder,
+    /// The stderr (or test) line target; `None` emits trace events only.
+    line_sink: Option<Mutex<Box<dyn Write + Send>>>,
+    interval_ns: u64,
+    units_total: AtomicU64,
+    units_done: AtomicU64,
+    sims_paid: AtomicU64,
+    sims_cached: AtomicU64,
+    lanes_farmed: AtomicU64,
+    started_ns: AtomicU64,
+    last_emit_ns: AtomicU64,
+    /// Length of the last rendered line, so finish() can blank it.
+    last_line_len: AtomicU64,
+}
+
+/// The cloneable handle threaded through [`crate::Observability`].
+#[derive(Clone, Default)]
+pub struct ProgressMeter {
+    shared: Option<Arc<Meter>>,
+}
+
+impl std::fmt::Debug for ProgressMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressMeter")
+            .field("enabled", &self.shared.is_some())
+            .finish()
+    }
+}
+
+impl ProgressMeter {
+    /// The no-op meter; every call is one `Option` check.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A live meter on the monotonic clock.  `trace` receives the periodic
+    /// `progress` events (free when the recorder is disabled); `render_line` adds
+    /// the `\r`-rewritten stderr display.
+    pub fn new(trace: TraceRecorder, render_line: bool) -> Self {
+        let sink: Option<Box<dyn Write + Send>> = if render_line {
+            Some(Box::new(std::io::stderr()))
+        } else {
+            None
+        };
+        Self::with_parts(
+            Box::new(MonotonicClock::new()),
+            trace,
+            sink,
+            DEFAULT_INTERVAL_NS,
+        )
+    }
+
+    /// Full-control constructor for tests: inject the clock, the line sink and the
+    /// rate-limit interval.
+    pub fn with_parts(
+        clock: Box<dyn Clock + Send + Sync>,
+        trace: TraceRecorder,
+        line_sink: Option<Box<dyn Write + Send>>,
+        interval_ns: u64,
+    ) -> Self {
+        Self {
+            shared: Some(Arc::new(Meter {
+                clock,
+                trace,
+                line_sink: line_sink.map(Mutex::new),
+                interval_ns,
+                units_total: AtomicU64::new(0),
+                units_done: AtomicU64::new(0),
+                sims_paid: AtomicU64::new(0),
+                sims_cached: AtomicU64::new(0),
+                lanes_farmed: AtomicU64::new(0),
+                started_ns: AtomicU64::new(0),
+                last_emit_ns: AtomicU64::new(0),
+                last_line_len: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether any display (trace events or stderr line) is live.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Declares the total unit count and stamps the start time; emits immediately.
+    pub fn begin(&self, units_total: u64) {
+        let Some(meter) = &self.shared else { return };
+        meter.units_total.store(units_total, Ordering::Relaxed);
+        meter.units_done.store(0, Ordering::Relaxed);
+        meter
+            .started_ns
+            .store(meter.clock.now_ns(), Ordering::Relaxed);
+        self.emit(true);
+    }
+
+    /// Ticks one completed unit and refreshes the paid/cached simulation totals
+    /// (absolute values, read from the run counters — not deltas).
+    pub fn unit_done(&self, sims_paid: u64, sims_cached: u64) {
+        let Some(meter) = &self.shared else { return };
+        let done = meter.units_done.fetch_add(1, Ordering::Relaxed) + 1;
+        meter.sims_paid.store(sims_paid, Ordering::Relaxed);
+        meter.sims_cached.store(sims_cached, Ordering::Relaxed);
+        self.emit(done == meter.units_total.load(Ordering::Relaxed));
+    }
+
+    /// Adds remotely-solved lanes (farm round trips land in lane batches).
+    pub fn add_lanes(&self, lanes: u64) {
+        let Some(meter) = &self.shared else { return };
+        meter.lanes_farmed.fetch_add(lanes, Ordering::Relaxed);
+        self.emit(false);
+    }
+
+    /// Emits one final progress event and blanks the stderr line.
+    pub fn finish(&self) {
+        let Some(meter) = &self.shared else { return };
+        self.emit(true);
+        if let Some(sink) = &meter.line_sink {
+            let blank = meter.last_line_len.swap(0, Ordering::Relaxed) as usize;
+            if blank > 0 {
+                let mut sink = sink.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+                let _ = write!(sink, "\r{}\r", " ".repeat(blank));
+                let _ = sink.flush();
+            }
+        }
+    }
+
+    fn emit(&self, force: bool) {
+        let Some(meter) = &self.shared else { return };
+        let now = meter.clock.now_ns();
+        let last = meter.last_emit_ns.load(Ordering::Relaxed);
+        if !force && now.saturating_sub(last) < meter.interval_ns {
+            return;
+        }
+        // One winner per interval: losers of the race skip this emission (unless
+        // forced — the begin/final edges must always land).
+        if meter
+            .last_emit_ns
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+            && !force
+        {
+            return;
+        }
+
+        let done = meter.units_done.load(Ordering::Relaxed);
+        let total = meter.units_total.load(Ordering::Relaxed);
+        let paid = meter.sims_paid.load(Ordering::Relaxed);
+        let cached = meter.sims_cached.load(Ordering::Relaxed);
+        let lanes = meter.lanes_farmed.load(Ordering::Relaxed);
+        let elapsed_ns = now.saturating_sub(meter.started_ns.load(Ordering::Relaxed));
+        // ETA by linear extrapolation over completed units; unknowable until the
+        // first unit lands.
+        let eta_ms = if done > 0 && total > done {
+            Some(elapsed_ns / 1_000_000 * (total - done) / done)
+        } else {
+            None
+        };
+
+        meter.trace.event(
+            "progress",
+            &[
+                ("units_done", done.to_string()),
+                ("units_total", total.to_string()),
+                ("sims_paid", paid.to_string()),
+                ("sims_cached", cached.to_string()),
+                ("lanes_farmed", lanes.to_string()),
+                ("elapsed_ms", (elapsed_ns / 1_000_000).to_string()),
+                (
+                    "eta_ms",
+                    eta_ms.map_or_else(|| "unknown".to_string(), |ms| ms.to_string()),
+                ),
+            ],
+        );
+
+        if let Some(sink) = &meter.line_sink {
+            let mut line =
+                format!("slic: {done}/{total} units · {paid} sims paid, {cached} cached");
+            if lanes > 0 {
+                line.push_str(&format!(" · {lanes} lanes farmed"));
+            }
+            if let Some(ms) = eta_ms {
+                line.push_str(&format!(" · eta {}.{}s", ms / 1000, ms % 1000 / 100));
+            }
+            let previous = meter
+                .last_line_len
+                .swap(line.chars().count() as u64, Ordering::Relaxed)
+                as usize;
+            let pad = previous.saturating_sub(line.chars().count());
+            let mut sink = sink.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            let _ = write!(sink, "\r{line}{}", " ".repeat(pad));
+            let _ = sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::trace::TraceRecorder;
+
+    /// A cloneable in-memory sink for both the trace recorder and the line display.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// `ManualClock` is not `Clone`, so share one behind an `Arc` for meter + test.
+    struct ArcClock(Arc<ManualClock>);
+
+    impl Clock for ArcClock {
+        fn now_ns(&self) -> u64 {
+            self.0.now_ns()
+        }
+    }
+
+    fn meter(
+        interval_ns: u64,
+        with_line: bool,
+    ) -> (ProgressMeter, Arc<ManualClock>, SharedBuf, SharedBuf) {
+        let clock = Arc::new(ManualClock::default());
+        let trace_buf = SharedBuf::default();
+        let line_buf = SharedBuf::default();
+        let trace = TraceRecorder::with_sink(
+            Box::new(ArcClock(Arc::clone(&clock))),
+            Box::new(trace_buf.clone()),
+        );
+        let sink: Option<Box<dyn Write + Send>> =
+            with_line.then(|| Box::new(line_buf.clone()) as Box<dyn Write + Send>);
+        let meter = ProgressMeter::with_parts(
+            Box::new(ArcClock(Arc::clone(&clock))),
+            trace,
+            sink,
+            interval_ns,
+        );
+        (meter, clock, trace_buf, line_buf)
+    }
+
+    #[test]
+    fn disabled_meter_is_a_no_op() {
+        let meter = ProgressMeter::disabled();
+        assert!(!meter.is_enabled());
+        meter.begin(10);
+        meter.unit_done(1, 0);
+        meter.add_lanes(4);
+        meter.finish();
+    }
+
+    #[test]
+    fn emissions_are_rate_limited_by_the_clock() {
+        let (meter, clock, trace_buf, _) = meter(1_000, false);
+        meter.begin(4); // forced emission at t=0
+        meter.unit_done(1, 0); // same instant: suppressed
+        meter.unit_done(2, 0); // same instant: suppressed
+        clock.advance(1_000);
+        meter.unit_done(3, 1); // past the interval: emits
+        let text = trace_buf.text();
+        let events = text.lines().filter(|l| l.contains("\"progress\"")).count();
+        assert_eq!(events, 2, "{text}");
+        assert!(text.contains("\"units_done\":\"3\""), "{text}");
+        assert!(text.contains("\"sims_paid\":\"3\""), "{text}");
+    }
+
+    #[test]
+    fn final_unit_and_finish_always_emit() {
+        let (meter, _clock, trace_buf, _) = meter(u64::MAX, false);
+        meter.begin(2);
+        meter.unit_done(1, 0); // suppressed: interval never elapses
+        meter.unit_done(2, 0); // forced: last unit
+        meter.finish(); // forced
+        let text = trace_buf.text();
+        let events = text.lines().filter(|l| l.contains("\"progress\"")).count();
+        assert_eq!(events, 3, "{text}");
+        assert!(text.contains("\"units_done\":\"2\""), "{text}");
+    }
+
+    #[test]
+    fn eta_extrapolates_from_completed_units() {
+        let (meter, clock, trace_buf, _) = meter(0, false);
+        meter.begin(4);
+        clock.advance(2_000_000); // 2 ms for the first unit
+        meter.unit_done(10, 5);
+        let text = trace_buf.text();
+        // 3 units left at 2 ms per unit.
+        assert!(text.contains("\"eta_ms\":\"6\""), "{text}");
+        assert!(text.contains("\"eta_ms\":\"unknown\""), "{text}"); // the begin edge
+        assert!(text.contains("\"lanes_farmed\":\"0\""), "{text}");
+    }
+
+    #[test]
+    fn stderr_line_rewrites_in_place_and_finish_blanks_it() {
+        let (meter, clock, _trace, line_buf) = meter(0, true);
+        meter.begin(2);
+        clock.advance(1_000_000);
+        meter.unit_done(7, 3);
+        meter.add_lanes(16);
+        meter.finish();
+        let text = line_buf.text();
+        assert!(text.contains("\rslic: 0/2 units"), "{text:?}");
+        assert!(
+            text.contains("\rslic: 1/2 units · 7 sims paid, 3 cached"),
+            "{text:?}"
+        );
+        assert!(text.contains("16 lanes farmed"), "{text:?}");
+        // finish() blanks the line: the last carriage-return group is spaces only.
+        let tail = text.rsplit('\r').next().unwrap();
+        assert!(tail.is_empty(), "line not blanked: {text:?}");
+        let blank = text.rsplit('\r').nth(1).unwrap();
+        assert!(blank.chars().all(|c| c == ' '), "{text:?}");
+    }
+
+    #[test]
+    fn trace_only_meter_writes_no_line() {
+        let (meter, _clock, _trace, line_buf) = meter(0, false);
+        meter.begin(1);
+        meter.unit_done(1, 0);
+        meter.finish();
+        assert!(line_buf.text().is_empty());
+    }
+}

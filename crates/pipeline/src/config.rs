@@ -189,6 +189,39 @@ pub struct ObservabilityKnobs {
     /// Sidecar JSON-lines trace file the run writes span/event records to; unset = no
     /// tracing.  Equivalent to the `--trace` CLI flag (the flag wins when both are set).
     pub trace: Option<String>,
+    /// Append-only cross-run ledger file (`runs.jsonl`) the run appends one
+    /// `RunRecord` line to; unset = no ledger.  Equivalent to the `--ledger` CLI flag.
+    pub ledger: Option<String>,
+    /// Force the live stderr progress line even when stderr is not a TTY (the CLI
+    /// enables it automatically on a TTY).  Equivalent to the `--progress` CLI switch.
+    pub progress: Option<bool>,
+    /// Regression-diff thresholds for `slic history --diff` / `slic profile --diff`.
+    pub diff: Option<DiffKnobs>,
+}
+
+/// User-facing regression-diff thresholds, every field optional.  In flat TOML these
+/// are the dotted `observability.diff.*` keys (`observability.diff.wall_pct = 50.0`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiffKnobs {
+    /// Maximum tolerated wall-time increase, percent (default 50 — wall is noisy).
+    pub wall_pct: Option<f64>,
+    /// Maximum tolerated increase of gated counters, percent (default 10 —
+    /// deterministic counters of a fixed seed reproduce exactly).
+    pub counter_pct: Option<f64>,
+    /// Maximum tolerated cache-hit-rate drop, percentage points (default 5).
+    pub hit_rate_drop_pct: Option<f64>,
+}
+
+impl DiffKnobs {
+    /// Applies defaults, yielding the thresholds the diff surfaces consume.
+    pub fn resolve(&self) -> slic_obs::DiffThresholds {
+        let defaults = slic_obs::DiffThresholds::default();
+        slic_obs::DiffThresholds {
+            wall_pct: self.wall_pct.unwrap_or(defaults.wall_pct),
+            counter_pct: self.counter_pct.unwrap_or(defaults.counter_pct),
+            hit_rate_drop_pct: self.hit_rate_drop_pct.unwrap_or(defaults.hit_rate_drop_pct),
+        }
+    }
 }
 
 /// User-facing farm resilience knobs, every field optional.  In flat TOML these are the
@@ -283,7 +316,10 @@ const KNOWN_VARIATION_KEYS: &[&str] = &["process_seeds", "sigma_corners"];
 const KNOWN_KERNEL_KEYS: &[&str] = &["simd"];
 
 /// Every key of the nested `observability` section.
-const KNOWN_OBSERVABILITY_KEYS: &[&str] = &["trace"];
+const KNOWN_OBSERVABILITY_KEYS: &[&str] = &["trace", "ledger", "progress", "diff"];
+
+/// Every key of the nested `observability.diff` section.
+const KNOWN_DIFF_KEYS: &[&str] = &["wall_pct", "counter_pct", "hit_rate_drop_pct"];
 
 /// Every key of the nested `farm` section.
 const KNOWN_FARM_KEYS: &[&str] = &[
@@ -322,12 +358,26 @@ fn check_config_keys(value: &serde::Value) -> Result<(), PipelineError> {
         };
         if let Some((section, known)) = nested {
             if let Some(inner) = sub.as_object() {
-                for (sub_key, _) in inner {
+                for (sub_key, sub_value) in inner {
                     if !known.contains(&sub_key.as_str()) {
                         return Err(PipelineError::config(format!(
                             "unknown config key `{section}.{sub_key}` (expected one of: {})",
                             listing(known, &format!("{section}."))
                         )));
+                    }
+                    // One more level: the diff thresholds nest under observability.
+                    if section == "observability" && sub_key == "diff" {
+                        if let Some(diff_entries) = sub_value.as_object() {
+                            for (diff_key, _) in diff_entries {
+                                if !KNOWN_DIFF_KEYS.contains(&diff_key.as_str()) {
+                                    return Err(PipelineError::config(format!(
+                                        "unknown config key `observability.diff.{diff_key}` \
+                                         (expected one of: {})",
+                                        listing(KNOWN_DIFF_KEYS, "observability.diff.")
+                                    )));
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -599,6 +649,22 @@ impl RunConfig {
                 .as_ref()
                 .and_then(|knobs| knobs.trace.clone())
                 .map(std::path::PathBuf::from),
+            ledger_path: self
+                .observability
+                .as_ref()
+                .and_then(|knobs| knobs.ledger.clone())
+                .map(std::path::PathBuf::from),
+            progress: self
+                .observability
+                .as_ref()
+                .and_then(|knobs| knobs.progress)
+                .unwrap_or(false),
+            diff: self
+                .observability
+                .as_ref()
+                .and_then(|knobs| knobs.diff.as_ref())
+                .map(DiffKnobs::resolve)
+                .unwrap_or_default(),
         })
     }
 }
@@ -645,6 +711,60 @@ pub struct ResolvedConfig {
     /// Sidecar JSON-lines trace file, when tracing is enabled.  Display-only: whether a
     /// run is traced never changes an artifact byte (CI `cmp`-gates this).
     pub trace_path: Option<std::path::PathBuf>,
+    /// Append-only cross-run ledger file, when enabled.  Display-only, same contract
+    /// as tracing.
+    pub ledger_path: Option<std::path::PathBuf>,
+    /// Whether the stderr progress line is forced on (the CLI also turns it on when
+    /// stderr is a TTY).
+    pub progress: bool,
+    /// Regression-diff thresholds (`observability.diff.*` with defaults applied).
+    pub diff: slic_obs::DiffThresholds,
+}
+
+impl ResolvedConfig {
+    /// The run's configuration identity: a 16-hex-digit hash over everything that
+    /// determines *what* is computed — cells, technology nodes, profile, metrics,
+    /// methods, budgets, seed, variation workload, kernel routing.
+    ///
+    /// Execution placement is deliberately excluded (backend, worker lists, cache /
+    /// trace / ledger paths, farm tuning): artifacts are byte-identical across
+    /// backends, so a local run and a farmed run of one config share a fingerprint —
+    /// which is exactly what lets `slic history` diff them against each other.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut identity = String::with_capacity(256);
+        let _ = write!(identity, "library={};", self.library_name);
+        for cell in self.library.cells() {
+            let _ = write!(identity, "cell={};", cell.name());
+        }
+        let _ = write!(identity, "technology={};", self.technology.name());
+        for node in &self.historical {
+            let _ = write!(identity, "historical={};", node.name());
+        }
+        let _ = write!(
+            identity,
+            "profile={};metrics={:?};methods={:?};training={};validation={};seed={};simd={};",
+            self.profile.name(),
+            self.metrics,
+            self.methods,
+            self.training_count,
+            self.validation_points,
+            self.seed,
+            self.simd,
+        );
+        if let Some(variation) = &self.variation {
+            let _ = write!(
+                identity,
+                "variation.seeds={};variation.seed={};",
+                variation.process_seeds, variation.seed
+            );
+            for corner in &variation.sigma_corners {
+                // Bit-exact: two configs differing in any corner hash apart.
+                let _ = write!(identity, "corner={:016x};", corner.to_bits());
+            }
+        }
+        slic_obs::ledger::content_hash(identity.as_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -1048,8 +1168,16 @@ mod tests {
 
     #[test]
     fn observability_config_parses_from_json_and_dotted_toml() {
-        let json = r#"{"observability": {"trace": "run.jsonl"}}"#;
-        let toml_text = "observability.trace = \"run.jsonl\"";
+        let json = r#"{"observability": {
+            "trace": "run.jsonl",
+            "ledger": "runs.jsonl",
+            "progress": true,
+            "diff": {"wall_pct": 25.0}
+        }}"#;
+        let toml_text = "observability.trace = \"run.jsonl\"\n\
+                         observability.ledger = \"runs.jsonl\"\n\
+                         observability.progress = true\n\
+                         observability.diff.wall_pct = 25.0";
         let a = RunConfig::from_json(json).unwrap();
         let b = RunConfig::from_toml(toml_text).unwrap();
         assert_eq!(a, b);
@@ -1057,14 +1185,35 @@ mod tests {
             a.observability,
             Some(ObservabilityKnobs {
                 trace: Some("run.jsonl".to_string()),
+                ledger: Some("runs.jsonl".to_string()),
+                progress: Some(true),
+                diff: Some(DiffKnobs {
+                    wall_pct: Some(25.0),
+                    ..DiffKnobs::default()
+                }),
             })
         );
+        let resolved = a.resolve().unwrap();
         assert_eq!(
-            a.resolve().unwrap().trace_path,
+            resolved.trace_path,
             Some(std::path::PathBuf::from("run.jsonl"))
         );
-        // Absent section resolves to no tracing.
-        assert!(RunConfig::default().resolve().unwrap().trace_path.is_none());
+        assert_eq!(
+            resolved.ledger_path,
+            Some(std::path::PathBuf::from("runs.jsonl"))
+        );
+        assert!(resolved.progress);
+        // Set thresholds stick; unset ones keep the defaults.
+        let defaults = slic_obs::DiffThresholds::default();
+        assert_eq!(resolved.diff.wall_pct, 25.0);
+        assert_eq!(resolved.diff.counter_pct, defaults.counter_pct);
+        assert_eq!(resolved.diff.hit_rate_drop_pct, defaults.hit_rate_drop_pct);
+        // Absent section resolves to everything off and default thresholds.
+        let bare = RunConfig::default().resolve().unwrap();
+        assert!(bare.trace_path.is_none());
+        assert!(bare.ledger_path.is_none());
+        assert!(!bare.progress);
+        assert_eq!(bare.diff, defaults);
         // And the section round-trips through JSON.
         let text = serde_json::to_string(&a).unwrap();
         assert_eq!(RunConfig::from_json(&text).unwrap(), a);
@@ -1081,6 +1230,77 @@ mod tests {
         assert!(err.to_string().contains("observability.trace"), "{err}");
         let err = RunConfig::from_json(r#"{"observability": {"metrics": true}}"#).unwrap_err();
         assert!(err.to_string().contains("`observability.metrics`"), "{err}");
+        // The nested diff section is just as strict, one level further down.
+        let err = RunConfig::from_toml("observability.diff.wall_percent = 10.0").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("unknown config key `observability.diff.wall_percent`"),
+            "{err}"
+        );
+        assert!(
+            err.to_string().contains("observability.diff.wall_pct"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_workload_identity_not_placement() {
+        let base = || RunConfig {
+            seed: Some(7),
+            ..RunConfig::default()
+        };
+        let fingerprint = |config: RunConfig| config.resolve().unwrap().fingerprint();
+        let reference = fingerprint(base());
+        assert_eq!(reference.len(), 16);
+        assert_eq!(reference, fingerprint(base()), "deterministic");
+
+        // What is computed moves the fingerprint...
+        assert_ne!(
+            reference,
+            fingerprint(RunConfig {
+                seed: Some(8),
+                ..base()
+            })
+        );
+        assert_ne!(
+            reference,
+            fingerprint(RunConfig {
+                cell_pattern: Some("NAND*".into()),
+                ..base()
+            })
+        );
+        assert_ne!(
+            reference,
+            fingerprint(RunConfig {
+                variation: Some(VariationKnobs {
+                    process_seeds: Some(8),
+                    sigma_corners: None,
+                }),
+                ..base()
+            })
+        );
+
+        // ...but where it executes does not: a farmed run of the same workload keeps
+        // the local fingerprint, so `slic history` can diff across backends.
+        assert_eq!(
+            reference,
+            fingerprint(RunConfig {
+                spawn_workers: Some(2),
+                ..base()
+            })
+        );
+        assert_eq!(
+            reference,
+            fingerprint(RunConfig {
+                cache: Some("cache.jsonl".into()),
+                observability: Some(ObservabilityKnobs {
+                    trace: Some("run.jsonl".into()),
+                    ledger: Some("runs.jsonl".into()),
+                    ..ObservabilityKnobs::default()
+                }),
+                ..base()
+            })
+        );
     }
 
     #[test]

@@ -61,8 +61,8 @@ pub use artifact::{
     CharacterizedArc, CharacterizedLibrary, FarmSection, RunArtifact, UnitResult, VariationSection,
 };
 pub use config::{
-    BackendChoice, FarmKnobs, FarmResilience, ObservabilityKnobs, ResolvedConfig, RunConfig,
-    RunProfile, VariationKnobs,
+    BackendChoice, DiffKnobs, FarmKnobs, FarmResilience, ObservabilityKnobs, ResolvedConfig,
+    RunConfig, RunProfile, VariationKnobs,
 };
 pub use error::PipelineError;
 pub use plan::{CharacterizationPlan, UnitKind, WorkUnit};

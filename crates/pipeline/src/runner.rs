@@ -230,6 +230,7 @@ impl PipelineRunner {
         // Unit spans run on rayon worker threads, where the root is not on the local
         // span stack — parent them explicitly so the profile tree stays connected.
         let root_id = root.id();
+        self.obs.progress.begin(plan.units().len() as u64);
         let outcomes: Vec<Result<(UnitResult, Option<VariationTable>), PipelineError>> = plan
             .units()
             .par_iter()
@@ -244,9 +245,16 @@ impl PipelineRunner {
                         ("method", format!("{:?}", unit.method)),
                     ],
                 );
-                self.run_unit(unit, &extractors)
+                let outcome = self.run_unit(unit, &extractors);
+                // Absolute totals, not deltas: the shared counters already aggregate
+                // across threads.
+                self.obs
+                    .progress
+                    .unit_done(self.counter.count(), self.cache.hits());
+                outcome
             })
             .collect();
+        self.obs.progress.finish();
         let mut outcomes = outcomes
             .into_iter()
             .collect::<Result<Vec<_>, PipelineError>>()?;
